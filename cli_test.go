@@ -1,0 +1,167 @@
+package emmcio
+
+// End-to-end CLI smoke tests: build each binary once and drive the
+// documented flows against a temp directory. These catch flag wiring and
+// format regressions the package tests cannot see.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLIs compiles all four binaries into a temp dir, once per test run.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	for _, tool := range []string{"biotracer", "tracestat", "emmcsim", "experiments", "tracediff"} {
+		bin := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	bins := buildCLIs(t)
+	work := t.TempDir()
+
+	// 1. Collect a session.
+	out := run(t, filepath.Join(bins, "biotracer"), "-app", "CallIn", "-dir", work)
+	if !strings.Contains(out, "CallIn") || !strings.Contains(out, "tracer overhead") {
+		t.Fatalf("biotracer output: %s", out)
+	}
+	tracePath := filepath.Join(work, "CallIn.trace")
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Characterize the file.
+	out = run(t, filepath.Join(bins, "tracestat"), tracePath)
+	for _, want := range []string{"CallIn", "Table III columns", "Table IV columns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tracestat output missing %q:\n%s", want, out)
+		}
+	}
+	// JSON mode parses as JSON-ish (starts with a brace).
+	out = run(t, filepath.Join(bins, "tracestat"), "-json", tracePath)
+	if !strings.HasPrefix(strings.TrimSpace(out), "{") {
+		t.Fatalf("tracestat -json did not emit JSON:\n%.100s", out)
+	}
+
+	// 3. Replay the file on every scheme, then snapshot/resume a device.
+	out = run(t, filepath.Join(bins, "emmcsim"), "-trace", tracePath)
+	for _, want := range []string{"4PS", "8PS", "HPS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("emmcsim output missing %q:\n%s", want, out)
+		}
+	}
+	snap := filepath.Join(work, "dev.snap")
+	run(t, filepath.Join(bins, "emmcsim"), "-app", "CallOut", "-scheme", "HPS", "-save", snap)
+	out = run(t, filepath.Join(bins, "emmcsim"), "-app", "CallIn", "-scheme", "HPS", "-load", snap)
+	if !strings.Contains(out, "HPS") {
+		t.Fatalf("resumed replay output:\n%s", out)
+	}
+
+	// 4. A fast experiment in all three formats + SVG.
+	exp := filepath.Join(bins, "experiments")
+	out = run(t, exp, "-exp", "tableV")
+	if !strings.Contains(out, "Blocks per plane") {
+		t.Fatalf("tableV output:\n%s", out)
+	}
+	out = run(t, exp, "-exp", "tableV", "-md")
+	if !strings.Contains(out, "| Parameter | 4PS | 8PS | HPS |") {
+		t.Fatalf("markdown output:\n%s", out)
+	}
+	out = run(t, exp, "-exp", "tableV", "-csv")
+	if !strings.Contains(out, "Parameter,4PS,8PS,HPS") {
+		t.Fatalf("csv output:\n%s", out)
+	}
+	svgDir := filepath.Join(work, "figs")
+	run(t, exp, "-exp", "fig3", "-svg", svgDir, "-fig3-reqs", "2")
+	svg, err := os.ReadFile(filepath.Join(svgDir, "fig3.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Fatal("fig3.svg is not SVG")
+	}
+
+	// 5. Compare two schemes' replays with tracediff.
+	a := filepath.Join(work, "a.trace")
+	bTr := filepath.Join(work, "b.trace")
+	run(t, filepath.Join(bins, "emmcsim"), "-app", "CallIn", "-scheme", "4PS", "-o", a)
+	run(t, filepath.Join(bins, "emmcsim"), "-app", "CallIn", "-scheme", "HPS", "-o", bTr)
+	out = run(t, filepath.Join(bins, "tracediff"), a, bTr)
+	if !strings.Contains(out, "mean response") || !strings.Contains(out, "B faster on") {
+		t.Fatalf("tracediff output:\n%s", out)
+	}
+
+	// 6. A JSON profile end to end.
+	profile := filepath.Join(work, "custom.json")
+	profileJSON := `{"name":"Custom","durationSec":60,"requests":200,"writeFrac":0.8,
+		"meanReadKB":20,"meanWriteKB":12,"maxKB":256,"spatial":0.2,"temporal":0.3,
+		"p4":0.5,"burstFrac":0.7,"burstMeanMs":5}`
+	if err := os.WriteFile(profile, []byte(profileJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, filepath.Join(bins, "emmcsim"), "-profile", profile, "-scheme", "4PS")
+	if !strings.Contains(out, "Custom") {
+		t.Fatalf("profile replay output:\n%s", out)
+	}
+}
+
+// Every example builds and the fast ones run to completion.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs example binaries")
+	}
+	dir := t.TempDir()
+	examples := []struct {
+		name string
+		args []string
+		fast bool
+	}{
+		{name: "quickstart", fast: true},
+		{name: "customapp", fast: true},
+		{name: "appcharacterize", args: []string{"-app", "CallIn"}, fast: true},
+		{name: "hpscompare", args: []string{"-apps", "CallIn"}, fast: true},
+		{name: "gctuning", fast: true},
+		{name: "powermode", fast: false}, // replays 8 traces
+		{name: "stackamp", args: []string{"-txns", "50"}, fast: true},
+		{name: "agingstudy", fast: false},
+		{name: "daysim", fast: false},
+	}
+	for _, ex := range examples {
+		bin := filepath.Join(dir, ex.name)
+		cmd := exec.Command("go", "build", "-o", bin, "./examples/"+ex.name)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", ex.name, err, out)
+		}
+		if !ex.fast {
+			continue
+		}
+		out := run(t, bin, ex.args...)
+		if len(out) == 0 {
+			t.Errorf("%s produced no output", ex.name)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command biotracer reproduces one §II trace-collecting session: it
+// generates the named application's workload, replays it through the
+// BIOtracer monitor on the measured-device model, writes the fully
+// timestamped trace to a file, and prints the tracer's overhead report.
+//
+//	biotracer -app Twitter -o twitter.trace
+//	biotracer -app all -dir traces/ -format binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"emmcio/internal/biotracer"
+	"emmcio/internal/experiments"
+	"emmcio/internal/paper"
+	"emmcio/internal/trace"
+	"emmcio/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", paper.Twitter, `application to trace, or "all"`)
+	out := flag.String("o", "", "output file (default <app>.trace in -dir)")
+	dir := flag.String("dir", ".", "output directory")
+	format := flag.String("format", "text", "trace format: text or binary")
+	seed := flag.Uint64("seed", workload.DefaultSeed, "workload generation seed")
+	flag.Parse()
+
+	reg := workload.DefaultRegistry()
+	var names []string
+	if *app == "all" {
+		names = paper.AllTraces
+	} else {
+		if reg.Lookup(*app) == nil {
+			fmt.Fprintf(os.Stderr, "biotracer: unknown application %q; known: %s\n",
+				*app, strings.Join(reg.Names(), ", "))
+			os.Exit(2)
+		}
+		names = []string{*app}
+	}
+
+	for _, name := range names {
+		tr := reg.Lookup(name).Generate(*seed)
+		dev, err := experiments.NewMeasuredDevice()
+		if err != nil {
+			fatal(err)
+		}
+		overhead, err := biotracer.Collect(dev, tr)
+		if err != nil {
+			fatal(err)
+		}
+
+		path := *out
+		if path == "" || len(names) > 1 {
+			base := strings.ReplaceAll(name, "/", "_") + ".trace"
+			path = filepath.Join(*dir, base)
+		}
+		if err := writeTrace(path, *format, tr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %6d requests -> %s (tracer overhead %.2f%%, %d flushes)\n",
+			name, len(tr.Reqs), path, overhead.RequestOverhead*100, overhead.Flushes)
+	}
+}
+
+func writeTrace(path, format string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "text":
+		return trace.WriteText(f, tr)
+	case "binary":
+		return trace.WriteBinary(f, tr)
+	default:
+		return fmt.Errorf("unknown format %q (want text or binary)", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "biotracer:", err)
+	os.Exit(1)
+}

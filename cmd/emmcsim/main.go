@@ -1,0 +1,219 @@
+// Command emmcsim replays a block-level trace on the simulated eMMC device
+// under one or more Table V schemes and reports the §V metrics.
+//
+//	emmcsim -app Booting                  # built-in workload, all schemes
+//	emmcsim -trace twitter.trace -scheme HPS
+//	emmcsim -app Twitter -gc idle -buffer 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"emmcio/internal/core"
+	"emmcio/internal/emmc"
+	"emmcio/internal/ftl"
+	"emmcio/internal/report"
+	"emmcio/internal/trace"
+	"emmcio/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "", "built-in application workload to replay")
+	tracePath := flag.String("trace", "", "trace file to replay (text or binary)")
+	profilePath := flag.String("profile", "", "JSON workload profile to generate and replay")
+	schemeFlag := flag.String("scheme", "all", "4PS, 8PS, HPS, or all")
+	gc := flag.String("gc", "foreground", "GC policy: foreground or idle")
+	bufferMB := flag.Int("buffer", 0, "device RAM buffer size in MB (0 = disabled, as in the paper)")
+	power := flag.Bool("power", false, "enable the low-power mode model")
+	seed := flag.Uint64("seed", workload.DefaultSeed, "workload generation seed")
+	wear := flag.String("wear", "round-robin", "wear leveling: round-robin, none, or static")
+	sessions := flag.Int("sessions", 1, "replay the trace N times back to back (device ages)")
+	scale := flag.Float64("scale", 1.0, "compress arrival times by this factor (<1 raises the rate)")
+	shrink := flag.Int("shrink", 0, "divide per-plane block count (GC-pressure studies)")
+	loadDev := flag.String("load", "", "restore the device from a snapshot file (single scheme only)")
+	saveDev := flag.String("save", "", "snapshot the device after the replay (single scheme only)")
+	outTrace := flag.String("o", "", "write the replayed (timestamped) trace to this file (single scheme only; feed pairs to tracediff)")
+	flag.Parse()
+
+	tr, err := loadTrace(*app, *tracePath, *profilePath, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var schemes []core.Scheme
+	switch strings.ToUpper(*schemeFlag) {
+	case "ALL":
+		schemes = core.Schemes
+	case "4PS":
+		schemes = []core.Scheme{core.Scheme4PS}
+	case "8PS":
+		schemes = []core.Scheme{core.Scheme8PS}
+	case "HPS":
+		schemes = []core.Scheme{core.SchemeHPS}
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *schemeFlag))
+	}
+
+	opt := core.CaseStudyOptions()
+	opt.PowerSaving = *power
+	opt.RAMBufferBytes = int64(*bufferMB) << 20
+	opt.ScaleBlocks = *shrink
+	switch *gc {
+	case "foreground":
+		opt.GCPolicy = emmc.GCForeground
+	case "idle":
+		opt.GCPolicy = emmc.GCIdle
+	default:
+		fatal(fmt.Errorf("unknown GC policy %q", *gc))
+	}
+	switch *wear {
+	case "round-robin":
+		opt.Wear = ftl.WearRoundRobin
+	case "none":
+		opt.Wear = ftl.WearNone
+	case "static":
+		opt.Wear = ftl.WearStatic
+	default:
+		fatal(fmt.Errorf("unknown wear policy %q", *wear))
+	}
+
+	if *scale != 1.0 {
+		tr = tr.Scale(*scale)
+	}
+	if *sessions > 1 {
+		copies := make([]*trace.Trace, *sessions)
+		for i := range copies {
+			copies[i] = tr
+		}
+		tr = trace.Concat(tr.Name, 1_000_000_000, copies...)
+	}
+
+	if (*loadDev != "" || *saveDev != "" || *outTrace != "") && len(schemes) != 1 {
+		fatal(fmt.Errorf("-load/-save/-o require a single -scheme"))
+	}
+
+	tab := report.NewTable(fmt.Sprintf("Replay of %s (%d requests)", tr.Name, len(tr.Reqs)),
+		"Scheme", "MRT(ms)", "MeanServ(ms)", "NoWait%", "SpaceUtil", "WA", "GCStall(ms)", "IdleGC(ms)")
+	for _, s := range schemes {
+		run := tr.Clone()
+		run.ClearTimestamps()
+		var dev *emmc.Device
+		if *loadDev != "" {
+			f, err := os.Open(*loadDev)
+			if err != nil {
+				fatal(err)
+			}
+			dev, err = emmc.RestoreSnapshot(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			// Resume after the archived device's last activity.
+			run = run.Shift(dev.LastActivity() + 1_000_000_000)
+		} else {
+			var err error
+			dev, err = core.NewDevice(s, opt)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		m, err := core.ReplayOn(dev, s, run)
+		if err != nil {
+			fatal(err)
+		}
+		if *outTrace != "" {
+			f, err := os.Create(*outTrace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteText(f, run); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if *saveDev != "" {
+			f, err := os.Create(*saveDev)
+			if err != nil {
+				fatal(err)
+			}
+			if err := dev.Snapshot(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "device snapshot written to %s\n", *saveDev)
+		}
+		tab.AddRow(s.String(),
+			report.F(m.MeanResponseNs/1e6, 3),
+			report.F(m.MeanServiceNs/1e6, 3),
+			report.Pct(m.NoWaitRatio, 1),
+			report.F(m.SpaceUtilization, 4),
+			report.F(m.WriteAmplification, 3),
+			report.F(float64(m.GCStallNs)/1e6, 1),
+			report.F(float64(m.IdleGCNs)/1e6, 1))
+	}
+	if err := tab.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func loadTrace(app, path, profilePath string, seed uint64) (*trace.Trace, error) {
+	set := 0
+	for _, v := range []string{app, path, profilePath} {
+		if v != "" {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, fmt.Errorf("pass exactly one of -app, -trace, -profile")
+	}
+	switch {
+	case profilePath != "":
+		f, err := os.Open(profilePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		p, err := workload.ReadProfileJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		return p.Generate(seed), nil
+	case app != "":
+		p := workload.DefaultRegistry().Lookup(app)
+		if p == nil {
+			return nil, fmt.Errorf("unknown application %q", app)
+		}
+		return p.Generate(seed), nil
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var magic [4]byte
+		if _, err := f.Read(magic[:]); err == nil && string(magic[:]) == "BIO1" {
+			if _, err := f.Seek(0, 0); err != nil {
+				return nil, err
+			}
+			return trace.ReadBinary(f)
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		return trace.ReadText(f)
+	default:
+		return nil, fmt.Errorf("pass -app <name>, -trace <file>, or -profile <file>")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emmcsim:", err)
+	os.Exit(1)
+}

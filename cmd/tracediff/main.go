@@ -1,0 +1,113 @@
+// Command tracediff compares two replays of the same workload — e.g. the
+// 4PS and HPS timestamped traces emmcsim writes — request by request:
+//
+//	emmcsim -app Twitter -scheme 4PS ... (write trace A)
+//	emmcsim -app Twitter -scheme HPS ... (write trace B)
+//	tracediff a.trace b.trace
+//
+// It reports the response-time deltas (mean, percentiles, win/loss counts)
+// and flags any structural mismatch (different request streams).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"emmcio/internal/report"
+	"emmcio/internal/stats"
+	"emmcio/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracediff <traceA> <traceB>")
+		os.Exit(2)
+	}
+	a, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	if len(a.Reqs) != len(b.Reqs) {
+		fatal(fmt.Errorf("request counts differ: %d vs %d — not the same workload",
+			len(a.Reqs), len(b.Reqs)))
+	}
+
+	var deltas []int64
+	var aResp, bResp []int64
+	wins, losses, ties := 0, 0, 0
+	for i := range a.Reqs {
+		ra, rb := a.Reqs[i], b.Reqs[i]
+		if ra.LBA != rb.LBA || ra.Size != rb.Size || ra.Op != rb.Op || ra.Arrival != rb.Arrival {
+			fatal(fmt.Errorf("request %d differs structurally — not the same workload", i))
+		}
+		da, db := ra.ResponseTime(), rb.ResponseTime()
+		deltas = append(deltas, db-da)
+		aResp = append(aResp, da)
+		bResp = append(bResp, db)
+		switch {
+		case db < da:
+			wins++
+		case db > da:
+			losses++
+		default:
+			ties++
+		}
+	}
+
+	sa, sb, sd := stats.Summarize(aResp), stats.Summarize(bResp), stats.Summarize(deltas)
+	t := report.NewTable(fmt.Sprintf("Replay comparison: %s vs %s (%d requests)",
+		flag.Arg(0), flag.Arg(1), len(a.Reqs)),
+		"Metric", "A", "B", "B - A")
+	t.AddRow("mean response (ms)",
+		report.F(sa.Mean/1e6, 3), report.F(sb.Mean/1e6, 3), report.F(sd.Mean/1e6, 3))
+	t.AddRow("p50 (ms)", msI(sa.P50), msI(sb.P50), msI(sd.P50))
+	t.AddRow("p95 (ms)", msI(sa.P95), msI(sb.P95), msI(sd.P95))
+	t.AddRow("p99 (ms)", msI(sa.P99), msI(sb.P99), msI(sd.P99))
+	t.AddRow("max (ms)", msI(sa.Max), msI(sb.Max), msI(sd.Max))
+	if err := t.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nB faster on %d requests, slower on %d, tied on %d (%.1f%% faster)\n",
+		wins, losses, ties, float64(wins)/float64(len(a.Reqs))*100)
+	if sa.Mean > 0 {
+		fmt.Printf("mean response change: %+.1f%%\n", (sb.Mean/sa.Mean-1)*100)
+	}
+}
+
+func msI(ns int64) string { return report.F(float64(ns)/1e6, 3) }
+
+func load(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return trace.ReadBinary(f)
+	}
+	var magic [4]byte
+	if _, err := f.Read(magic[:]); err == nil {
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		switch string(magic[:]) {
+		case "BIO1":
+			return trace.ReadBinary(f)
+		case "BIOZ":
+			return trace.ReadCompressed(f)
+		}
+	}
+	return trace.ReadText(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracediff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,192 @@
+// Command tracestat characterizes block-level I/O traces the way §III of
+// the paper does: Table III size statistics, Table IV timing statistics,
+// the Fig. 4–6 distributions, and — when given the whole individual-app
+// set — the six Characteristics.
+//
+//	tracestat twitter.trace movie.trace real.blkparse
+//	tracestat -generated             # analyze the 25 built-in traces
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"emmcio/internal/analysis"
+	"emmcio/internal/biotracer"
+	"emmcio/internal/experiments"
+	"emmcio/internal/paper"
+	"emmcio/internal/report"
+	"emmcio/internal/trace"
+	"emmcio/internal/workload"
+)
+
+func main() {
+	generated := flag.Bool("generated", false, "analyze the 25 built-in generated traces instead of files")
+	seed := flag.Uint64("seed", workload.DefaultSeed, "seed for -generated")
+	dists := flag.Bool("dist", false, "also print size/response/inter-arrival distributions")
+	asJSON := flag.Bool("json", false, "emit machine-readable FullReport JSON instead of tables")
+	stream := flag.Bool("stream", false, "stream text trace files in constant memory (huge collections)")
+	flag.Parse()
+
+	if *stream {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: tracestat -stream <text trace>...")
+			os.Exit(2)
+		}
+		sizeTab := report.NewTable("Size-related statistics (streamed)",
+			"Trace", "DataKB", "Reqs", "MaxKB", "AveKB", "Wr%")
+		timeTab := report.NewTable("Timing-related statistics (streamed)",
+			"Trace", "Dur(s)", "Arr(/s)", "NoWait%", "Resp(ms)", "Spat%", "Temp%")
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			acc := analysis.NewAccumulator(path)
+			if _, _, err := trace.StreamText(f, func(r trace.Request) error {
+				acc.Add(r)
+				return nil
+			}); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+			s := acc.Size()
+			sizeTab.AddRow(path, report.I(s.DataKB), report.I(s.Requests), report.I(int64(s.MaxKB)),
+				report.F(s.AveKB, 1), report.F(s.WriteReqPct, 2))
+			tm := acc.Timing()
+			timeTab.AddRow(path, report.F(tm.DurationSec, 0), report.F(tm.ArrivalRate, 2),
+				report.F(tm.NoWaitPct, 0), report.F(tm.MeanRespMs, 2),
+				report.F(tm.SpatialPct, 2), report.F(tm.TemporalPct, 2))
+		}
+		must(sizeTab.WriteText(os.Stdout))
+		fmt.Println()
+		must(timeTab.WriteText(os.Stdout))
+		return
+	}
+
+	var traces []*trace.Trace
+	if *generated {
+		reg := workload.DefaultRegistry()
+		for _, name := range paper.AllTraces {
+			tr := reg.Lookup(name).Generate(*seed)
+			dev, err := experiments.NewMeasuredDevice()
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := biotracer.Collect(dev, tr); err != nil {
+				fatal(err)
+			}
+			traces = append(traces, tr)
+		}
+	} else {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: tracestat [-dist] <trace file>... | tracestat -generated")
+			os.Exit(2)
+		}
+		for _, path := range flag.Args() {
+			tr, err := readTrace(path)
+			if err != nil {
+				fatal(err)
+			}
+			traces = append(traces, tr)
+		}
+	}
+
+	if *asJSON {
+		out := map[string]analysis.FullReport{}
+		for _, tr := range traces {
+			out[tr.Name] = analysis.Report(tr)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	sizeTab := report.NewTable("Size-related statistics (Table III columns)",
+		"Trace", "DataKB", "Reqs", "MaxKB", "AveKB", "AveR", "AveW", "Wr%", "WrSz%")
+	timeTab := report.NewTable("Timing-related statistics (Table IV columns)",
+		"Trace", "Dur(s)", "Arr(/s)", "Acc(KB/s)", "NoWait%", "Serv(ms)", "Resp(ms)", "Spat%", "Temp%")
+	for _, tr := range traces {
+		s := analysis.SizeStatsOf(tr)
+		sizeTab.AddRow(tr.Name, report.I(s.DataKB), report.I(s.Requests), report.I(int64(s.MaxKB)),
+			report.F(s.AveKB, 1), report.F(s.AveReadKB, 1), report.F(s.AveWriteKB, 1),
+			report.F(s.WriteReqPct, 2), report.F(s.WriteSizePct, 2))
+		t := analysis.TimingStatsOf(tr)
+		timeTab.AddRow(tr.Name, report.F(t.DurationSec, 0), report.F(t.ArrivalRate, 2),
+			report.F(t.AccessRate, 2), report.F(t.NoWaitPct, 0),
+			report.F(t.MeanServMs, 2), report.F(t.MeanRespMs, 2),
+			report.F(t.SpatialPct, 2), report.F(t.TemporalPct, 2))
+	}
+	must(sizeTab.WriteText(os.Stdout))
+	fmt.Println()
+	must(timeTab.WriteText(os.Stdout))
+	fmt.Println()
+
+	if *dists {
+		for _, tr := range traces {
+			d := analysis.DistributionsOf(tr)
+			fmt.Printf("%s:\n  size:         %s\n  response:     %s\n  interarrival: %s\n",
+				tr.Name, d.Size, d.Response, d.Interarrival)
+			if rs := analysis.ResponseSummary(tr); rs.Count > 0 {
+				fmt.Printf("  response percentiles: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+					float64(rs.P50)/1e6, float64(rs.P95)/1e6, float64(rs.P99)/1e6, float64(rs.Max)/1e6)
+			}
+		}
+		fmt.Println()
+	}
+
+	// With the full individual set (or any 6+ traces), evaluate the six
+	// characteristics.
+	if len(traces) >= 6 {
+		individual := traces
+		if *generated {
+			individual = traces[:18]
+		}
+		findings := analysis.EvaluateCharacteristics(individual)
+		must(experiments.RenderFindings(findings).WriteText(os.Stdout))
+	}
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return trace.ReadBinary(f)
+	}
+	if strings.HasSuffix(path, ".blktrace") || strings.HasSuffix(path, ".blkparse") {
+		return trace.ReadBlkparse(f)
+	}
+	// Sniff: binary traces start with the BIO1 magic.
+	var magic [4]byte
+	if _, err := f.Read(magic[:]); err == nil && string(magic[:]) == "BIO1" {
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		return trace.ReadBinary(f)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return trace.ReadText(f)
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracestat:", err)
+	os.Exit(1)
+}

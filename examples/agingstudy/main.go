@@ -1,0 +1,33 @@
+// agingstudy follows a device through its endurance life: the reliability
+// model (raw bit error rate growing with program/erase cycles, fixed-budget
+// ECC, read retries) keeps reads fast through the rated 3000 cycles and
+// then stretches them as the error rate outruns the ECC — the
+// performance face of the paper's §V-A lifetime argument. A scheme that
+// wastes flash (8PS padding) or garbage-collects more reaches this knee
+// sooner.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emmcio"
+)
+
+func main() {
+	fractions := []float64{0, 0.5, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5}
+	pts, err := emmcio.RunAging(emmcio.NewExperimentEnv(emmcio.DefaultSeed), emmcio.Movie, fractions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Movie (94.6% reads) replayed on a 4PS device pre-aged to each wear level:")
+	fmt.Printf("%-14s %10s %14s %16s\n", "life consumed", "MRT (ms)", "read attempts", "ECC overflow")
+	for _, p := range pts {
+		fmt.Printf("%13.0f%% %10.2f %14.3f %16.6f\n",
+			p.LifeFraction*100, p.MRTMs, p.RetryFactor, p.FailureProb)
+	}
+	fmt.Println("\nReads stay at one attempt through rated life; past ~125% the ECC")
+	fmt.Println("budget overflows and threshold-shifted retries stretch every read.")
+	fmt.Println("Fig. 9's space-utilization gap is therefore also a latency-aging gap:")
+	fmt.Println("8PS consumes erase cycles faster for the same workload.")
+}

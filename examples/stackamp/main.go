@@ -1,0 +1,75 @@
+// stackamp walks the whole Fig. 1 stack: application transactions enter
+// SQLite, SQLite drives an Ext4-like journaling file system, the file
+// system emits block requests, the block layer merges and the eMMC driver
+// packs them, and the device serves the result.
+//
+// It reproduces the "smart layers, dumb result" amplification the paper's
+// related work highlights: a few bytes of application data become an order
+// of magnitude more flash traffic, and SQLite's WAL mode cuts that cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"emmcio"
+)
+
+func main() {
+	txns := flag.Int("txns", 500, "transactions to run")
+	flag.Parse()
+
+	for _, mode := range []emmcio.SQLiteJournalMode{emmcio.SQLiteRollback, emmcio.SQLiteWAL} {
+		sink := &emmcio.TraceCollector{}
+		fs := emmcio.NewAndroidFS(sink)
+		db, err := emmcio.OpenSQLiteDB(fs, "app.db", mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// One "message received" per 200 ms: a 1–2 page transaction.
+		for i := 0; i < *txns; i++ {
+			fs.SetTime(int64(i) * 200_000_000)
+			pages := []int64{int64(i % 40)}
+			if i%3 == 0 {
+				pages = append(pages, int64(40+i%10))
+			}
+			if err := db.Exec(pages); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		blockTrace := &sink.Trace
+		blockTrace.Name = "sqlite-" + mode.String()
+
+		// Push the block trace through the block layer + packing driver
+		// onto a 4PS device.
+		dev, err := emmcio.NewDevice(emmcio.Scheme4PS, emmcio.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stack := emmcio.NewBlockStack(emmcio.DefaultBlockConfig(), dev)
+		devTrace, stats, err := stack.Run(blockTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fsStats := fs.Stats()
+		waf := float64(fsStats.BlockBytes) / float64(db.LogicalBytes())
+		fmt.Printf("== SQLite %s mode ==\n", mode)
+		fmt.Printf("  app data changed:    %8.1f KB (%d transactions)\n",
+			float64(db.LogicalBytes())/1024, *txns)
+		fmt.Printf("  block traffic:       %8.1f KB  (stack write amplification %.1fx)\n",
+			float64(fsStats.BlockBytes)/1024, waf)
+		fmt.Printf("  block requests:      %8d (journal writes %d, data writes %d)\n",
+			len(blockTrace.Reqs), fsStats.JournalWrites, fsStats.DataWrites)
+		fmt.Printf("  after merge+pack:    %8d device commands (max %d KB)\n",
+			stats.DeviceCommands, stats.MaxCommandBytes/1024)
+		m := dev.Metrics()
+		fmt.Printf("  device mean service: %8.2f ms over %d served requests\n\n",
+			m.MeanServiceNs()/1e6, len(devTrace.Reqs))
+	}
+	fmt.Println("Rollback journaling pays two fsyncs and a journal delete per")
+	fmt.Println("transaction; WAL appends once — the stack-level fix the I/O-stack")
+	fmt.Println("optimization literature the paper cites proposes.")
+}

@@ -1,0 +1,3 @@
+module emmcio
+
+go 1.22

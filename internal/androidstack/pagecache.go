@@ -1,0 +1,159 @@
+package androidstack
+
+import "emmcio/internal/trace"
+
+// pageCache is the OS page cache standing between reads and the block
+// layer: Android applications re-read hot database pages from RAM, which is
+// one reason the paper's block-level traces are write-dominant
+// (Characteristic 1) — most reads never reach the eMMC.
+type pageCache struct {
+	capacity int
+	table    map[cacheKey]*cacheNode
+	head     *cacheNode
+	tail     *cacheNode
+
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct {
+	file  string
+	block int64
+}
+
+type cacheNode struct {
+	key        cacheKey
+	prev, next *cacheNode
+}
+
+func newPageCache(capBytes int64) *pageCache {
+	blocks := int(capBytes / blockBytes)
+	if blocks < 1 {
+		return nil
+	}
+	return &pageCache{capacity: blocks, table: make(map[cacheKey]*cacheNode, blocks)}
+}
+
+func (c *pageCache) detach(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *pageCache) pushFront(n *cacheNode) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// probe returns whether the block is cached, allocating on miss.
+func (c *pageCache) probe(file string, block int64) bool {
+	k := cacheKey{file, block}
+	if n, ok := c.table[k]; ok {
+		c.hits++
+		c.detach(n)
+		c.pushFront(n)
+		return true
+	}
+	c.misses++
+	c.insert(k)
+	return false
+}
+
+// fill caches a block without counting a lookup (write path population).
+func (c *pageCache) fill(file string, block int64) {
+	k := cacheKey{file, block}
+	if n, ok := c.table[k]; ok {
+		c.detach(n)
+		c.pushFront(n)
+		return
+	}
+	c.insert(k)
+}
+
+func (c *pageCache) insert(k cacheKey) {
+	if len(c.table) >= c.capacity {
+		evict := c.tail
+		c.detach(evict)
+		delete(c.table, evict.key)
+	}
+	n := &cacheNode{key: k}
+	c.table[k] = n
+	c.pushFront(n)
+}
+
+// invalidateFile drops a deleted file's blocks lazily: entries keyed by the
+// old name are unreachable once the file is recreated, so eviction handles
+// them; an explicit sweep keeps the accounting tight for tests.
+func (c *pageCache) invalidateFile(file string) {
+	for k, n := range c.table {
+		if k.file == file {
+			c.detach(n)
+			delete(c.table, k)
+		}
+	}
+}
+
+// CachedRead reads [off, off+n) through the page cache: only missing
+// blocks reach the block layer, and runs of consecutive misses coalesce
+// into single requests.
+func (f *FS) CachedRead(name string, off, n int64) error {
+	fl, ok := f.files[name]
+	if !ok {
+		return errMissing(name)
+	}
+	if n <= 0 {
+		return errBadLen()
+	}
+	if f.cache == nil {
+		return f.Read(name, off, n)
+	}
+	first := off / blockBytes
+	last := (off + n - 1) / blockBytes
+	runStart := int64(-1)
+	flush := func(end int64) error {
+		if runStart < 0 {
+			return nil
+		}
+		err := f.emit(trace.Request{
+			LBA:  fl.base + uint64(runStart)*trace.SectorsPerPage,
+			Size: uint32((end - runStart) * blockBytes),
+			Op:   trace.Read,
+		})
+		runStart = -1
+		return err
+	}
+	for b := first; b <= last; b++ {
+		if f.cache.probe(name, b) {
+			if err := flush(b); err != nil {
+				return err
+			}
+			continue
+		}
+		if runStart < 0 {
+			runStart = b
+		}
+	}
+	return flush(last + 1)
+}
+
+// CacheHitRate returns the page-cache read hit fraction.
+func (f *FS) CacheHitRate() float64 {
+	if f.cache == nil || f.cache.hits+f.cache.misses == 0 {
+		return 0
+	}
+	return float64(f.cache.hits) / float64(f.cache.hits+f.cache.misses)
+}

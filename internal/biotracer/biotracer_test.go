@@ -1,0 +1,106 @@
+package biotracer
+
+import (
+	"math"
+	"testing"
+
+	"emmcio/internal/core"
+	"emmcio/internal/paper"
+	"emmcio/internal/trace"
+	"emmcio/internal/workload"
+)
+
+func TestRecordsPerBufferMatchesPaper(t *testing.T) {
+	// §II-C: a 32 KB buffer stores about 300 request records.
+	if RecordsPerBuffer < 280 || RecordsPerBuffer > 320 {
+		t.Fatalf("RecordsPerBuffer = %d, want ~300", RecordsPerBuffer)
+	}
+}
+
+func synthTrace(n int) *trace.Trace {
+	tr := &trace.Trace{Name: "synthetic"}
+	at := int64(0)
+	for i := 0; i < n; i++ {
+		at += 20_000_000
+		tr.Reqs = append(tr.Reqs, trace.Request{
+			Arrival: at, LBA: uint64(i%1000) * 8, Size: 4096, Op: trace.Write,
+		})
+	}
+	return tr
+}
+
+func TestTimestampsFilled(t *testing.T) {
+	d, err := core.NewDevice(core.Scheme4PS, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := synthTrace(50)
+	if _, err := Collect(d, tr); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tr.Reqs {
+		if r.ServiceStart < r.Arrival || r.Finish <= r.ServiceStart {
+			t.Fatalf("request %d: timestamps not causal: %+v", i, r)
+		}
+	}
+}
+
+func TestFlushEveryBuffer(t *testing.T) {
+	d, _ := core.NewDevice(core.Scheme4PS, core.Options{})
+	tr := synthTrace(RecordsPerBuffer*3 + 10)
+	o, err := Collect(d, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Flushes != 3 {
+		t.Fatalf("%d flushes, want 3", o.Flushes)
+	}
+	if o.ExtraRequests < 3*5 || o.ExtraRequests > 3*7 {
+		t.Fatalf("%d extra requests for 3 flushes, want 15–21", o.ExtraRequests)
+	}
+}
+
+// §II-C: tracer overhead is about 2% of monitored traffic.
+func TestOverheadAboutTwoPercent(t *testing.T) {
+	d, _ := core.NewDevice(core.Scheme4PS, core.Options{})
+	tr := synthTrace(RecordsPerBuffer * 20)
+	o, err := Collect(d, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o.RequestOverhead-paper.TracerOverheadFraction) > 0.005 {
+		t.Fatalf("tracer overhead %.4f, paper reports ~%.2f", o.RequestOverhead, paper.TracerOverheadFraction)
+	}
+}
+
+func TestNoFlushBelowBuffer(t *testing.T) {
+	d, _ := core.NewDevice(core.Scheme4PS, core.Options{})
+	tr := synthTrace(RecordsPerBuffer - 1)
+	o, err := Collect(d, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Flushes != 0 || o.ExtraRequests != 0 {
+		t.Fatalf("unexpected flushes: %+v", o)
+	}
+}
+
+// End-to-end with a real workload profile: collecting a session produces a
+// fully timestamped, valid trace.
+func TestCollectAppTrace(t *testing.T) {
+	d, _ := core.NewDevice(core.Scheme4PS, core.Options{PowerSaving: true})
+	tr := workload.DefaultRegistry().Lookup(paper.Messaging).Generate(workload.DefaultSeed)
+	o, err := Collect(d, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MonitoredRequests != len(tr.Reqs) {
+		t.Fatalf("monitored %d, want %d", o.MonitoredRequests, len(tr.Reqs))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.RequestOverhead > 0.03 {
+		t.Fatalf("overhead %.3f too high", o.RequestOverhead)
+	}
+}

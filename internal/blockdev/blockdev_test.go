@@ -1,0 +1,309 @@
+package blockdev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emmcio/internal/core"
+	"emmcio/internal/trace"
+)
+
+func wr(at int64, lba uint64, size uint32) trace.Request {
+	return trace.Request{Arrival: at, LBA: lba, Size: size, Op: trace.Write}
+}
+
+func rd(at int64, lba uint64, size uint32) trace.Request {
+	return trace.Request{Arrival: at, LBA: lba, Size: size, Op: trace.Read}
+}
+
+func TestSubmitRejectsUnaligned(t *testing.T) {
+	q := NewQueue(DefaultConfig())
+	if err := q.Submit(wr(0, 0, 1000)); err == nil {
+		t.Fatal("unaligned accepted")
+	}
+	if err := q.Submit(wr(0, 0, 0)); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestSplitAtKernelCap(t *testing.T) {
+	q := NewQueue(Config{MergeWindow: 0})
+	if err := q.Submit(wr(0, 0, 2*MaxRequestBytes+4096)); err != nil {
+		t.Fatal(err)
+	}
+	batch := q.Flush()
+	if len(batch) != 3 {
+		t.Fatalf("split into %d requests, want 3", len(batch))
+	}
+	var total uint32
+	var prevEnd uint64
+	for i, r := range batch {
+		if r.Size > MaxRequestBytes {
+			t.Fatalf("piece %d exceeds kernel cap: %d", i, r.Size)
+		}
+		if i > 0 && r.LBA != prevEnd {
+			t.Fatalf("pieces not contiguous")
+		}
+		prevEnd = r.EndLBA()
+		total += r.Size
+	}
+	if total != 2*MaxRequestBytes+4096 {
+		t.Fatalf("split lost bytes: %d", total)
+	}
+	if q.Stats().Splits != 2 {
+		t.Fatalf("splits = %d, want 2", q.Stats().Splits)
+	}
+}
+
+func TestBackMerge(t *testing.T) {
+	q := NewQueue(Config{MergeWindow: 1_000_000})
+	q.Submit(wr(0, 0, 4096))
+	q.Submit(wr(10, 8, 4096)) // continues the first
+	if q.Pending() != 1 {
+		t.Fatalf("pending %d, want 1 after back merge", q.Pending())
+	}
+	batch := q.Flush()
+	if batch[0].Size != 8192 || batch[0].LBA != 0 {
+		t.Fatalf("merged request %+v", batch[0])
+	}
+	if q.Stats().BackMerges != 1 {
+		t.Fatal("back merge not counted")
+	}
+}
+
+func TestFrontMerge(t *testing.T) {
+	q := NewQueue(Config{MergeWindow: 1_000_000})
+	q.Submit(wr(0, 8, 4096))
+	q.Submit(wr(10, 0, 4096)) // precedes the first
+	batch := q.Flush()
+	if len(batch) != 1 || batch[0].LBA != 0 || batch[0].Size != 8192 {
+		t.Fatalf("front merge failed: %+v", batch)
+	}
+}
+
+func TestNoMergeAcrossOps(t *testing.T) {
+	q := NewQueue(Config{MergeWindow: 1_000_000})
+	q.Submit(wr(0, 0, 4096))
+	q.Submit(rd(10, 8, 4096))
+	if q.Pending() != 2 {
+		t.Fatal("read merged into write")
+	}
+}
+
+func TestMergeRespectsKernelCap(t *testing.T) {
+	q := NewQueue(Config{MergeWindow: 1_000_000})
+	q.Submit(wr(0, 0, MaxRequestBytes))
+	q.Submit(wr(10, MaxRequestBytes/trace.SectorSize, 4096))
+	if q.Pending() != 2 {
+		t.Fatal("merge exceeded the kernel request cap")
+	}
+}
+
+func TestDispatchableHonorsPlugWindow(t *testing.T) {
+	q := NewQueue(Config{MergeWindow: 1_000_000})
+	q.Submit(wr(0, 0, 4096))
+	q.Submit(wr(900_000, 800, 4096))
+	got := q.Dispatchable(1_000_000)
+	if len(got) != 1 {
+		t.Fatalf("dispatched %d, want only the expired one", len(got))
+	}
+	if q.Pending() != 1 {
+		t.Fatal("young request should stay plugged")
+	}
+}
+
+func TestPackGroupsSequentialWrites(t *testing.T) {
+	d := NewDriver(Config{MaxPack: 4})
+	batch := []trace.Request{
+		wr(0, 0, 4096), wr(1, 800, 4096), wr(2, 1600, 4096),
+		rd(3, 2400, 4096),
+		wr(4, 3200, 4096),
+	}
+	cmds := d.Pack(batch)
+	if len(cmds) != 3 {
+		t.Fatalf("%d commands, want 3 (pack of 3 writes, read, lone write)", len(cmds))
+	}
+	if len(cmds[0].Reqs) != 3 {
+		t.Fatalf("first command packed %d writes, want 3", len(cmds[0].Reqs))
+	}
+	if len(cmds[1].Reqs) != 1 || cmds[1].Reqs[0].Op != trace.Read {
+		t.Fatal("read should travel alone")
+	}
+	s := d.Stats()
+	if s.PackedCommands != 1 || s.PackedWrites != 3 {
+		t.Fatalf("driver stats %+v", s)
+	}
+}
+
+func TestPackRespectsLimits(t *testing.T) {
+	d := NewDriver(Config{MaxPack: 2, MaxPackedBytes: 8192})
+	batch := []trace.Request{wr(0, 0, 4096), wr(1, 800, 4096), wr(2, 1600, 4096), wr(3, 2400, 8192)}
+	cmds := d.Pack(batch)
+	for _, c := range cmds {
+		if len(c.Reqs) > 2 {
+			t.Fatal("MaxPack violated")
+		}
+		if c.Payload() > 8192 {
+			t.Fatal("MaxPackedBytes violated")
+		}
+	}
+}
+
+func TestPackDisabled(t *testing.T) {
+	d := NewDriver(Config{MaxPack: 0})
+	cmds := d.Pack([]trace.Request{wr(0, 0, 4096), wr(1, 800, 4096)})
+	if len(cmds) != 2 {
+		t.Fatal("packing should be disabled")
+	}
+}
+
+// Property: queue+split conserves bytes and never emits an oversized request.
+func TestQueueConservationProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		q := NewQueue(Config{MergeWindow: 0})
+		var in uint64
+		at := int64(0)
+		lba := uint64(0)
+		for _, s := range sizes {
+			size := uint32(int(s)%400+1) * 4096
+			if err := q.Submit(wr(at, lba, size)); err != nil {
+				return false
+			}
+			in += uint64(size)
+			// Leave gaps so nothing merges.
+			lba += uint64(size)/trace.SectorSize + 1024
+			at++
+		}
+		var out uint64
+		for _, r := range q.Flush() {
+			if r.Size > MaxRequestBytes {
+				return false
+			}
+			out += uint64(r.Size)
+		}
+		return in == out
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end stack: a stream of small sequential writes leaves the driver as
+// far fewer, larger commands — §III-B's "largest requests in most traces are
+// larger than 512 KB" despite the kernel cap.
+func TestStackPackingProducesLargeCommands(t *testing.T) {
+	dev, err := core.NewDevice(core.Scheme4PS, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MergeWindow = 5_000_000 // generous plug: let whole runs accumulate
+	st := NewStack(cfg, dev)
+	// Interleave two write streams: within each stream writes are
+	// sequential (elevator merges them); across streams they are far apart
+	// (only the driver's packing can combine them into one command).
+	tr := &trace.Trace{Name: "twofiles"}
+	at := int64(0)
+	lbaA := uint64(0)
+	lbaB := uint64(8) << 30 / trace.SectorSize
+	for i := 0; i < 512; i++ {
+		at += 100_000 // 0.1 ms apart: inside the plug window
+		if i%2 == 0 {
+			tr.Reqs = append(tr.Reqs, wr(at, lbaA, 64*1024))
+			lbaA += 64 * 1024 / trace.SectorSize
+		} else {
+			tr.Reqs = append(tr.Reqs, wr(at, lbaB, 64*1024))
+			lbaB += 64 * 1024 / trace.SectorSize
+		}
+	}
+	out, stats, err := st.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeviceRequests == 0 || stats.DeviceCommands >= stats.DeviceRequests {
+		t.Fatalf("no packing happened: %+v", stats)
+	}
+	if stats.MaxCommandBytes <= MaxRequestBytes {
+		t.Fatalf("max command %d bytes does not exceed the 512 KB kernel cap", stats.MaxCommandBytes)
+	}
+	if stats.Queue.BackMerges == 0 {
+		t.Fatal("elevator never merged sequential writes")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Conservation: all submitted bytes reached the device.
+	if out.TotalBytes() != tr.TotalBytes() {
+		t.Fatalf("stack lost bytes: %d vs %d", out.TotalBytes(), tr.TotalBytes())
+	}
+}
+
+// Packing amortizes per-command overhead: the same workload finishes sooner
+// with packing than without — the Fig. 3 mechanism for large transfers.
+func TestStackPackingImprovesThroughput(t *testing.T) {
+	run := func(cfg Config) int64 {
+		dev, err := core.NewDevice(core.Scheme4PS, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewStack(cfg, dev)
+		tr := &trace.Trace{Name: "burst"}
+		lba := uint64(0)
+		for i := 0; i < 256; i++ {
+			tr.Reqs = append(tr.Reqs, wr(int64(i), lba, 16*1024))
+			lba += 16 * 1024 / trace.SectorSize
+		}
+		_, stats, err := st.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.LastFinish
+	}
+	packed := run(DefaultConfig())
+	unpacked := run(Config{MergeWindow: 0, MaxPack: 0})
+	if packed >= unpacked {
+		t.Fatalf("packing did not help: packed %d ns vs unpacked %d ns", packed, unpacked)
+	}
+}
+
+func TestStackEmptyTrace(t *testing.T) {
+	dev, _ := core.NewDevice(core.Scheme4PS, core.Options{})
+	st := NewStack(DefaultConfig(), dev)
+	out, stats, err := st.Run(&trace.Trace{Name: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Reqs) != 0 || stats.DeviceCommands != 0 {
+		t.Fatal("empty trace produced work")
+	}
+}
+
+// Packing amortizes protocol commands: the packed run issues fewer bus
+// commands per byte than the unpacked one.
+func TestPackingAmortizesBusCommands(t *testing.T) {
+	run := func(cfg Config) RunStats {
+		dev, err := core.NewDevice(core.Scheme4PS, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewStack(cfg, dev)
+		tr := &trace.Trace{Name: "bus"}
+		for i := 0; i < 128; i++ {
+			tr.Reqs = append(tr.Reqs, wr(int64(i), uint64(i)*100000, 4096))
+		}
+		_, stats, err := st.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	packed := run(DefaultConfig())
+	unpacked := run(Config{MergeWindow: 0, MaxPack: 0})
+	if packed.BusCommands >= unpacked.BusCommands {
+		t.Fatalf("packing did not amortize: %d vs %d bus commands",
+			packed.BusCommands, unpacked.BusCommands)
+	}
+	if packed.BusDataBlocks <= uint64(128*8) {
+		t.Fatal("packed transfers must include header blocks")
+	}
+}

@@ -1,0 +1,111 @@
+package blockdev
+
+import (
+	"emmcio/internal/emmc"
+	"emmcio/internal/mmc"
+	"emmcio/internal/trace"
+)
+
+// Stack wires the block layer and driver in front of a device, modeling the
+// kernel half of Fig. 1: upper-layer requests enter the queue, sit in the
+// plug window for merging, and leave as (possibly packed) eMMC commands.
+type Stack struct {
+	Queue  *Queue
+	Driver *Driver
+	Dev    *emmc.Device
+}
+
+// NewStack assembles a stack.
+func NewStack(cfg Config, dev *emmc.Device) *Stack {
+	return &Stack{Queue: NewQueue(cfg), Driver: NewDriver(cfg), Dev: dev}
+}
+
+// RunStats summarizes one replay through the stack.
+type RunStats struct {
+	Queue  QueueStats
+	Driver DriverStats
+	// DeviceCommands counts eMMC commands actually issued.
+	DeviceCommands int
+	// DeviceRequests counts block requests the device served (pack members).
+	DeviceRequests int
+	// MaxCommandBytes is the largest command payload — with packing enabled
+	// this exceeds the kernel's 512 KB request cap, reproducing §III-B's
+	// observation about trace maximum sizes.
+	MaxCommandBytes uint32
+	// LastFinish is the completion time of the final command.
+	LastFinish int64
+	// BusCommands counts eMMC protocol commands on the wire (CMD23 + the
+	// transfer command per host exchange); packing amortizes them.
+	BusCommands int
+	// BusDataBlocks counts 512-byte blocks moved, packed headers included.
+	BusDataBlocks uint64
+}
+
+// Run pushes a trace through queue, driver, and device, and returns the
+// resulting device-level trace (one entry per device-served request, with
+// timestamps filled) plus statistics. The input trace must be
+// arrival-ordered and is not modified.
+func (s *Stack) Run(tr *trace.Trace) (*trace.Trace, RunStats, error) {
+	var stats RunStats
+	out := &trace.Trace{Name: tr.Name + "+stack"}
+
+	dispatch := func(now int64, batch []trace.Request) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		for _, cmd := range s.Driver.Pack(batch) {
+			stats.DeviceCommands++
+			stats.DeviceRequests += len(cmd.Reqs)
+			if p := cmd.Payload(); p > stats.MaxCommandBytes {
+				stats.MaxCommandBytes = p
+			}
+			// Account the wire exchange (CMD23 + CMD18/25, plus the packed
+			// header block when several writes share one transfer).
+			if seq, err := mmc.Encode(cmd.Reqs); err == nil {
+				stats.BusCommands += len(seq.Commands)
+				stats.BusDataBlocks += uint64(seq.DataBlocks)
+			}
+			at := now
+			for _, r := range cmd.Reqs {
+				if r.Arrival > at {
+					at = r.Arrival
+				}
+			}
+			results, err := s.Dev.SubmitPacked(at, cmd.Reqs)
+			if err != nil {
+				return err
+			}
+			for i, r := range cmd.Reqs {
+				r.ServiceStart = results[i].ServiceStart
+				r.Finish = results[i].Finish
+				out.Reqs = append(out.Reqs, r)
+				if results[i].Finish > stats.LastFinish {
+					stats.LastFinish = results[i].Finish
+				}
+			}
+		}
+		return nil
+	}
+
+	for i := range tr.Reqs {
+		now := tr.Reqs[i].Arrival
+		if err := dispatch(now, s.Queue.Dispatchable(now)); err != nil {
+			return nil, stats, err
+		}
+		if err := s.Queue.Submit(tr.Reqs[i]); err != nil {
+			return nil, stats, err
+		}
+	}
+	final := int64(0)
+	if n := len(tr.Reqs); n > 0 {
+		final = tr.Reqs[n-1].Arrival
+	}
+	if err := dispatch(final, s.Queue.Flush()); err != nil {
+		return nil, stats, err
+	}
+
+	stats.Queue = s.Queue.Stats()
+	stats.Driver = s.Driver.Stats()
+	out.SortByArrival()
+	return out, stats, nil
+}

@@ -1,0 +1,105 @@
+package emmc
+
+import (
+	"testing"
+
+	"emmcio/internal/trace"
+)
+
+func TestRAMBufferLRU(t *testing.T) {
+	b := newRAMBuffer(3 * 4096)
+	if b.readProbe(1) {
+		t.Fatal("cold cache hit")
+	}
+	if !b.readProbe(1) {
+		t.Fatal("warm cache miss")
+	}
+	b.readProbe(2)
+	b.readProbe(3) // cache now [3 2 1]
+	b.readProbe(4) // evicts 1
+	if b.readProbe(1) {
+		t.Fatal("evicted sector still cached")
+	}
+	if !b.readProbe(4) || !b.readProbe(3) {
+		t.Fatal("recently used sectors evicted")
+	}
+}
+
+func TestRAMBufferWriteAllocate(t *testing.T) {
+	b := newRAMBuffer(4 * 4096)
+	b.writeAllocate(10)
+	if !b.readProbe(10) {
+		t.Fatal("written sector not cached")
+	}
+}
+
+func TestRAMBufferHitRate(t *testing.T) {
+	b := newRAMBuffer(8 * 4096)
+	b.readProbe(1) // miss
+	b.readProbe(1) // hit
+	b.readProbe(1) // hit
+	b.readProbe(2) // miss
+	if got := b.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", got)
+	}
+}
+
+func TestRAMBufferDisabled(t *testing.T) {
+	if newRAMBuffer(0) != nil {
+		t.Fatal("zero-byte buffer should be nil")
+	}
+	d, _ := New(cfg4K())
+	if d.BufferHitRate() != 0 {
+		t.Fatal("disabled buffer should report zero hit rate")
+	}
+}
+
+// A buffered device serves repeated reads of hot data faster than an
+// unbuffered one, and the hit rate tracks the workload's temporal locality —
+// the Implication-3 mechanism.
+func TestBufferedReadsFaster(t *testing.T) {
+	run := func(bufBytes int64) (int64, float64) {
+		c := cfg4K()
+		c.RAMBufferBytes = bufBytes
+		d, _ := New(c)
+		at := int64(0)
+		w, _ := d.Submit(wr(at, 0, 4096))
+		at = w.Finish
+		var total int64
+		for i := 0; i < 50; i++ {
+			at += 10_000_000
+			r, err := d.Submit(rd(at, 0, 4096))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += r.Finish - r.ServiceStart
+		}
+		return total, d.BufferHitRate()
+	}
+	cold, _ := run(0)
+	warm, hitRate := run(1 << 20)
+	if warm >= cold {
+		t.Fatalf("buffered reads (%d ns) not faster than unbuffered (%d ns)", warm, cold)
+	}
+	if hitRate < 0.9 {
+		t.Fatalf("hot single-sector workload hit rate %.2f, want ~1", hitRate)
+	}
+}
+
+// Random reads over a huge address space get almost no buffer benefit — the
+// low-locality side of Implication 3.
+func TestBufferUselessWithoutLocality(t *testing.T) {
+	c := cfg4K()
+	c.RAMBufferBytes = 1 << 20
+	d, _ := New(c)
+	at := int64(0)
+	for i := 0; i < 200; i++ {
+		at += 10_000_000
+		if _, err := d.Submit(rd(at, uint64(i)*100000*trace.SectorsPerPage%(1<<20), 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hr := d.BufferHitRate(); hr > 0.05 {
+		t.Fatalf("random-read hit rate %.2f, want ~0", hr)
+	}
+}

@@ -1,0 +1,900 @@
+// Package emmc models the eMMC device: a FIFO request interface in front of
+// a multi-channel, multi-plane flash array managed by the FTL.
+//
+// The service model follows the paper's measurement semantics (§II-B):
+// a request's service starts when the device is free (requests that find the
+// device busy wait — the complement of Table IV's NoWait ratio) and ends when
+// its last flash operation completes. Within one request, page operations
+// stripe round-robin across planes; transfers serialize per channel and
+// flash operations serialize per plane, as in SSDsim.
+//
+// Two behaviours the paper highlights are modeled explicitly:
+//
+//   - Low-power mode (Characteristic 4): after a configurable idle period the
+//     device drops into light then deep sleep, and the next request pays a
+//     wake-up penalty as part of its service time.
+//   - Garbage-collection policy (Implication 2): the SSD-style policy runs GC
+//     in the foreground when free blocks run low; the idle policy runs it
+//     during request inter-arrival gaps, charging the request only for the
+//     part that did not fit in the gap.
+package emmc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"emmcio/internal/flash"
+	"emmcio/internal/ftl"
+	"emmcio/internal/reliability"
+	"emmcio/internal/sim"
+	"emmcio/internal/trace"
+)
+
+// GCPolicy selects when garbage collection runs.
+type GCPolicy int
+
+const (
+	// GCForeground runs GC synchronously when a write finds the pool at the
+	// free-block threshold (the SSD-style policy Implication 2 critiques).
+	GCForeground GCPolicy = iota
+	// GCIdle runs GC during request inter-arrival gaps (Implication 2's
+	// proposal); only overflow beyond the gap delays the request.
+	GCIdle
+)
+
+// Config describes a device instance.
+type Config struct {
+	Geometry flash.Geometry
+	Timing   flash.Timing
+	// Pools lists the per-plane page-size pools, largest page first.
+	Pools []flash.PoolSpec
+	// GCFreeBlocks is the per-plane-pool free-block threshold.
+	GCFreeBlocks int
+	GCPolicy     GCPolicy
+	// Wear selects the FTL wear-leveling policy (default round-robin,
+	// the paper's Implication-4 recommendation).
+	Wear ftl.WearPolicy
+
+	// Power management (Characteristic 4). Zero thresholds disable a level.
+	PowerSaving     bool
+	LightSleepAfter int64 // idle ns before light sleep
+	LightWake       int64 // wake penalty from light sleep
+	DeepSleepAfter  int64 // idle ns before deep sleep
+	DeepWake        int64 // wake penalty from deep sleep
+
+	// RAMBufferBytes enables the device-internal LRU sector cache used for
+	// the Implication-3 ablation. Zero (the default, and the §V setup)
+	// disables it.
+	RAMBufferBytes int64
+
+	// MapCacheBytes bounds the controller RAM holding the DFTL-style cached
+	// mapping table. Zero (the default) models unlimited mapping RAM — the
+	// idealized FTL of the §V case study. A realistic eMMC value (tens to a
+	// few hundred KB) makes mapping misses cost translation-page I/O.
+	MapCacheBytes int64
+
+	// Reliability enables the wear-dependent read-retry model: reads slow
+	// down as the pool's average P/E count climbs. Nil disables it (fresh
+	// devices, the §V setup).
+	Reliability *reliability.Model
+
+	// ReadAheadPages prefetches the next N sequential sectors into the RAM
+	// buffer after a read, a device-side optimization whose payoff is
+	// bounded by the traces' weak spatial locality (Implication 3's other
+	// face). Requires RAMBufferBytes > 0; zero disables.
+	ReadAheadPages int
+
+	// CommandQueue models an eMMC 5.1-style command queue: requests no
+	// longer wait for the whole device to go idle, only for the channels
+	// and planes they actually use. eMMC 4.51 (the paper's device) has no
+	// CQ — this is the forward-looking ablation for Implication 1.
+	CommandQueue bool
+
+	// FlushNs is the cost of a cache-flush barrier (CMD6/SWITCH with the
+	// FLUSH_CACHE bit — what fsync turns into below the file system).
+	// Zero selects the 500 µs default.
+	FlushNs int64
+
+	// WriteBufferBytes enables SSDsim's RAM write-buffer layer, which the
+	// paper's §V-B explicitly disables for the case study: writes are
+	// acknowledged from RAM and destaged to flash during idle gaps (or
+	// synchronously when the buffer fills / a flush barrier arrives).
+	WriteBufferBytes int64
+}
+
+// Validate reports unusable configurations.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if len(c.Pools) == 0 {
+		return fmt.Errorf("emmc: no pools")
+	}
+	for i, p := range c.Pools {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if _, ok := c.Timing.PerPage[p.PageBytes]; !ok {
+			return fmt.Errorf("emmc: no timing for pool page size %d", p.PageBytes)
+		}
+		if i > 0 && c.Pools[i].PageBytes >= c.Pools[i-1].PageBytes {
+			return fmt.Errorf("emmc: pools must be ordered largest page first")
+		}
+	}
+	if c.GCFreeBlocks < 1 {
+		return fmt.Errorf("emmc: GC threshold below 1")
+	}
+	return nil
+}
+
+// Result reports the replayed timing of one request.
+type Result struct {
+	ServiceStart int64
+	Finish       int64
+	Waited       bool
+}
+
+// Metrics aggregates a device's activity over a replay.
+type Metrics struct {
+	Served        int64
+	NoWait        int64
+	SumServiceNs  int64
+	SumResponseNs int64
+	SumWaitNs     int64
+
+	// GC accounting.
+	ForegroundGC ftl.GCWork
+	IdleGC       ftl.GCWork
+	GCStallNs    int64 // foreground/overflow GC time charged to requests
+	IdleGCNs     int64 // GC time absorbed by inter-arrival gaps
+
+	// Wake-up accounting (Characteristic 4).
+	LightWakes int64
+	DeepWakes  int64
+	WakeNs     int64
+
+	// Mapping-table cache accounting (DFTL-style map paging).
+	MapReads  int64 // translation-page fetches on cache misses
+	MapWrites int64 // dirty translation-page write-backs
+	MapNs     int64 // controller time spent on translation I/O
+
+	// Flush barriers served (fsync-driven cache flushes).
+	Flushes int64
+	FlushNs int64
+
+	// Write-buffer accounting (SSDsim's RAM buffer layer).
+	BufferedWrites int64 // writes acknowledged from RAM
+	DestageIdleNs  int64 // destage time hidden in idle gaps
+	DestageStallNs int64 // destage time charged to waiting requests
+}
+
+// NoWaitRatio returns the fraction of requests served immediately.
+func (m Metrics) NoWaitRatio() float64 {
+	if m.Served == 0 {
+		return 0
+	}
+	return float64(m.NoWait) / float64(m.Served)
+}
+
+// MeanServiceNs returns the mean service time.
+func (m Metrics) MeanServiceNs() float64 {
+	if m.Served == 0 {
+		return 0
+	}
+	return float64(m.SumServiceNs) / float64(m.Served)
+}
+
+// MeanResponseNs returns the mean response time (the paper's MRT).
+func (m Metrics) MeanResponseNs() float64 {
+	if m.Served == 0 {
+		return 0
+	}
+	return float64(m.SumResponseNs) / float64(m.Served)
+}
+
+// Device is one simulated eMMC instance.
+type Device struct {
+	cfg      Config
+	ftl      *ftl.FTL
+	channels []sim.Resource
+	planes   []sim.Resource
+	freeAt   int64
+	lastEnd  int64 // completion time of the most recent request
+	rrPlane  int
+	buffer   *ramBuffer
+	mapCache *ftl.MapCache
+	writeBuf *writeBuffer
+	metrics  Metrics
+
+	// Cached read-retry factors per pool, refreshed when wear changes.
+	relFactor []float64
+	relPE     []float64
+
+	// Read-ahead state: the sector run the device expects next.
+	lastReadEnd int64
+	prefetches  int64
+	prefetchHit int64
+}
+
+// New builds a fresh device.
+func New(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := ftl.New(ftl.Config{
+		Geometry:     cfg.Geometry,
+		Pools:        cfg.Pools,
+		GCFreeBlocks: cfg.GCFreeBlocks,
+		Wear:         cfg.Wear,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Device{
+		cfg:       cfg,
+		ftl:       f,
+		channels:  make([]sim.Resource, cfg.Geometry.Channels),
+		planes:    make([]sim.Resource, cfg.Geometry.Planes()),
+		buffer:    newRAMBuffer(cfg.RAMBufferBytes),
+		mapCache:  ftl.NewMapCache(cfg.MapCacheBytes),
+		writeBuf:  newWriteBuffer(cfg.WriteBufferBytes),
+		relFactor: make([]float64, len(cfg.Pools)),
+		relPE:     make([]float64, len(cfg.Pools)),
+	}, nil
+}
+
+// AddArtificialWear pre-ages a pool (aging studies).
+func (d *Device) AddArtificialWear(pool int, erases int64) {
+	d.ftl.AddArtificialWear(pool, erases)
+}
+
+// readRetryFactor returns the wear-dependent read latency multiplier for a
+// pool, memoized until the pool's wear level changes.
+func (d *Device) readRetryFactor(pool int) float64 {
+	if d.cfg.Reliability == nil {
+		return 1
+	}
+	pe := d.ftl.PoolAvgPE(pool)
+	if d.relFactor[pool] == 0 || pe != d.relPE[pool] {
+		d.relPE[pool] = pe
+		d.relFactor[pool] = d.cfg.Reliability.ReadLatencyFactor(pe)
+	}
+	return d.relFactor[pool]
+}
+
+// MapCacheStats exposes the mapping-cache counters (zero when disabled).
+func (d *Device) MapCacheStats() ftl.MapCacheStats {
+	if d.mapCache == nil {
+		return ftl.MapCacheStats{}
+	}
+	return d.mapCache.Stats()
+}
+
+// mapAccess charges the translation I/O for touching the mapping entry of
+// the LPN: a translation-page read per miss and a program per dirty
+// eviction, serialized in the controller before the data operations.
+func (d *Device) mapAccess(lpn int64, dirty bool) int64 {
+	if d.mapCache == nil {
+		return 0
+	}
+	tReads, tWrites := d.mapCache.Access(lpn, dirty)
+	if tReads == 0 && tWrites == 0 {
+		return 0
+	}
+	var ns int64
+	if tReads > 0 {
+		ns += int64(tReads) * d.cfg.Timing.Read(4096)
+		d.metrics.MapReads += int64(tReads)
+	}
+	if tWrites > 0 {
+		ns += int64(tWrites) * d.cfg.Timing.Program(4096)
+		d.metrics.MapWrites += int64(tWrites)
+	}
+	d.metrics.MapNs += ns
+	return ns
+}
+
+// Utilization reports how busy the device's resources were over the replay
+// horizon [0, LastActivity]: the fraction of time each channel and plane
+// held work, plus the device-level busy fraction. Smartphone traces leave
+// the device overwhelmingly idle — the quantitative basis of Implication 1
+// and Implication 2's idle-gap budget.
+type Utilization struct {
+	Channels []float64
+	Planes   []float64
+	// Device is total request service time over the horizon.
+	Device float64
+}
+
+// Utilization computes resource busy fractions.
+func (d *Device) Utilization() Utilization {
+	var u Utilization
+	horizon := d.lastEnd
+	if horizon <= 0 {
+		return u
+	}
+	for i := range d.channels {
+		_, busy := d.channels[i].State()
+		u.Channels = append(u.Channels, float64(busy)/float64(horizon))
+	}
+	for i := range d.planes {
+		_, busy := d.planes[i].State()
+		u.Planes = append(u.Planes, float64(busy)/float64(horizon))
+	}
+	u.Device = float64(d.metrics.SumServiceNs) / float64(horizon)
+	return u
+}
+
+// LastActivity returns the completion time of the device's most recent
+// request — callers resuming a snapshot rebase new sessions past it
+// (see trace.Shift).
+func (d *Device) LastActivity() int64 { return d.lastEnd }
+
+// BufferHitRate returns the RAM buffer's read hit rate, or 0 when disabled.
+func (d *Device) BufferHitRate() float64 {
+	if d.buffer == nil {
+		return 0
+	}
+	return d.buffer.HitRate()
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Metrics returns a copy of the accumulated metrics.
+func (d *Device) Metrics() Metrics { return d.metrics }
+
+// FTLStats exposes the translation layer's accounting (space utilization,
+// GC totals).
+func (d *Device) FTLStats() ftl.Stats { return d.ftl.Stats() }
+
+// Wear exposes the erase distribution of pool index pool.
+func (d *Device) Wear(pool int) ftl.WearSummary { return d.ftl.Wear(pool) }
+
+// chunk is one physical page operation derived from a host request.
+type chunk struct {
+	pool     int
+	lpns     []int64
+	pageSize int
+}
+
+// splitWrite decomposes a write of the given sectors into page chunks:
+// whole large pages first, then smaller pools, the remainder padding the
+// smallest pool's page (the source of 8PS's wasted flash space, §V-A).
+func (d *Device) splitWrite(lpns []int64) []chunk {
+	var out []chunk
+	rest := lpns
+	for pi, pool := range d.cfg.Pools {
+		spp := pool.SectorsPerPage()
+		last := pi == len(d.cfg.Pools)-1
+		for len(rest) >= spp || (last && len(rest) > 0) {
+			n := spp
+			if n > len(rest) {
+				n = len(rest)
+			}
+			out = append(out, chunk{pool: pi, lpns: rest[:n], pageSize: pool.PageBytes})
+			rest = rest[n:]
+		}
+	}
+	return out
+}
+
+// opCost applies the pipelining factor to the latency of the n-th (0-based)
+// consecutive flash operation a request issues to one serialization unit —
+// the plane when the channel interleaves, the channel itself otherwise
+// (cache-mode sequential program/read within one packed command).
+func (d *Device) opCost(base int64, nthOnUnit int) int64 {
+	if nthOnUnit == 0 {
+		return base
+	}
+	return int64(float64(base) * d.cfg.Timing.PipelineFactor)
+}
+
+// serialUnit returns the index a request's per-unit op counter is keyed by
+// for pipelining purposes.
+func (d *Device) serialUnit(plane int) int {
+	if d.cfg.Timing.ChannelInterleave {
+		return plane
+	}
+	return d.cfg.Geometry.ChannelOf(plane)
+}
+
+// scheduleWrite places one program operation (transfer then program, plus
+// any GC stall) on a channel/plane pair and returns its completion time.
+func (d *Device) scheduleWrite(opsStart int64, plane int, transfer, opNs int64) int64 {
+	ch := &d.channels[d.cfg.Geometry.ChannelOf(plane)]
+	pl := &d.planes[plane]
+	if d.cfg.Timing.ChannelInterleave {
+		// Channel frees after the transfer; the plane runs the program.
+		_, chEnd := ch.Reserve(opsStart, transfer)
+		_, plEnd := pl.Reserve(chEnd, opNs)
+		return plEnd
+	}
+	// Simple controller: the channel is held through the program.
+	start := opsStart
+	if f := ch.FreeAt(); f > start {
+		start = f
+	}
+	if f := pl.FreeAt() - transfer; f > start {
+		start = f
+	}
+	ch.ReserveWindow(start, transfer+opNs)
+	pl.ReserveWindow(start+transfer, opNs)
+	return start + transfer + opNs
+}
+
+// scheduleRead places one read operation (flash read then transfer out) and
+// returns its completion time.
+func (d *Device) scheduleRead(opsStart int64, plane int, opNs, transfer int64) int64 {
+	ch := &d.channels[d.cfg.Geometry.ChannelOf(plane)]
+	pl := &d.planes[plane]
+	if d.cfg.Timing.ChannelInterleave {
+		_, plEnd := pl.Reserve(opsStart, opNs)
+		_, chEnd := ch.Reserve(plEnd, transfer)
+		return chEnd
+	}
+	start := opsStart
+	if f := ch.FreeAt(); f > start {
+		start = f
+	}
+	if f := pl.FreeAt(); f > start {
+		start = f
+	}
+	ch.ReserveWindow(start, opNs+transfer)
+	pl.ReserveWindow(start, opNs)
+	return start + opNs + transfer
+}
+
+func (d *Device) gcTime(w ftl.GCWork, pageBytes int) int64 {
+	t := d.cfg.Timing
+	var moveNs int64
+	if w.PageMoves > 0 {
+		moveNs = int64(w.PageMoves) * (t.Read(pageBytes) + t.Program(pageBytes))
+	}
+	return moveNs + int64(w.Erases)*t.EraseNs
+}
+
+// Submit services one request and returns its timing. Requests must arrive
+// in nondecreasing arrival order.
+func (d *Device) Submit(req trace.Request) (Result, error) {
+	res, err := d.SubmitPacked(req.Arrival, []trace.Request{req})
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// SubmitPacked services several requests as one packed eMMC command
+// (Fig. 2's packing function): the command pays the controller's
+// per-request overhead once, its members' flash operations share the
+// command's schedule, and the device is busy until the last member
+// finishes. dispatchAt is when the driver issued the command (at least the
+// latest member arrival).
+func (d *Device) SubmitPacked(dispatchAt int64, reqs []trace.Request) ([]Result, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("emmc: empty packed command")
+	}
+	for _, req := range reqs {
+		if req.Size == 0 || req.Size%trace.PageSize != 0 {
+			return nil, fmt.Errorf("emmc: request size %d not page aligned", req.Size)
+		}
+		if req.Arrival > dispatchAt {
+			return nil, fmt.Errorf("emmc: packed member arrives after dispatch")
+		}
+	}
+	waited := d.freeAt > dispatchAt
+	serviceStart := dispatchAt
+	if waited && !d.cfg.CommandQueue {
+		serviceStart = d.freeAt
+	}
+
+	// Power-mode wake penalty: the device has been idle since lastEnd.
+	opsStart := serviceStart
+	if d.cfg.PowerSaving && d.metrics.Served > 0 {
+		idle := serviceStart - d.lastEnd
+		switch {
+		case d.cfg.DeepSleepAfter > 0 && idle >= d.cfg.DeepSleepAfter:
+			opsStart += d.cfg.DeepWake
+			d.metrics.DeepWakes++
+			d.metrics.WakeNs += d.cfg.DeepWake
+		case d.cfg.LightSleepAfter > 0 && idle >= d.cfg.LightSleepAfter:
+			opsStart += d.cfg.LightWake
+			d.metrics.LightWakes++
+			d.metrics.WakeNs += d.cfg.LightWake
+		}
+	}
+	opsStart += d.cfg.Timing.RequestOverheadNs
+
+	// Idle-policy GC: clean pools that hit the threshold, absorbing the cost
+	// into the gap the device just sat idle.
+	if d.cfg.GCPolicy == GCIdle {
+		opsStart += d.runIdleGC(dispatchAt)
+	}
+	// Idle destage: the write buffer drains into the same gaps.
+	if d.writeBuf != nil {
+		budget := dispatchAt - d.lastEnd
+		if budget > 0 {
+			d.destageIdle(budget)
+		}
+	}
+
+	out := make([]Result, 0, len(reqs))
+	var cmdFinish int64
+	for _, req := range reqs {
+		startLPN := int64(req.LBA) / trace.SectorsPerPage
+		nSectors := int(req.Size) / trace.PageSize
+		lpns := make([]int64, nSectors)
+		for i := range lpns {
+			lpns[i] = startLPN + int64(i)
+		}
+
+		var finish int64
+		var err error
+		if req.Op == trace.Write {
+			finish, err = d.serveWrite(opsStart, lpns)
+		} else {
+			finish, err = d.serveRead(opsStart, lpns)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if finish > cmdFinish {
+			cmdFinish = finish
+		}
+
+		d.metrics.Served++
+		if !waited {
+			d.metrics.NoWait++
+		}
+		d.metrics.SumServiceNs += finish - serviceStart
+		d.metrics.SumResponseNs += finish - req.Arrival
+		d.metrics.SumWaitNs += serviceStart - req.Arrival
+		out = append(out, Result{ServiceStart: serviceStart, Finish: finish, Waited: waited})
+	}
+
+	if !d.cfg.CommandQueue || cmdFinish > d.freeAt {
+		d.freeAt = cmdFinish
+	}
+	if cmdFinish > d.lastEnd {
+		d.lastEnd = cmdFinish
+	}
+	return out, nil
+}
+
+// serveWrite programs all chunks, striping across planes. With the write
+// buffer enabled, chunks are acknowledged from RAM (transfer cost only) and
+// destaged later; a full buffer destages synchronously first.
+func (d *Device) serveWrite(opsStart int64, lpns []int64) (int64, error) {
+	chunks := d.splitWrite(lpns)
+	for _, c := range chunks {
+		opsStart += d.mapAccess(c.lpns[0], true)
+	}
+	if d.writeBuf != nil {
+		need := int64(len(lpns)) * flash.SectorBytes
+		opsStart += d.destageForSpace(need)
+		finish := opsStart
+		for _, c := range chunks {
+			d.writeBuf.add(c.pool, c.lpns)
+			d.metrics.BufferedWrites++
+			if d.buffer != nil {
+				for _, lpn := range c.lpns {
+					d.buffer.writeAllocate(lpn)
+				}
+			}
+			payload := len(c.lpns) * flash.SectorBytes
+			ch := d.rrPlane % d.cfg.Geometry.Channels
+			_, chEnd := d.channels[ch].Reserve(opsStart, d.cfg.Timing.Transfer(payload))
+			if chEnd > finish {
+				finish = chEnd
+			}
+		}
+		return finish, nil
+	}
+	perPlaneOps := make(map[int]int, len(d.planes))
+	finish := opsStart
+	for _, c := range chunks {
+		plane := d.rrPlane % len(d.planes)
+		d.rrPlane++
+
+		loc, gcWork, err := d.ftl.Write(plane, c.pool, c.lpns)
+		if err != nil {
+			return 0, err
+		}
+		var gcNs int64
+		if !gcWork.Zero() {
+			gcNs = d.gcTime(gcWork, c.pageSize)
+			d.metrics.ForegroundGC.Add(gcWork)
+			d.metrics.GCStallNs += gcNs
+		}
+		if d.buffer != nil {
+			for _, lpn := range c.lpns {
+				d.buffer.writeAllocate(lpn)
+			}
+		}
+
+		payload := len(c.lpns) * flash.SectorBytes
+		unit := d.serialUnit(plane)
+		base := d.cfg.Timing.ProgramPool(d.cfg.Pools[c.pool], int(loc.Page))
+		prog := d.opCost(base, perPlaneOps[unit])
+		perPlaneOps[unit]++
+		end := d.scheduleWrite(opsStart, plane, d.cfg.Timing.Transfer(payload), gcNs+prog)
+		if end > finish {
+			finish = end
+		}
+	}
+	return finish, nil
+}
+
+// PrefetchStats reports read-ahead activity: prefetched sectors and how
+// many later reads they served.
+func (d *Device) PrefetchStats() (prefetched, hits int64) {
+	return d.prefetches, d.prefetchHit
+}
+
+// readAhead loads the next sequential sectors into the RAM buffer after a
+// read ending at endLPN (free of charge: the device fetches them while the
+// host is idle). Hits are detected by the buffer probe on later reads.
+func (d *Device) readAhead(endLPN int64) {
+	if d.cfg.ReadAheadPages <= 0 || d.buffer == nil {
+		return
+	}
+	for i := int64(0); i < int64(d.cfg.ReadAheadPages); i++ {
+		d.buffer.writeAllocate(endLPN + i)
+		d.prefetches++
+	}
+}
+
+// serveRead reads the physical pages backing the request. Mapped sectors are
+// read wherever (and at whatever page size) they were written; unmapped
+// sectors — reads of never-written data — are charged as if laid out by the
+// write splitter.
+func (d *Device) serveRead(opsStart int64, lpns []int64) (int64, error) {
+	type readOp struct {
+		plane   int
+		pool    int
+		payload int
+	}
+	for _, lpn := range lpns {
+		opsStart += d.mapAccess(lpn, false)
+	}
+	var ops []readOp
+	var pending []int64 // unmapped run
+	flushPending := func() {
+		if len(pending) == 0 {
+			return
+		}
+		for _, c := range d.splitWrite(pending) {
+			plane := d.rrPlane % len(d.planes)
+			d.rrPlane++
+			ops = append(ops, readOp{plane: plane, pool: c.pool, payload: len(c.lpns) * flash.SectorBytes})
+		}
+		pending = pending[:0]
+	}
+	var lastLoc ftl.Loc
+	haveLast := false
+	hitSectors := 0
+	prefetched := d.cfg.ReadAheadPages > 0 && d.buffer != nil && len(lpns) > 0 && lpns[0] == d.lastReadEnd
+	for _, lpn := range lpns {
+		if d.writeBuf != nil && d.writeBuf.holds(lpn) {
+			// Dirty in the write buffer: served from RAM.
+			hitSectors++
+			continue
+		}
+		if d.buffer != nil && d.buffer.readProbe(lpn) {
+			// Served from device RAM: no flash operation, only host transfer.
+			hitSectors++
+			if prefetched {
+				d.prefetchHit++
+			}
+			continue
+		}
+		loc, ok := d.ftl.Lookup(lpn)
+		if !ok {
+			pending = append(pending, lpn)
+			continue
+		}
+		if haveLast && loc == lastLoc {
+			// Same physical page as the previous sector: one read covers it.
+			ops[len(ops)-1].payload += flash.SectorBytes
+			continue
+		}
+		flushPending()
+		ops = append(ops, readOp{plane: int(loc.Plane), pool: int(loc.Pool), payload: flash.SectorBytes})
+		lastLoc, haveLast = loc, true
+	}
+	flushPending()
+
+	if n := len(lpns); n > 0 {
+		d.lastReadEnd = lpns[n-1] + 1
+		d.readAhead(d.lastReadEnd)
+	}
+
+	perPlaneOps := make(map[int]int, len(d.planes))
+	finish := opsStart
+	if hitSectors > 0 {
+		ch := d.rrPlane % d.cfg.Geometry.Channels
+		_, chEnd := d.channels[ch].Reserve(opsStart, d.cfg.Timing.Transfer(hitSectors*flash.SectorBytes))
+		if chEnd > finish {
+			finish = chEnd
+		}
+	}
+	for _, op := range ops {
+		unit := d.serialUnit(op.plane)
+		rd := d.opCost(d.cfg.Timing.ReadPool(d.cfg.Pools[op.pool]), perPlaneOps[unit])
+		if f := d.readRetryFactor(op.pool); f > 1 {
+			rd = int64(float64(rd) * f)
+		}
+		perPlaneOps[unit]++
+		end := d.scheduleRead(opsStart, op.plane, rd, d.cfg.Timing.Transfer(op.payload))
+		if end > finish {
+			finish = end
+		}
+	}
+	return finish, nil
+}
+
+// Flush services a cache-flush barrier: it drains every in-flight
+// operation (all channels and planes) and then pays the flush cost. The
+// journaling stack issues one per fsync/commit.
+func (d *Device) Flush(dispatchAt int64) (Result, error) {
+	waited := d.freeAt > dispatchAt
+	start := dispatchAt
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	for i := range d.channels {
+		if f := d.channels[i].FreeAt(); f > start {
+			start = f
+		}
+	}
+	for i := range d.planes {
+		if f := d.planes[i].FreeAt(); f > start {
+			start = f
+		}
+	}
+	serviceStart := start
+	// A barrier forces every buffered write to flash first.
+	for d.writeBuf != nil {
+		ns := d.destageOne()
+		if ns <= 0 {
+			break
+		}
+		start += ns
+		d.metrics.DestageStallNs += ns
+	}
+	cost := d.cfg.FlushNs
+	if cost <= 0 {
+		cost = 500_000
+	}
+	finish := start + cost
+	d.freeAt = finish
+	d.lastEnd = finish
+	d.metrics.Flushes++
+	d.metrics.FlushNs += cost
+	return Result{ServiceStart: serviceStart, Finish: finish, Waited: waited}, nil
+}
+
+// runIdleGC cleans threshold pools, absorbing cost into the idle gap the
+// device accumulated before this request. It returns the overflow charged
+// to the request.
+func (d *Device) runIdleGC(arrival int64) int64 {
+	budget := arrival - d.lastEnd
+	if budget < 0 {
+		budget = 0
+	}
+	var overflow int64
+	for plane := 0; plane < len(d.planes); plane++ {
+		for pool := range d.cfg.Pools {
+			if !d.ftl.NeedsGC(plane, pool) {
+				continue
+			}
+			work := d.ftl.CollectGarbage(plane, pool)
+			if work.Zero() {
+				continue
+			}
+			ns := d.gcTime(work, d.cfg.Pools[pool].PageBytes)
+			d.metrics.IdleGC.Add(work)
+			if ns <= budget {
+				budget -= ns
+				d.metrics.IdleGCNs += ns
+			} else {
+				d.metrics.IdleGCNs += budget
+				over := ns - budget
+				budget = 0
+				overflow += over
+				d.metrics.GCStallNs += over
+			}
+		}
+	}
+	return overflow
+}
+
+// deviceSnapshot is the gob layout of a device's dynamic state. The RAM
+// buffer and mapping cache restart cold (they are caches; only their
+// statistics would change, and those reset too).
+type deviceSnapshot struct {
+	Config      Config
+	FTL         *ftl.SnapshotData
+	FreeAt      int64
+	LastEnd     int64
+	RRPlane     int
+	Metrics     Metrics
+	ChannelFree []int64
+	ChannelBusy []int64
+	PlaneFree   []int64
+	PlaneBusy   []int64
+}
+
+// Snapshot archives the device (configuration, FTL state, timing cursors,
+// metrics) to w, so an aged device can be resumed later without replaying
+// its history.
+func (d *Device) Snapshot(w io.Writer) error {
+	snap := deviceSnapshot{
+		Config:  d.cfg,
+		FTL:     d.ftl.SnapshotData(),
+		FreeAt:  d.freeAt,
+		LastEnd: d.lastEnd,
+		RRPlane: d.rrPlane,
+		Metrics: d.metrics,
+	}
+	for i := range d.channels {
+		f, b := d.channels[i].State()
+		snap.ChannelFree = append(snap.ChannelFree, f)
+		snap.ChannelBusy = append(snap.ChannelBusy, b)
+	}
+	for i := range d.planes {
+		f, b := d.planes[i].State()
+		snap.PlaneFree = append(snap.PlaneFree, f)
+		snap.PlaneBusy = append(snap.PlaneBusy, b)
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("emmc: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreSnapshot rebuilds a device from a Snapshot stream.
+func RestoreSnapshot(r io.Reader) (*Device, error) {
+	var snap deviceSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("emmc: decoding snapshot: %w", err)
+	}
+	if err := snap.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("emmc: snapshot config: %w", err)
+	}
+	if snap.FTL == nil {
+		return nil, fmt.Errorf("emmc: snapshot missing FTL state")
+	}
+	f, err := ftl.RestoreFromData(snap.FTL)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:       snap.Config,
+		ftl:       f,
+		channels:  make([]sim.Resource, snap.Config.Geometry.Channels),
+		planes:    make([]sim.Resource, snap.Config.Geometry.Planes()),
+		buffer:    newRAMBuffer(snap.Config.RAMBufferBytes),
+		mapCache:  ftl.NewMapCache(snap.Config.MapCacheBytes),
+		relFactor: make([]float64, len(snap.Config.Pools)),
+		relPE:     make([]float64, len(snap.Config.Pools)),
+		freeAt:    snap.FreeAt,
+		lastEnd:   snap.LastEnd,
+		rrPlane:   snap.RRPlane,
+		metrics:   snap.Metrics,
+	}
+	if len(snap.ChannelFree) != len(d.channels) || len(snap.PlaneFree) != len(d.planes) {
+		return nil, fmt.Errorf("emmc: snapshot resource counts mismatch")
+	}
+	for i := range d.channels {
+		d.channels[i].SetState(snap.ChannelFree[i], snap.ChannelBusy[i])
+	}
+	for i := range d.planes {
+		d.planes[i].SetState(snap.PlaneFree[i], snap.PlaneBusy[i])
+	}
+	return d, nil
+}

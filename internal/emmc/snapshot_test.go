@@ -1,0 +1,119 @@
+package emmc
+
+import (
+	"bytes"
+	"testing"
+
+	"emmcio/internal/trace"
+)
+
+// Snapshot equivalence: interrupting a replay with a snapshot/restore cycle
+// must leave the remainder of the replay byte-identical to an uninterrupted
+// run — the FTL mapping, wear, timing cursors, and metrics all survive.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	mkReqs := func() []trace.Request {
+		var reqs []trace.Request
+		at := int64(0)
+		for i := 0; i < 400; i++ {
+			at += int64(1_000_000 + i*10_000)
+			op := trace.Write
+			if i%3 == 0 {
+				op = trace.Read
+			}
+			reqs = append(reqs, trace.Request{
+				Arrival: at,
+				LBA:     uint64(i%50) * 64,
+				Size:    uint32((i%4 + 1) * 4096),
+				Op:      op,
+			})
+		}
+		return reqs
+	}
+
+	// Uninterrupted run.
+	ref, _ := New(cfgHPS())
+	var refResults []Result
+	for _, r := range mkReqs() {
+		res, err := ref.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refResults = append(refResults, res)
+	}
+
+	// Interrupted run: snapshot at the halfway point, restore, continue.
+	half := 200
+	dev, _ := New(cfgHPS())
+	reqs := mkReqs()
+	var gotResults []Result
+	for _, r := range reqs[:half] {
+		res, err := dev.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotResults = append(gotResults, res)
+	}
+	var buf bytes.Buffer
+	if err := dev.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs[half:] {
+		res, err := restored.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotResults = append(gotResults, res)
+	}
+
+	for i := range refResults {
+		if refResults[i] != gotResults[i] {
+			t.Fatalf("request %d diverged after restore:\nref %+v\ngot %+v",
+				i, refResults[i], gotResults[i])
+		}
+	}
+	if rm, gm := ref.Metrics(), restored.Metrics(); rm != gm {
+		t.Fatalf("metrics diverged:\nref %+v\ngot %+v", rm, gm)
+	}
+	if rs, gs := ref.FTLStats(), restored.FTLStats(); rs != gs {
+		t.Fatalf("FTL stats diverged:\nref %+v\ngot %+v", rs, gs)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := RestoreSnapshot(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSnapshotPreservesWear(t *testing.T) {
+	c := cfg4K()
+	c.Pools[0].BlocksPerPlane = 8
+	c.Pools[0].PagesPerBlock = 16
+	dev, _ := New(c)
+	at := int64(0)
+	for i := 0; i < 3000; i++ {
+		at += 1_000_000
+		if _, err := dev.Submit(wr(at, uint64(i%16)*8, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := dev.Wear(0)
+	if before.TotalErases == 0 {
+		t.Fatal("workload produced no wear")
+	}
+	var buf bytes.Buffer
+	if err := dev.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := restored.Wear(0); after != before {
+		t.Fatalf("wear changed across snapshot: %+v vs %+v", before, after)
+	}
+}

@@ -1,0 +1,126 @@
+package emmc
+
+import (
+	"testing"
+
+	"emmcio/internal/trace"
+)
+
+func cfgBuffered(capBytes int64) Config {
+	c := cfg4K()
+	c.WriteBufferBytes = capBytes
+	return c
+}
+
+// Buffered writes are acknowledged at RAM speed (transfer only), far below
+// the 1385 µs flash program.
+func TestWriteBufferAbsorbsWrites(t *testing.T) {
+	d, _ := New(cfgBuffered(1 << 20))
+	res, err := d.Submit(wr(0, 0, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := testTiming()
+	want := tm.RequestOverheadNs + tm.Transfer(4096)
+	if got := res.Finish - res.ServiceStart; got != want {
+		t.Fatalf("buffered write service %d ns, want %d (RAM ack)", got, want)
+	}
+	if d.Metrics().BufferedWrites != 1 {
+		t.Fatal("write not counted as buffered")
+	}
+}
+
+// Reads of buffered-dirty sectors come from RAM.
+func TestWriteBufferReadHit(t *testing.T) {
+	d, _ := New(cfgBuffered(1 << 20))
+	w, _ := d.Submit(wr(0, 0, 4096))
+	r, err := d.Submit(rd(w.Finish+1, 0, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := testTiming()
+	// RAM hit: overhead + transfer, no flash read.
+	if got := r.Finish - r.ServiceStart; got > tm.RequestOverheadNs+tm.Transfer(4096) {
+		t.Fatalf("dirty-sector read took %d ns; should be served from RAM", got)
+	}
+}
+
+// Idle gaps drain the buffer: after a long gap everything is destaged and
+// the data is readable from flash.
+func TestWriteBufferIdleDestage(t *testing.T) {
+	d, _ := New(cfgBuffered(1 << 20))
+	w, _ := d.Submit(wr(0, 0, 4096))
+	// One second later the destage has happened inside the gap.
+	r2, err := d.Submit(wr(w.Finish+1_000_000_000, 800, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r2
+	m := d.Metrics()
+	if m.DestageIdleNs == 0 {
+		t.Fatal("idle gap did not destage")
+	}
+	if d.FTLStats().HostProgrammedPages == 0 {
+		t.Fatal("destage never reached the FTL")
+	}
+}
+
+// A full buffer stalls the incoming write on synchronous destage.
+func TestWriteBufferFullStalls(t *testing.T) {
+	d, _ := New(cfgBuffered(8 * 4096)) // 8 sectors of RAM
+	at := int64(0)
+	for i := 0; i < 12; i++ {
+		at += 100_000 // back to back: no idle budget to destage
+		if _, err := d.Submit(wr(at, uint64(i)*800, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Metrics().DestageStallNs == 0 {
+		t.Fatal("overflowing the buffer never stalled")
+	}
+}
+
+// A flush barrier forces all dirty data to flash.
+func TestFlushDrainsWriteBuffer(t *testing.T) {
+	d, _ := New(cfgBuffered(1 << 20))
+	d.Submit(wr(0, 0, 4096))
+	d.Submit(wr(1, 800, 4096))
+	fl, err := d.Flush(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FTLStats().HostProgrammedPages != 2 {
+		t.Fatalf("%d pages on flash after flush, want 2", d.FTLStats().HostProgrammedPages)
+	}
+	tm := testTiming()
+	if fl.Finish-fl.ServiceStart < 2*tm.Program(4096) {
+		t.Fatal("flush did not pay the destage cost")
+	}
+}
+
+// With smartphone spacing, the buffer hides nearly the whole write path —
+// exactly why §V-B disables it when comparing page-size schemes.
+func TestWriteBufferHidesWriteLatency(t *testing.T) {
+	run := func(buf int64) float64 {
+		c := cfg4K()
+		c.WriteBufferBytes = buf
+		d, _ := New(c)
+		at := int64(0)
+		var sum int64
+		for i := 0; i < 200; i++ {
+			at += 50_000_000 // 50 ms gaps
+			res, err := d.Submit(trace.Request{Arrival: at, LBA: uint64(i) * 800, Size: 8192, Op: trace.Write})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Finish - res.ServiceStart
+		}
+		return float64(sum) / 200
+	}
+	plain := run(0)
+	buffered := run(4 << 20)
+	if buffered > plain/3 {
+		t.Fatalf("buffered mean write %d ns not well below unbuffered %d ns",
+			int64(buffered), int64(plain))
+	}
+}

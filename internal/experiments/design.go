@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"fmt"
+
+	"emmcio/internal/core"
+	"emmcio/internal/emmc"
+	"emmcio/internal/flash"
+	"emmcio/internal/paper"
+	"emmcio/internal/report"
+	"emmcio/internal/workload"
+)
+
+// GCThresholdRow is one point of the free-block-threshold sweep.
+type GCThresholdRow struct {
+	Threshold int
+	MRTMs     float64
+	StallMs   float64
+	Erases    int
+}
+
+// GCThresholdSweep studies the SSD-style GC trigger Implication 2
+// critiques: on a GC-pressured replay, an eager (high) threshold collects
+// earlier and more often; a lazy (low) one defers work into bigger stalls.
+func GCThresholdSweep(env *Env, name string, thresholds []int) ([]GCThresholdRow, error) {
+	if name == "" {
+		name = paper.Twitter
+	}
+	if len(thresholds) == 0 {
+		thresholds = []int{1, 2, 8, 32}
+	}
+	var out []GCThresholdRow
+	for _, th := range thresholds {
+		opt := gcPressureOptions(emmc.GCForeground)
+		opt.GCFreeBlocks = th
+		dev, err := core.NewDevice(core.Scheme4PS, opt)
+		if err != nil {
+			return nil, err
+		}
+		tr := doubledSession(env.Trace(name))
+		m, err := core.ReplayOn(dev, core.Scheme4PS, tr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GCThresholdRow{
+			Threshold: th,
+			MRTMs:     m.MeanResponseNs / 1e6,
+			StallMs:   float64(m.GCStallNs) / 1e6,
+			Erases:    dev.FTLStats().GC.Erases,
+		})
+	}
+	return out, nil
+}
+
+// RenderGCThreshold renders the sweep.
+func RenderGCThreshold(name string, rows []GCThresholdRow) *report.Table {
+	t := report.NewTable("GC free-block threshold sweep ("+name+", GC-pressured 4PS)",
+		"Threshold", "MRT (ms)", "GC stalls (ms)", "Erases")
+	for _, r := range rows {
+		t.AddRow(report.I(r.Threshold), report.F(r.MRTMs, 3), report.F(r.StallMs, 1), report.I(r.Erases))
+	}
+	return t
+}
+
+// PoolRatioRow is one HPS design point: how the per-plane block budget is
+// split between the 4 KB and 8 KB pools (capacity held at 32 GB).
+type PoolRatioRow struct {
+	Blocks4K int
+	Blocks8K int
+	MRTMs    float64
+	// GCStallMs surfaces pressure when one pool is undersized for its
+	// traffic share.
+	GCStallMs float64
+}
+
+// HPSPoolRatioSweep explores the design space around Table V's 512+256
+// split on a GC-pressured replay: too few 4 KB blocks and the dominant
+// single-page writes thrash that pool's GC; too few 8 KB blocks and large
+// requests lose their fast path.
+func HPSPoolRatioSweep(env *Env, name string, splits [][2]int) ([]PoolRatioRow, error) {
+	if name == "" {
+		name = paper.Twitter
+	}
+	if len(splits) == 0 {
+		// Per-plane (4K blocks, 8K blocks) pairs, all 4 GB/plane. More
+		// extreme splits starve one pool outright on the scaled device.
+		splits = [][2]int{{576, 224}, {512, 256}, {384, 320}, {128, 448}}
+	}
+	var out []PoolRatioRow
+	for _, sp := range splits {
+		n4, n8 := sp[0], sp[1]
+		if n4*4+n8*8 != 4096 { // MB per plane with 1024-page blocks
+			return nil, fmt.Errorf("split %d+%d violates the 4 GB/plane budget", n4, n8)
+		}
+		cfg := core.DeviceConfig(core.SchemeHPS, gcPressureOptions(emmc.GCForeground))
+		// Rebuild pools at the requested split, preserving the GC-pressure
+		// scaling (divide both counts like scalePool would).
+		cfg.Pools = []flash.PoolSpec{
+			{PageBytes: 8192, BlocksPerPlane: max(4, n8/gcPressureScaleBlocks), PagesPerBlock: cfg.Pools[0].PagesPerBlock},
+			{PageBytes: 4096, BlocksPerPlane: max(4, n4/gcPressureScaleBlocks), PagesPerBlock: cfg.Pools[1].PagesPerBlock},
+		}
+		dev, err := emmc.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tr := doubledSession(env.Trace(name))
+		m, err := core.ReplayOn(dev, core.SchemeHPS, tr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PoolRatioRow{
+			Blocks4K:  n4,
+			Blocks8K:  n8,
+			MRTMs:     m.MeanResponseNs / 1e6,
+			GCStallMs: float64(m.GCStallNs) / 1e6,
+		})
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderPoolRatio renders the design sweep.
+func RenderPoolRatio(name string, rows []PoolRatioRow) *report.Table {
+	t := report.NewTable("HPS pool-ratio design sweep ("+name+", GC-pressured)",
+		"4K blocks/plane", "8K blocks/plane", "MRT (ms)", "GC stalls (ms)")
+	for _, r := range rows {
+		t.AddRow(report.I(r.Blocks4K), report.I(r.Blocks8K), report.F(r.MRTMs, 3), report.F(r.GCStallMs, 1))
+	}
+	return t
+}
+
+// ProfilesTable dumps every workload profile's calibration parameters —
+// the reproduction's equivalent of publishing its trace-generation recipe.
+func ProfilesTable() *report.Table {
+	t := report.NewTable("Workload profile calibration (targets from Tables III/IV)",
+		"Profile", "Reqs", "Dur(s)", "Write%", "R KB", "W KB", "MaxKB", "p4", "burstFrac", "burstMs", "spatial", "temporal")
+	for _, p := range workload.All() {
+		t.AddRow(p.Name,
+			report.I(p.Requests), report.F(p.DurationSec, 0),
+			report.F(p.WriteFrac*100, 1), report.F(p.MeanReadKB, 1), report.F(p.MeanWriteKB, 1),
+			report.I(int64(p.MaxKB)), report.F(p.P4, 3),
+			report.F(p.BurstFrac, 2), report.F(p.BurstMeanMs, 1),
+			report.F(p.Spatial, 3), report.F(p.Temporal, 3))
+	}
+	return t
+}
+
+// CQRow compares the FIFO eMMC 4.51 interface against an eMMC 5.1-style
+// command queue on one trace.
+type CQRow struct {
+	Name      string
+	FIFOMRTMs float64
+	CQMRTMs   float64
+	NoWaitPct float64
+}
+
+// CommandQueueStudy measures what a command queue would have bought the
+// paper's workloads: with most requests already served on an idle device
+// (Characteristic 3), very little — except on the saturated traces.
+func CommandQueueStudy(env *Env, names ...string) ([]CQRow, error) {
+	if len(names) == 0 {
+		names = []string{paper.Messaging, paper.Twitter, paper.Movie, paper.Booting}
+	}
+	var out []CQRow
+	for _, name := range names {
+		row := CQRow{Name: name}
+		tr := env.Trace(name)
+		m, err := core.Replay(core.Scheme4PS, core.CaseStudyOptions(), tr)
+		if err != nil {
+			return nil, err
+		}
+		row.FIFOMRTMs = m.MeanResponseNs / 1e6
+		row.NoWaitPct = m.NoWaitRatio * 100
+
+		opt := core.CaseStudyOptions()
+		opt.CommandQueue = true
+		tr2 := env.Trace(name)
+		m2, err := core.Replay(core.Scheme4PS, opt, tr2)
+		if err != nil {
+			return nil, err
+		}
+		row.CQMRTMs = m2.MeanResponseNs / 1e6
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderCQ renders the study.
+func RenderCQ(rows []CQRow) *report.Table {
+	t := report.NewTable("Command queue (eMMC 5.1-style) vs FIFO (4PS MRT, ms)",
+		"Trace", "FIFO", "Command queue", "NoWait %")
+	for _, r := range rows {
+		t.AddRow(r.Name, report.F(r.FIFOMRTMs, 2), report.F(r.CQMRTMs, 2), report.F(r.NoWaitPct, 0))
+	}
+	return t
+}
+
+// GeometryRow is one device-geometry design point.
+type GeometryRow struct {
+	Channels  int
+	PlanesPer int
+	MRTMs     float64
+}
+
+// GeometrySweep varies channel count (capacity and die/plane structure held
+// proportional) to test the paper's premise that a 2-channel controller is
+// the right cost point: more channels barely move smartphone MRT.
+func GeometrySweep(env *Env, name string, channels []int) ([]GeometryRow, error) {
+	if name == "" {
+		name = paper.Twitter
+	}
+	if len(channels) == 0 {
+		channels = []int{1, 2, 4}
+	}
+	var out []GeometryRow
+	for _, ch := range channels {
+		cfg := core.DeviceConfig(core.Scheme4PS, core.CaseStudyOptions())
+		cfg.Geometry.Channels = ch
+		// Hold total capacity at 32 GB: blocks per plane scales inversely
+		// with the plane count.
+		planes := cfg.Geometry.Planes()
+		cfg.Pools[0].BlocksPerPlane = int(32 << 30 / int64(planes) / int64(cfg.Pools[0].PagesPerBlock) / int64(cfg.Pools[0].PageBytes))
+		dev, err := emmc.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tr := env.Trace(name)
+		m, err := core.ReplayOn(dev, core.Scheme4PS, tr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GeometryRow{Channels: ch, PlanesPer: planes, MRTMs: m.MeanResponseNs / 1e6})
+	}
+	return out, nil
+}
+
+// RenderGeometry renders the sweep.
+func RenderGeometry(name string, rows []GeometryRow) *report.Table {
+	t := report.NewTable("Channel-count sweep ("+name+", 4PS, capacity held at 32 GB)",
+		"Channels", "Total planes", "MRT (ms)")
+	for _, r := range rows {
+		t.AddRow(report.I(r.Channels), report.I(r.PlanesPer), report.F(r.MRTMs, 2))
+	}
+	return t
+}
+
+// WriteBufferRow compares the §V-B setting (RAM buffer disabled) against an
+// enabled write buffer, per scheme, on one trace.
+type WriteBufferRow struct {
+	Name          string
+	Scheme        core.Scheme
+	PlainMRTMs    float64
+	BufferedMRTMs float64
+}
+
+// WriteBufferStudy shows why §V-B disables SSDsim's RAM buffer for the
+// page-size comparison: a few MB of write-back RAM hides most of the write
+// path for every scheme, compressing the very differences Fig. 8 measures.
+func WriteBufferStudy(env *Env, names ...string) ([]WriteBufferRow, error) {
+	if len(names) == 0 {
+		names = []string{paper.Messaging, paper.Twitter}
+	}
+	var out []WriteBufferRow
+	for _, name := range names {
+		for _, s := range []core.Scheme{core.Scheme4PS, core.SchemeHPS} {
+			row := WriteBufferRow{Name: name, Scheme: s}
+			tr := env.Trace(name)
+			m, err := core.Replay(s, core.CaseStudyOptions(), tr)
+			if err != nil {
+				return nil, err
+			}
+			row.PlainMRTMs = m.MeanResponseNs / 1e6
+
+			opt := core.CaseStudyOptions()
+			opt.WriteBufferBytes = 4 << 20
+			tr2 := env.Trace(name)
+			m2, err := core.Replay(s, opt, tr2)
+			if err != nil {
+				return nil, err
+			}
+			row.BufferedMRTMs = m2.MeanResponseNs / 1e6
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// RenderWriteBuffer renders the study.
+func RenderWriteBuffer(rows []WriteBufferRow) *report.Table {
+	t := report.NewTable("RAM write buffer: the layer sec. V-B disables (MRT, ms)",
+		"Trace", "Scheme", "Disabled (paper)", "4 MB buffer")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Scheme.String(), report.F(r.PlainMRTMs, 2), report.F(r.BufferedMRTMs, 2))
+	}
+	return t
+}
+
+// ReadAheadRow reports prefetch accuracy on one trace — Implication 3's
+// spatial-locality face: a device-side read-ahead can only pay off as often
+// as reads are sequential, which Table IV caps below 30% for most traces.
+type ReadAheadRow struct {
+	Name        string
+	SpatialPct  float64
+	AccuracyPct float64 // prefetch hits / prefetched sectors
+	PlainMRTMs  float64
+	RAMRTMs     float64
+}
+
+// ReadAheadStudy replays traces with an 8-page read-ahead into a 4 MB
+// buffer and measures how often the prefetched data is actually used.
+func ReadAheadStudy(env *Env, names ...string) ([]ReadAheadRow, error) {
+	if len(names) == 0 {
+		names = []string{paper.Movie, paper.Music, paper.Twitter}
+	}
+	var out []ReadAheadRow
+	for _, name := range names {
+		row := ReadAheadRow{Name: name, SpatialPct: paper.TableIV[name].SpatialPct}
+
+		tr := env.Trace(name)
+		m, err := core.Replay(core.Scheme4PS, MeasuredDeviceOptions(), tr)
+		if err != nil {
+			return nil, err
+		}
+		row.PlainMRTMs = m.MeanResponseNs / 1e6
+
+		opt := MeasuredDeviceOptions()
+		cfg := core.DeviceConfig(core.Scheme4PS, opt)
+		cfg.RAMBufferBytes = 4 << 20
+		cfg.ReadAheadPages = 8
+		dev, err := emmc.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tr2 := env.Trace(name)
+		m2, err := core.ReplayOn(dev, core.Scheme4PS, tr2)
+		if err != nil {
+			return nil, err
+		}
+		row.RAMRTMs = m2.MeanResponseNs / 1e6
+		prefetched, hits := dev.PrefetchStats()
+		if prefetched > 0 {
+			row.AccuracyPct = float64(hits) / float64(prefetched) * 100
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderReadAhead renders the study.
+func RenderReadAhead(rows []ReadAheadRow) *report.Table {
+	t := report.NewTable("Read-ahead prefetch: accuracy bounded by spatial locality",
+		"Trace", "Spatial %", "Prefetch accuracy %", "MRT plain (ms)", "MRT +readahead (ms)")
+	for _, r := range rows {
+		t.AddRow(r.Name, report.F(r.SpatialPct, 1), report.F(r.AccuracyPct, 1),
+			report.F(r.PlainMRTMs, 2), report.F(r.RAMRTMs, 2))
+	}
+	return t
+}
+
+// EnsembleResult reports the spread of the Fig. 8 headline numbers across
+// independently seeded trace sets — the reproduction's error bars.
+type EnsembleResult struct {
+	Seeds          []uint64
+	AvgReductions  []float64 // per-seed average HPS-vs-4PS MRT reduction
+	BestReductions []float64
+	UtilGains      []float64 // per-seed average HPS-vs-8PS utilization gain
+}
+
+// Mean and spread helpers.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std /= float64(len(xs))
+	return mean, mathSqrt(std)
+}
+
+func mathSqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	// Newton iterations suffice here and avoid importing math for one call.
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+// Fig8Ensemble runs the case study across n seeds.
+func Fig8Ensemble(n int) (EnsembleResult, error) {
+	if n <= 0 {
+		n = 5
+	}
+	var res EnsembleResult
+	for i := 0; i < n; i++ {
+		seed := uint64(1000 + i*7919)
+		env := NewEnv(seed)
+		cs, err := CaseStudyParallel(env)
+		if err != nil {
+			return res, err
+		}
+		res.Seeds = append(res.Seeds, seed)
+		res.AvgReductions = append(res.AvgReductions, cs.AverageReduction())
+		res.BestReductions = append(res.BestReductions, cs.Best().MRTReductionVs4PS())
+		res.UtilGains = append(res.UtilGains, cs.AverageUtilGain())
+	}
+	return res, nil
+}
+
+// RenderEnsemble renders the spread.
+func RenderEnsemble(r EnsembleResult) *report.Table {
+	t := report.NewTable("Fig. 8/9 headline spread across independent trace seeds",
+		"Metric", "Mean", "Std dev", "Seeds")
+	m, s := meanStd(r.AvgReductions)
+	t.AddRow("avg HPS MRT reduction", report.Pct(m, 1)+"%", report.Pct(s, 2)+"%", report.I(int64(len(r.Seeds))))
+	m, s = meanStd(r.BestReductions)
+	t.AddRow("best HPS MRT reduction", report.Pct(m, 1)+"%", report.Pct(s, 2)+"%", report.I(int64(len(r.Seeds))))
+	m, s = meanStd(r.UtilGains)
+	t.AddRow("avg HPS util gain vs 8PS", report.Pct(m, 1)+"%", report.Pct(s, 2)+"%", report.I(int64(len(r.Seeds))))
+	return t
+}

@@ -1,0 +1,85 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Tables I–V, Figs. 3–9, the §II-C tracer-overhead analysis,
+// the six Characteristics, and ablation studies for the five Implications.
+// Each experiment returns structured results plus a rendered report.Table,
+// so the same code backs the cmd/experiments binary, the integration tests,
+// and the benchmark harness.
+package experiments
+
+import (
+	"emmcio/internal/core"
+	"emmcio/internal/emmc"
+	"emmcio/internal/flash"
+	"emmcio/internal/trace"
+	"emmcio/internal/workload"
+)
+
+// Env carries the shared inputs of all experiments.
+type Env struct {
+	// Seed drives trace generation; DefaultSeed reproduces the repository's
+	// published numbers exactly.
+	Seed uint64
+	// Registry holds the 25 application profiles.
+	Registry *workload.Registry
+
+	cache map[string]*trace.Trace
+}
+
+// NewEnv builds an environment with the default profile registry.
+func NewEnv(seed uint64) *Env {
+	return &Env{Seed: seed, Registry: workload.DefaultRegistry(), cache: map[string]*trace.Trace{}}
+}
+
+// DefaultEnv uses the repository's canonical seed.
+func DefaultEnv() *Env { return NewEnv(workload.DefaultSeed) }
+
+// Trace returns the named generated trace with clean (unreplayed)
+// timestamps. Generation results are cached; callers get a fresh copy.
+func (e *Env) Trace(name string) *trace.Trace {
+	tr, ok := e.cache[name]
+	if !ok {
+		prof := e.Registry.Lookup(name)
+		if prof == nil {
+			panic("experiments: unknown trace " + name)
+		}
+		tr = prof.Generate(e.Seed)
+		e.cache[name] = tr
+	}
+	out := tr.Clone()
+	out.ClearTimestamps()
+	return out
+}
+
+// MeasuredDeviceTiming approximates the real Nexus 5 eMMC that §II–§III
+// measured (as opposed to the Table V simulation timing of
+// core.DefaultTiming): an interleaving controller with a 100 MB/s channel,
+// cache-mode pipelining, and Table V flash latencies. Fig. 3 and the
+// Table IV replays use this profile.
+func MeasuredDeviceTiming() flash.Timing {
+	return flash.Timing{
+		PerPage: map[int]flash.OpTiming{
+			4096: {ReadNs: 160_000, ProgramNs: 1_385_000},
+			8192: {ReadNs: 244_000, ProgramNs: 1_491_000},
+		},
+		EraseNs:           3_800_000,
+		TransferNsPerByte: 10,
+		CmdOverheadNs:     25_000,
+		RequestOverheadNs: 150_000,
+		PipelineFactor:    0.65,
+		ChannelInterleave: true,
+	}
+}
+
+// MeasuredDeviceOptions configures the trace-collection device: the
+// measured timing profile with the power-saving model enabled
+// (Characteristic 4 is about the real device's sleep states).
+func MeasuredDeviceOptions() core.Options {
+	t := MeasuredDeviceTiming()
+	return core.Options{PowerSaving: true, GCPolicy: emmc.GCForeground, Timing: &t}
+}
+
+// NewMeasuredDevice builds the 4 KB-page device standing in for the
+// SanDisk iNAND the paper traced.
+func NewMeasuredDevice() (*emmc.Device, error) {
+	return core.NewDevice(core.Scheme4PS, MeasuredDeviceOptions())
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+
+	"emmcio/internal/analysis"
+	"emmcio/internal/biotracer"
+	"emmcio/internal/core"
+	"emmcio/internal/paper"
+	"emmcio/internal/report"
+	"emmcio/internal/stats"
+	"emmcio/internal/trace"
+)
+
+// Fig3Result is the throughput-vs-request-size sweep on the measured device.
+type Fig3Result struct {
+	Points []core.ThroughputPoint
+}
+
+// Fig3 reproduces the Fig. 3 microbenchmark: sweep request sizes from 4 KB
+// to 16 MB on the measured-device model (reads stop at 256 KB, the largest
+// read in any trace), issuing reqsPerPoint back-to-back requests per point.
+func Fig3(reqsPerPoint int) (Fig3Result, error) {
+	pts, err := throughputSweep(reqsPerPoint)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	return Fig3Result{Points: pts}, nil
+}
+
+func throughputSweep(reqsPerPoint int) ([]core.ThroughputPoint, error) {
+	timing := MeasuredDeviceTiming()
+	var out []core.ThroughputPoint
+	for _, size := range core.Fig3Sizes() {
+		p := core.ThroughputPoint{SizeBytes: size}
+		for _, op := range []trace.Op{trace.Read, trace.Write} {
+			if op == trace.Read && size > core.MaxReadSize {
+				continue
+			}
+			dev, err := core.NewDevice(core.Scheme4PS, core.Options{Timing: &timing})
+			if err != nil {
+				return nil, err
+			}
+			if op == trace.Read {
+				prep := trace.Request{LBA: 0, Size: uint32(size), Op: trace.Write}
+				if _, err := dev.Submit(prep); err != nil {
+					return nil, err
+				}
+			}
+			var busy int64
+			arrival := int64(1 << 40)
+			var lba uint64
+			if op == trace.Write {
+				lba = 1 << 20
+			}
+			for i := 0; i < reqsPerPoint; i++ {
+				req := trace.Request{Arrival: arrival, LBA: lba, Size: uint32(size), Op: op}
+				res, err := dev.Submit(req)
+				if err != nil {
+					return nil, err
+				}
+				busy += res.Finish - res.ServiceStart
+				arrival = res.Finish
+				if op == trace.Write {
+					lba += uint64(size) / trace.SectorSize
+				}
+			}
+			mbs := float64(size) * float64(reqsPerPoint) / (float64(busy) / 1e9) / 1e6
+			if op == trace.Read {
+				p.ReadMBs = mbs
+			} else {
+				p.WriteMBs = mbs
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Render returns the Fig. 3 series table.
+func (r Fig3Result) Render() *report.Table {
+	t := report.NewTable("Fig. 3: Throughput vs request size (measured-device model)",
+		"Size", "Read MB/s", "Write MB/s")
+	for _, p := range r.Points {
+		read := "-"
+		if p.ReadMBs > 0 {
+			read = report.F(p.ReadMBs, 2)
+		}
+		t.AddRow(sizeLabel(p.SizeBytes), read, report.F(p.WriteMBs, 2))
+	}
+	return t
+}
+
+func sizeLabel(bytes int) string {
+	switch {
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%dMB", bytes>>20)
+	default:
+		return fmt.Sprintf("%dKB", bytes>>10)
+	}
+}
+
+// DistResult carries per-trace histograms for Figs. 4–6 (and Fig. 7's three
+// panels for the combo traces).
+type DistResult struct {
+	Names []string
+	Dists []analysis.Distributions
+}
+
+// Fig4 builds the request-size distributions of the 18 individual traces.
+func Fig4(env *Env) DistResult {
+	return distributions(env, paper.IndividualApps, false)
+}
+
+// Fig5 builds the response-time distributions of the 18 individual traces
+// (requires replay on the measured device).
+func Fig5(env *Env) (DistResult, error) {
+	return replayedDistributions(env, paper.IndividualApps)
+}
+
+// Fig6 builds the inter-arrival distributions of the 18 individual traces.
+func Fig6(env *Env) DistResult {
+	return distributions(env, paper.IndividualApps, false)
+}
+
+// Fig7 builds all three distributions for the 7 combo traces.
+func Fig7(env *Env) (DistResult, error) {
+	return replayedDistributions(env, paper.ComboApps)
+}
+
+func distributions(env *Env, names []string, replay bool) DistResult {
+	var res DistResult
+	for _, name := range names {
+		tr := env.Trace(name)
+		res.Names = append(res.Names, name)
+		res.Dists = append(res.Dists, analysis.DistributionsOf(tr))
+	}
+	return res
+}
+
+func replayedDistributions(env *Env, names []string) (DistResult, error) {
+	var res DistResult
+	for _, name := range names {
+		tr := env.Trace(name)
+		dev, err := NewMeasuredDevice()
+		if err != nil {
+			return res, err
+		}
+		if _, err := biotracer.Collect(dev, tr); err != nil {
+			return res, err
+		}
+		res.Names = append(res.Names, name)
+		res.Dists = append(res.Dists, analysis.DistributionsOf(tr))
+	}
+	return res, nil
+}
+
+// RenderSizes renders the Fig. 4 / Fig. 7a panel.
+func (r DistResult) RenderSizes() *report.Table {
+	labels := stats.NewHistogram(stats.SizeBounds()).Labels(1024, "KB")
+	t := report.NewTable("Request size distributions (fractions)", append([]string{"Application"}, labels...)...)
+	for i, name := range r.Names {
+		row := []string{name}
+		for _, f := range r.Dists[i].Size.Fractions() {
+			row = append(row, report.F(f, 3))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RenderResponses renders the Fig. 5 / Fig. 7b panel.
+func (r DistResult) RenderResponses() *report.Table {
+	labels := []string{"<=2ms", "<=4ms", "<=8ms", "<=16ms", "<=32ms", "<=64ms", "<=128ms", ">128ms"}
+	t := report.NewTable("Response time distributions (fractions)", append([]string{"Application"}, labels...)...)
+	for i, name := range r.Names {
+		row := []string{name}
+		for _, f := range r.Dists[i].Response.Fractions() {
+			row = append(row, report.F(f, 3))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RenderInterarrivals renders the Fig. 6 / Fig. 7c panel.
+func (r DistResult) RenderInterarrivals() *report.Table {
+	labels := []string{"<=1ms", "<=2ms", "<=4ms", "<=8ms", "<=16ms", ">16ms"}
+	t := report.NewTable("Inter-arrival time distributions (fractions)", append([]string{"Application"}, labels...)...)
+	for i, name := range r.Names {
+		row := []string{name}
+		for _, f := range r.Dists[i].Interarrival.Fractions() {
+			row = append(row, report.F(f, 3))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Figure renders Fig. 3 as a line chart.
+func (r Fig3Result) Figure() *report.Figure {
+	f := &report.Figure{
+		Title:  "Fig. 3: Throughput vs request size",
+		XLabel: "request size",
+		YLabel: "MB/s",
+	}
+	read := report.Series{Name: "Read"}
+	write := report.Series{Name: "Write"}
+	for _, p := range r.Points {
+		f.XTicks = append(f.XTicks, sizeLabel(p.SizeBytes))
+		read.Values = append(read.Values, p.ReadMBs)
+		write.Values = append(write.Values, p.WriteMBs)
+	}
+	f.Series = []report.Series{read, write}
+	return f
+}
+
+// SizeFigure renders the request-size distributions as stacked bars
+// (Fig. 4 / Fig. 7a).
+func (r DistResult) SizeFigure(title string) *report.Figure {
+	f := &report.Figure{Title: title, YLabel: "fraction of requests", XTicks: r.Names}
+	labels := stats.NewHistogram(stats.SizeBounds()).Labels(1024, "KB")
+	for bi, label := range labels {
+		s := report.Series{Name: label}
+		for _, d := range r.Dists {
+			s.Values = append(s.Values, d.Size.Fractions()[bi])
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// ResponseFigure renders the response-time distributions (Fig. 5 / 7b).
+func (r DistResult) ResponseFigure(title string) *report.Figure {
+	f := &report.Figure{Title: title, YLabel: "fraction of requests", XTicks: r.Names}
+	labels := []string{"<=2ms", "<=4ms", "<=8ms", "<=16ms", "<=32ms", "<=64ms", "<=128ms", ">128ms"}
+	for bi, label := range labels {
+		s := report.Series{Name: label}
+		for _, d := range r.Dists {
+			s.Values = append(s.Values, d.Response.Fractions()[bi])
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// InterarrivalFigure renders the inter-arrival distributions (Fig. 6 / 7c).
+func (r DistResult) InterarrivalFigure(title string) *report.Figure {
+	f := &report.Figure{Title: title, YLabel: "fraction of gaps", XTicks: r.Names}
+	labels := []string{"<=1ms", "<=2ms", "<=4ms", "<=8ms", "<=16ms", ">16ms"}
+	for bi, label := range labels {
+		s := report.Series{Name: label}
+		for _, d := range r.Dists {
+			s.Values = append(s.Values, d.Interarrival.Fractions()[bi])
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"emmcio/internal/core"
+	"emmcio/internal/paper"
+	"emmcio/internal/report"
+)
+
+// The paper closes §V-A with "a higher space utilization indicates a longer
+// lifetime of an eMMC device": wasted flash and extra GC both consume
+// program/erase cycles. LifetimeRow quantifies that, projecting how many
+// days of a trace's workload each scheme would sustain before exhausting
+// MLC endurance.
+type LifetimeRow struct {
+	Name   string
+	Scheme core.Scheme
+	// FlashWrittenPerDayGB is physical flash programmed per day of this
+	// workload: host footprint (incl. padding waste) plus GC relocation.
+	FlashWrittenPerDayGB float64
+	// ProjectedDays until the device averages EnduranceCycles per block.
+	ProjectedDays float64
+}
+
+// EnduranceCycles is a typical MLC program/erase endurance rating.
+const EnduranceCycles = 3000
+
+// Lifetime replays each trace on each scheme (GC-pressured device so write
+// amplification is realistic) and projects endurance-limited lifetime.
+func Lifetime(env *Env, names ...string) ([]LifetimeRow, error) {
+	if len(names) == 0 {
+		names = []string{paper.Twitter, paper.Messaging, paper.GoogleMaps}
+	}
+	var out []LifetimeRow
+	for _, name := range names {
+		durationDays := paper.TableIV[name].DurationSec / 86400
+		for _, s := range core.Schemes {
+			dev, err := core.NewDevice(s, gcPressureOptions(0))
+			if err != nil {
+				return nil, err
+			}
+			tr := doubledSession(env.Trace(name))
+			m, err := core.ReplayOn(dev, s, tr)
+			if err != nil {
+				return nil, err
+			}
+			// Physical bytes programmed: host footprint (padding included)
+			// times write amplification (GC relocation).
+			fs := dev.FTLStats()
+			flashBytes := float64(fs.HostFootprintBytes) * m.WriteAmplification
+			// The replay covered two sessions.
+			perDay := flashBytes / (2 * durationDays)
+
+			// Device capacity at this (scaled) size.
+			var capBytes float64
+			for _, p := range dev.Config().Pools {
+				capBytes += float64(p.BytesPerPlane()) * float64(dev.Config().Geometry.Planes())
+			}
+			days := capBytes * EnduranceCycles / perDay
+			out = append(out, LifetimeRow{
+				Name:                 name,
+				Scheme:               s,
+				FlashWrittenPerDayGB: perDay / (1 << 30),
+				ProjectedDays:        days,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderLifetime renders the projection.
+func RenderLifetime(rows []LifetimeRow) *report.Table {
+	t := report.NewTable("Lifetime projection (MLC endurance 3000 cycles, GC-pressured device)",
+		"Trace", "Scheme", "Flash GB/day", "Projected days")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Scheme.String(), report.F(r.FlashWrittenPerDayGB, 2), report.F(r.ProjectedDays, 0))
+	}
+	return t
+}

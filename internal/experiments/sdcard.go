@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"emmcio/internal/core"
+	"emmcio/internal/flash"
+	"emmcio/internal/paper"
+	"emmcio/internal/report"
+	"emmcio/internal/trace"
+)
+
+// Implication 1 warns against adding an external SDcard for parallelism:
+// "the performance of the eMMC on the Nexus 5 is roughly triple of the best
+// performance tested from 8 SDcards", so moving part of the workload to the
+// card slows those requests more than the parallelism gains. This
+// experiment splits each trace between the internal eMMC and a 3×-slower
+// SDcard and compares against the eMMC serving everything.
+
+// SDCardSlowdown matches the paper's "roughly triple" observation.
+const SDCardSlowdown = 3
+
+// SDCardTiming derives the card's latency model from the measured device.
+func SDCardTiming() flash.Timing {
+	t := MeasuredDeviceTiming()
+	per := make(map[int]flash.OpTiming, len(t.PerPage))
+	for sz, ot := range t.PerPage {
+		per[sz] = flash.OpTiming{ReadNs: ot.ReadNs * SDCardSlowdown, ProgramNs: ot.ProgramNs * SDCardSlowdown}
+	}
+	t.PerPage = per
+	t.TransferNsPerByte *= SDCardSlowdown
+	t.CmdOverheadNs *= SDCardSlowdown
+	t.RequestOverheadNs *= SDCardSlowdown
+	return t
+}
+
+// SDCardRow is one trace's outcome.
+type SDCardRow struct {
+	Name string
+	// EMMCOnlyMRTMs: the whole trace on the internal device.
+	EMMCOnlyMRTMs float64
+	// SplitMRTMs: media-sized requests (>= 64 KB) moved to the SDcard.
+	SplitMRTMs float64
+	// SDSharePct is the fraction of requests the card served.
+	SDSharePct float64
+}
+
+// Implication1SDCard runs the comparison. The split policy sends large
+// (>= 64 KB, media-like) requests to the card, the natural way users offload
+// storage; both devices serve their streams concurrently.
+func Implication1SDCard(env *Env, names ...string) ([]SDCardRow, error) {
+	if len(names) == 0 {
+		names = []string{paper.Music, paper.CameraVideo, paper.Facebook}
+	}
+	var out []SDCardRow
+	for _, name := range names {
+		row := SDCardRow{Name: name}
+
+		whole := env.Trace(name)
+		total := len(whole.Reqs)
+		mAll, err := core.Replay(core.Scheme4PS, MeasuredDeviceOptions(), whole)
+		if err != nil {
+			return nil, err
+		}
+		row.EMMCOnlyMRTMs = mAll.MeanResponseNs / 1e6
+
+		// Split: big requests to the card, the rest stays internal.
+		src := env.Trace(name)
+		intern := &trace.Trace{Name: name + "-emmc"}
+		card := &trace.Trace{Name: name + "-sdcard"}
+		for _, r := range src.Reqs {
+			if r.Size >= 64*1024 {
+				card.Reqs = append(card.Reqs, r)
+			} else {
+				intern.Reqs = append(intern.Reqs, r)
+			}
+		}
+		row.SDSharePct = float64(len(card.Reqs)) / float64(total) * 100
+
+		mIn, err := core.Replay(core.Scheme4PS, MeasuredDeviceOptions(), intern)
+		if err != nil {
+			return nil, err
+		}
+		sdTiming := SDCardTiming()
+		sdOpt := MeasuredDeviceOptions()
+		sdOpt.Timing = &sdTiming
+		mSD, err := core.Replay(core.Scheme4PS, sdOpt, card)
+		if err != nil {
+			return nil, err
+		}
+		// Combined mean response across both streams.
+		sum := mIn.MeanResponseNs*float64(len(intern.Reqs)) + mSD.MeanResponseNs*float64(len(card.Reqs))
+		row.SplitMRTMs = sum / float64(total) / 1e6
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderSDCard renders the comparison.
+func RenderSDCard(rows []SDCardRow) *report.Table {
+	t := report.NewTable("Implication 1: offloading media to a 3x-slower external SDcard",
+		"Trace", "eMMC-only MRT(ms)", "Split MRT(ms)", "SDcard share %")
+	for _, r := range rows {
+		t.AddRow(r.Name, report.F(r.EMMCOnlyMRTMs, 2), report.F(r.SplitMRTMs, 2), report.F(r.SDSharePct, 1))
+	}
+	return t
+}

@@ -1,0 +1,206 @@
+package flash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryPlanes(t *testing.T) {
+	g := Geometry{Channels: 2, ChipsPerChannel: 1, DiesPerChip: 2, PlanesPerDie: 2}
+	if g.Planes() != 8 {
+		t.Fatalf("Planes() = %d, want 8 (Table V)", g.Planes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryChannelStriping(t *testing.T) {
+	g := Geometry{Channels: 2, ChipsPerChannel: 1, DiesPerChip: 2, PlanesPerDie: 2}
+	ch0, ch1 := 0, 0
+	for p := 0; p < g.Planes(); p++ {
+		switch g.ChannelOf(p) {
+		case 0:
+			ch0++
+		case 1:
+			ch1++
+		default:
+			t.Fatalf("plane %d mapped to invalid channel", p)
+		}
+	}
+	if ch0 != 4 || ch1 != 4 {
+		t.Fatalf("channel balance %d/%d, want 4/4", ch0, ch1)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := (Geometry{}).Validate(); err == nil {
+		t.Fatal("zero geometry accepted")
+	}
+}
+
+func TestPoolSpec(t *testing.T) {
+	p := PoolSpec{PageBytes: 8192, BlocksPerPlane: 512, PagesPerBlock: 1024}
+	if p.SectorsPerPage() != 2 {
+		t.Fatalf("SectorsPerPage = %d, want 2", p.SectorsPerPage())
+	}
+	if p.BytesPerPlane() != 512*1024*8192 {
+		t.Fatalf("BytesPerPlane = %d", p.BytesPerPlane())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := PoolSpec{PageBytes: 5000, BlocksPerPlane: 1, PagesPerBlock: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unaligned page size accepted")
+	}
+}
+
+func testTiming() Timing {
+	return Timing{
+		PerPage: map[int]OpTiming{
+			4096: {ReadNs: 160_000, ProgramNs: 1_385_000},
+			8192: {ReadNs: 244_000, ProgramNs: 1_491_000},
+		},
+		EraseNs:           3_800_000,
+		TransferNsPerByte: 5,
+		CmdOverheadNs:     25_000,
+		RequestOverheadNs: 100_000,
+		PipelineFactor:    0.65,
+	}
+}
+
+func TestTimingLookups(t *testing.T) {
+	tm := testTiming()
+	if tm.Read(4096) != 160_000 || tm.Program(8192) != 1_491_000 {
+		t.Fatal("timing lookup mismatch with Table V")
+	}
+	if got := tm.Transfer(4096); got != 25_000+4096*5 {
+		t.Fatalf("Transfer(4096) = %d", got)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimingPanicsOnUnknownPageSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown page size did not panic")
+		}
+	}()
+	testTiming().Read(16384)
+}
+
+func TestBlockLifecycle(t *testing.T) {
+	b := NewBlock(4)
+	if b.Full() || b.NextFree() != 0 {
+		t.Fatal("fresh block should be empty")
+	}
+	p0 := b.Program(2)
+	p1 := b.Program(1)
+	if p0 != 0 || p1 != 1 {
+		t.Fatalf("pages programmed at %d,%d; want 0,1", p0, p1)
+	}
+	if b.LiveSectors() != 3 || b.LivePages() != 2 {
+		t.Fatalf("live sectors %d pages %d, want 3/2", b.LiveSectors(), b.LivePages())
+	}
+	b.InvalidateSector(0)
+	if b.LiveSectors() != 2 || b.PageLive(0) != 1 {
+		t.Fatal("invalidation bookkeeping wrong")
+	}
+	b.InvalidateSector(0)
+	if b.LivePages() != 1 {
+		t.Fatalf("LivePages = %d, want 1", b.LivePages())
+	}
+}
+
+func TestBlockProgramsInOrder(t *testing.T) {
+	b := NewBlock(3)
+	for want := 0; want < 3; want++ {
+		if got := b.Program(1); got != want {
+			t.Fatalf("Program returned page %d, want %d (in-order constraint)", got, want)
+		}
+	}
+	if !b.Full() || b.NextFree() != -1 {
+		t.Fatal("block should be full")
+	}
+}
+
+func TestBlockEraseResetsState(t *testing.T) {
+	b := NewBlock(2)
+	b.Program(1)
+	b.InvalidateSector(0)
+	b.Program(0) // stale page, e.g. wasted half of an 8K page
+	b.Erase()
+	if b.EraseCount() != 1 {
+		t.Fatalf("EraseCount = %d, want 1", b.EraseCount())
+	}
+	if b.Full() || b.LiveSectors() != 0 || b.Programmed(0) {
+		t.Fatal("erase did not reset block")
+	}
+}
+
+func TestEraseWithLiveDataPanics(t *testing.T) {
+	b := NewBlock(2)
+	b.Program(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("erasing live data did not panic")
+		}
+	}()
+	b.Erase()
+}
+
+func TestProgramFullBlockPanics(t *testing.T) {
+	b := NewBlock(1)
+	b.Program(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("programming a full block did not panic")
+		}
+	}()
+	b.Program(1)
+}
+
+func TestInvalidateFreePagePanics(t *testing.T) {
+	b := NewBlock(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalidating a free page did not panic")
+		}
+	}()
+	b.InvalidateSector(0)
+}
+
+// Property: live sector accounting stays consistent under random
+// program/invalidate sequences.
+func TestBlockAccountingProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b := NewBlock(64)
+		modelLive := 0
+		for _, op := range ops {
+			if op%2 == 0 && !b.Full() {
+				n := int(op/2) % 3
+				b.Program(n)
+				modelLive += n
+			} else if modelLive > 0 {
+				// find a page with live sectors
+				for i := 0; i < b.Pages(); i++ {
+					if b.PageLive(i) > 0 {
+						b.InvalidateSector(i)
+						modelLive--
+						break
+					}
+				}
+			}
+			if b.LiveSectors() != modelLive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

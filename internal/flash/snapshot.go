@@ -1,0 +1,24 @@
+package flash
+
+// BlockState is the serializable form of a Block, used by device snapshots
+// (archiving an aged device instead of replaying months of history).
+type BlockState struct {
+	Live     []int8
+	WritePtr int
+	LiveSecs int
+	Erases   int
+}
+
+// Dump exports the block's state.
+func (b *Block) Dump() BlockState {
+	live := make([]int8, len(b.live))
+	copy(live, b.live)
+	return BlockState{Live: live, WritePtr: b.writePtr, LiveSecs: b.liveSectors, Erases: b.erases}
+}
+
+// RestoreBlock builds a block from a dumped state.
+func RestoreBlock(s BlockState) *Block {
+	live := make([]int8, len(s.Live))
+	copy(live, s.Live)
+	return &Block{live: live, writePtr: s.WritePtr, liveSectors: s.LiveSecs, erases: s.Erases}
+}

@@ -1,0 +1,550 @@
+// Package ftl implements the flash translation layer of the modeled eMMC
+// device: sector-granularity page mapping, per-plane per-pool block
+// allocation, greedy garbage collection, and the simple round-robin wear
+// leveling that Implication 4 of the paper argues is sufficient for
+// smartphone workloads.
+//
+// The FTL maps 4 KB logical sectors (LPNs) to physical pages. A physical
+// page holds PageBytes/4096 sectors: one on a 4 KB-page block, two on an
+// 8 KB-page block. A small write landing on a large page leaves part of the
+// page dead on arrival — that is precisely the space-utilization cost of the
+// pure-8KB scheme that Fig. 9 quantifies.
+package ftl
+
+import (
+	"fmt"
+
+	"emmcio/internal/flash"
+)
+
+// Loc identifies a physical page.
+type Loc struct {
+	Plane int32
+	Pool  int32
+	Block int32
+	Page  int32
+}
+
+func (l Loc) pack() uint64 {
+	return uint64(l.Plane)<<48 | uint64(l.Pool)<<40 | uint64(l.Block)<<16 | uint64(l.Page)
+}
+
+// GCWork summarizes the garbage collection a write triggered.
+type GCWork struct {
+	// PageMoves counts valid pages copied to a new block.
+	PageMoves int
+	// MoveBytes is the payload moved (page size × moves).
+	MoveBytes int64
+	// Erases counts blocks erased.
+	Erases int
+}
+
+// Add accumulates other into w.
+func (w *GCWork) Add(other GCWork) {
+	w.PageMoves += other.PageMoves
+	w.MoveBytes += other.MoveBytes
+	w.Erases += other.Erases
+}
+
+// Zero reports whether no GC happened.
+func (w GCWork) Zero() bool { return w == GCWork{} }
+
+// Stats aggregates FTL activity over a replay.
+type Stats struct {
+	HostProgrammedPages int64 // physical pages programmed for host writes
+	HostPayloadBytes    int64 // live host bytes in those pages
+	HostFootprintBytes  int64 // page size × pages (>= payload on 8 KB pools)
+	GC                  GCWork
+	// StaticLevelMoves counts page copies made purely for wear leveling
+	// (WearStatic only).
+	StaticLevelMoves int64
+}
+
+// SpaceUtilization is the paper's §V metric: written payload over flash
+// space consumed. 1.0 means no page-size waste.
+func (s Stats) SpaceUtilization() float64 {
+	if s.HostFootprintBytes == 0 {
+		return 1
+	}
+	return float64(s.HostPayloadBytes) / float64(s.HostFootprintBytes)
+}
+
+type poolState struct {
+	spec   flash.PoolSpec
+	blocks []*flash.Block
+	// free holds erased block indices in FIFO order; allocating from the
+	// head and returning erased blocks to the tail round-robins erase load
+	// across blocks (the "simple wear-leveling" of Implication 4).
+	free   []int32
+	active int32 // index of the block currently accepting programs, or -1
+}
+
+type planeState struct {
+	pools []poolState
+}
+
+// WearPolicy selects the wear-leveling strategy.
+type WearPolicy int
+
+const (
+	// WearRoundRobin is the paper's Implication-4 recommendation: erased
+	// blocks return to the tail of a FIFO free list and GC victim ties
+	// break toward the least-erased block. No extra data movement.
+	WearRoundRobin WearPolicy = iota
+	// WearNone allocates LIFO and ignores erase counts — the strawman that
+	// shows what leveling prevents.
+	WearNone
+	// WearStatic adds static leveling on top of round-robin: when the
+	// pool's erase spread exceeds StaticDelta, GC relocates the coldest
+	// full block even if it is live-heavy, trading extra copies for a
+	// tighter spread.
+	WearStatic
+)
+
+// String names the policy.
+func (w WearPolicy) String() string {
+	switch w {
+	case WearNone:
+		return "none"
+	case WearStatic:
+		return "static"
+	}
+	return "round-robin"
+}
+
+// Config configures an FTL instance.
+type Config struct {
+	Geometry flash.Geometry
+	Pools    []flash.PoolSpec
+	// GCFreeBlocks triggers garbage collection in a plane-pool when its
+	// free-block count drops to this value (the SSD-style threshold
+	// Implication 2 critiques; the idle-GC policy lives in internal/emmc).
+	GCFreeBlocks int
+	// Wear selects the wear-leveling strategy (default WearRoundRobin).
+	Wear WearPolicy
+	// StaticDelta is the erase-count spread that triggers static leveling
+	// under WearStatic (default 8 when zero).
+	StaticDelta int
+}
+
+// Validate reports unusable configurations.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if len(c.Pools) == 0 {
+		return fmt.Errorf("ftl: no pools configured")
+	}
+	seen := map[int]bool{}
+	for _, p := range c.Pools {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if seen[p.PageBytes] {
+			return fmt.Errorf("ftl: duplicate pool page size %d", p.PageBytes)
+		}
+		seen[p.PageBytes] = true
+	}
+	if c.GCFreeBlocks < 1 {
+		return fmt.Errorf("ftl: GC threshold must be at least 1 free block")
+	}
+	return nil
+}
+
+// FTL is the translation layer state for one device.
+type FTL struct {
+	cfg    Config
+	planes []planeState
+	fwd    map[int64]Loc      // LPN -> physical page holding it
+	rev    map[uint64][]int64 // packed Loc -> LPNs programmed on that page
+	stats  Stats
+	// poolErases counts erases per pool across all planes (O(1) wear query
+	// for the reliability model).
+	poolErases []int64
+}
+
+// New builds a fresh (fully erased) FTL.
+func New(cfg Config) (*FTL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &FTL{
+		cfg:        cfg,
+		planes:     make([]planeState, cfg.Geometry.Planes()),
+		fwd:        make(map[int64]Loc),
+		rev:        make(map[uint64][]int64),
+		poolErases: make([]int64, len(cfg.Pools)),
+	}
+	for pi := range f.planes {
+		pools := make([]poolState, len(cfg.Pools))
+		for qi, spec := range cfg.Pools {
+			ps := poolState{spec: spec, active: -1}
+			ps.blocks = make([]*flash.Block, spec.BlocksPerPlane)
+			ps.free = make([]int32, spec.BlocksPerPlane)
+			for bi := range ps.blocks {
+				ps.blocks[bi] = flash.NewBlock(spec.PagesPerBlock)
+				ps.free[bi] = int32(bi)
+			}
+			pools[qi] = ps
+		}
+		f.planes[pi].pools = pools
+	}
+	return f, nil
+}
+
+// Pools returns the configured pool specs.
+func (f *FTL) Pools() []flash.PoolSpec { return f.cfg.Pools }
+
+// Stats returns a copy of the accumulated statistics.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// Lookup returns the physical location currently holding the LPN.
+func (f *FTL) Lookup(lpn int64) (Loc, bool) {
+	loc, ok := f.fwd[lpn]
+	return loc, ok
+}
+
+// PageBytes returns the page size of the pool the location belongs to.
+func (f *FTL) PageBytes(loc Loc) int { return f.cfg.Pools[loc.Pool].PageBytes }
+
+// FreeBlocks returns the free-block count of a plane-pool.
+func (f *FTL) FreeBlocks(plane, pool int) int {
+	return len(f.planes[plane].pools[pool].free)
+}
+
+// NeedsGC reports whether the plane-pool is at or below the GC threshold,
+// counting the pages left in the active block as headroom.
+func (f *FTL) NeedsGC(plane, pool int) bool {
+	ps := &f.planes[plane].pools[pool]
+	return len(ps.free) <= f.cfg.GCFreeBlocks
+}
+
+// Write programs the given LPNs (all mapped by this single physical page)
+// into the chosen plane and pool, invalidating any prior copies. The LPN
+// count must not exceed the pool's sectors-per-page; a short count models
+// the wasted half of a large page. It returns the location and any GC work
+// that was required to free space.
+func (f *FTL) Write(plane, pool int, lpns []int64) (Loc, GCWork, error) {
+	ps := &f.planes[plane].pools[pool]
+	if len(lpns) == 0 || len(lpns) > ps.spec.SectorsPerPage() {
+		return Loc{}, GCWork{}, fmt.Errorf("ftl: %d LPNs for a %d-byte page", len(lpns), ps.spec.PageBytes)
+	}
+	// Invalidate prior copies first so GC never relocates stale data.
+	for _, lpn := range lpns {
+		f.invalidate(lpn)
+	}
+	var gc GCWork
+	loc, err := f.program(int32(plane), int32(pool), lpns, &gc, false)
+	if err != nil {
+		return Loc{}, gc, err
+	}
+	f.stats.HostProgrammedPages++
+	f.stats.HostPayloadBytes += int64(len(lpns)) * flash.SectorBytes
+	f.stats.HostFootprintBytes += int64(ps.spec.PageBytes)
+	f.stats.GC.Add(gc)
+	return loc, gc, nil
+}
+
+// CollectGarbage runs GC in the plane-pool until it is above the threshold,
+// regardless of pending writes. It is the hook the idle-GC policy
+// (Implication 2) uses to clean during inter-arrival gaps.
+func (f *FTL) CollectGarbage(plane, pool int) GCWork {
+	var gc GCWork
+	f.ensureFree(int32(plane), int32(pool), &gc)
+	f.stats.GC.Add(gc)
+	return gc
+}
+
+// invalidate removes the LPN's current mapping, if any.
+func (f *FTL) invalidate(lpn int64) {
+	loc, ok := f.fwd[lpn]
+	if !ok {
+		return
+	}
+	delete(f.fwd, lpn)
+	blk := f.blockAt(loc)
+	blk.InvalidateSector(int(loc.Page))
+	key := loc.pack()
+	lpns := f.rev[key]
+	for i, v := range lpns {
+		if v == lpn {
+			lpns[i] = lpns[len(lpns)-1]
+			lpns = lpns[:len(lpns)-1]
+			break
+		}
+	}
+	if len(lpns) == 0 {
+		delete(f.rev, key)
+	} else {
+		f.rev[key] = lpns
+	}
+}
+
+func (f *FTL) blockAt(loc Loc) *flash.Block {
+	return f.planes[loc.Plane].pools[loc.Pool].blocks[loc.Block]
+}
+
+// program writes lpns to the next page of the plane-pool's active block,
+// running GC first when free blocks run low. GC-initiated relocations pass
+// inGC to avoid re-entering the collector.
+func (f *FTL) program(plane, pool int32, lpns []int64, gc *GCWork, inGC bool) (Loc, error) {
+	ps := &f.planes[plane].pools[pool]
+	if ps.active < 0 || ps.blocks[ps.active].Full() {
+		if !inGC && len(ps.free) <= f.cfg.GCFreeBlocks {
+			f.ensureFree(plane, pool, gc)
+		}
+		// Re-check: GC relocations may have rotated in a fresh active block
+		// already; replacing it here would orphan a partially written block.
+		if ps.active < 0 || ps.blocks[ps.active].Full() {
+			if len(ps.free) == 0 {
+				return Loc{}, fmt.Errorf("ftl: plane %d pool %d out of space", plane, pool)
+			}
+			if f.cfg.Wear == WearNone {
+				// LIFO: recycle the most recently erased block.
+				ps.active = ps.free[len(ps.free)-1]
+				ps.free = ps.free[:len(ps.free)-1]
+			} else {
+				ps.active = ps.free[0]
+				ps.free = ps.free[1:]
+			}
+		}
+	}
+	blk := ps.blocks[ps.active]
+	page := blk.Program(len(lpns))
+	loc := Loc{Plane: plane, Pool: pool, Block: ps.active, Page: int32(page)}
+	key := loc.pack()
+	for _, lpn := range lpns {
+		f.fwd[lpn] = loc
+	}
+	f.rev[key] = append([]int64(nil), lpns...)
+	return loc, nil
+}
+
+// ensureFree reclaims blocks until the pool is above the GC threshold.
+// It stops early when no victim would make progress (all remaining blocks
+// fully live, or no destination space for the relocation) — callers then see
+// an out-of-space error instead of a livelock.
+func (f *FTL) ensureFree(plane, pool int32, gc *GCWork) {
+	ps := &f.planes[plane].pools[pool]
+	if f.cfg.Wear == WearStatic {
+		f.staticLevel(plane, pool, gc)
+	}
+	for len(ps.free) <= f.cfg.GCFreeBlocks {
+		victim := f.pickVictim(ps)
+		if victim < 0 {
+			return // nothing reclaimable
+		}
+		// Destination headroom: remaining pages in the active block plus all
+		// free blocks must cover the victim's repacked live sectors, or the
+		// relocation itself would run out of space mid-move.
+		avail := len(ps.free) * ps.spec.PagesPerBlock
+		if ps.active >= 0 {
+			avail += ps.spec.PagesPerBlock - ps.blocks[ps.active].NextFreeCount()
+		}
+		spp := ps.spec.SectorsPerPage()
+		needed := (ps.blocks[victim].LiveSectors() + spp - 1) / spp
+		if avail < needed {
+			return
+		}
+		f.moveLive(plane, pool, victim, gc)
+		ps.blocks[victim].Erase()
+		ps.free = append(ps.free, victim)
+		gc.Erases++
+		f.poolErases[pool]++
+	}
+}
+
+// pickVictim greedily selects the full block with the fewest live sectors
+// that would reclaim at least one page after repacking. Ties go to the block
+// with the lowest erase count, which spreads GC erases evenly (ties are the
+// common case in steady state, so this tie-break carries the wear leveling).
+// Returns -1 when no productive victim exists.
+func (f *FTL) pickVictim(ps *poolState) int32 {
+	best := int32(-1)
+	bestLive := int(^uint(0) >> 1)
+	bestErases := int(^uint(0) >> 1)
+	spp := ps.spec.SectorsPerPage()
+	for i, blk := range ps.blocks {
+		if int32(i) == ps.active || !blk.Full() {
+			continue
+		}
+		live := blk.LiveSectors()
+		if (live+spp-1)/spp >= blk.Pages() {
+			continue // repacking would not reclaim a single page
+		}
+		better := live < bestLive
+		if !better && live == bestLive && f.cfg.Wear != WearNone {
+			better = blk.EraseCount() < bestErases
+		}
+		if better {
+			best = int32(i)
+			bestLive = live
+			bestErases = blk.EraseCount()
+		}
+	}
+	return best
+}
+
+// staticLevel relocates the coldest full block when the pool's erase spread
+// exceeds the configured delta, so cold data stops pinning low-wear blocks.
+// Returns true when it erased a block (progress for ensureFree).
+func (f *FTL) staticLevel(plane, pool int32, gc *GCWork) bool {
+	ps := &f.planes[plane].pools[pool]
+	delta := f.cfg.StaticDelta
+	if delta <= 0 {
+		delta = 8
+	}
+	minE, maxE := int(^uint(0)>>1), 0
+	coldest := int32(-1)
+	for i, blk := range ps.blocks {
+		e := blk.EraseCount()
+		if e > maxE {
+			maxE = e
+		}
+		if e < minE {
+			minE = e
+		}
+		if int32(i) != ps.active && blk.Full() {
+			if coldest < 0 || e < ps.blocks[coldest].EraseCount() {
+				coldest = int32(i)
+			}
+		}
+	}
+	if coldest < 0 || maxE-minE < delta {
+		return false
+	}
+	spp := ps.spec.SectorsPerPage()
+	needed := (ps.blocks[coldest].LiveSectors() + spp - 1) / spp
+	avail := len(ps.free) * ps.spec.PagesPerBlock
+	if ps.active >= 0 {
+		avail += ps.spec.PagesPerBlock - ps.blocks[ps.active].NextFreeCount()
+	}
+	if avail < needed {
+		return false
+	}
+	before := gc.PageMoves
+	f.moveLive(plane, pool, coldest, gc)
+	ps.blocks[coldest].Erase()
+	ps.free = append(ps.free, coldest)
+	gc.Erases++
+	f.poolErases[pool]++
+	f.stats.StaticLevelMoves += int64(gc.PageMoves - before)
+	return true
+}
+
+// moveLive relocates the victim block's live sectors, repacking them densely
+// into destination pages: half-dead large pages (a 4 KB overwrite on an 8 KB
+// page) are compacted during GC, as SSDsim-style collectors do.
+func (f *FTL) moveLive(plane, pool, victim int32, gc *GCWork) {
+	ps := &f.planes[plane].pools[pool]
+	blk := ps.blocks[victim]
+	// Gather every live sector first, then detach the source pages.
+	var survivors []int64
+	for page := 0; page < blk.Pages(); page++ {
+		if blk.PageLive(page) == 0 {
+			continue
+		}
+		src := Loc{Plane: plane, Pool: pool, Block: victim, Page: int32(page)}
+		key := src.pack()
+		lpns := append([]int64(nil), f.rev[key]...)
+		for _, lpn := range lpns {
+			delete(f.fwd, lpn)
+			blk.InvalidateSector(page)
+		}
+		delete(f.rev, key)
+		survivors = append(survivors, lpns...)
+	}
+	spp := ps.spec.SectorsPerPage()
+	for off := 0; off < len(survivors); off += spp {
+		end := off + spp
+		if end > len(survivors) {
+			end = len(survivors)
+		}
+		if _, err := f.program(plane, pool, survivors[off:end], gc, true); err != nil {
+			// ensureFree prechecks destination headroom, so this is an
+			// internal invariant violation, not a recoverable condition.
+			panic("ftl: GC destination exhausted: " + err.Error())
+		}
+		gc.PageMoves++
+		gc.MoveBytes += int64(ps.spec.PageBytes)
+	}
+}
+
+// PoolAvgPE returns the pool's average program/erase cycles per block —
+// the wear level the reliability model keys read latency on.
+func (f *FTL) PoolAvgPE(pool int) float64 {
+	blocks := f.cfg.Pools[pool].BlocksPerPlane * f.cfg.Geometry.Planes()
+	if blocks == 0 {
+		return 0
+	}
+	return float64(f.poolErases[pool]) / float64(blocks)
+}
+
+// AddArtificialWear pre-ages a pool by the given erase count (device aging
+// studies start from a worn device without replaying months of history).
+func (f *FTL) AddArtificialWear(pool int, erases int64) {
+	f.poolErases[pool] += erases
+}
+
+// WearSummary reports erase-count statistics for one pool across all planes.
+type WearSummary struct {
+	MinErases, MaxErases int
+	TotalErases          int
+	Blocks               int
+}
+
+// Wear returns the erase distribution of pool index pool.
+func (f *FTL) Wear(pool int) WearSummary {
+	w := WearSummary{MinErases: int(^uint(0) >> 1)}
+	for pi := range f.planes {
+		for _, blk := range f.planes[pi].pools[pool].blocks {
+			e := blk.EraseCount()
+			if e < w.MinErases {
+				w.MinErases = e
+			}
+			if e > w.MaxErases {
+				w.MaxErases = e
+			}
+			w.TotalErases += e
+			w.Blocks++
+		}
+	}
+	if w.Blocks == 0 {
+		w.MinErases = 0
+	}
+	return w
+}
+
+// CheckConsistency verifies internal invariants: every forward mapping's
+// page is live and listed in the reverse map, and live-sector counts agree.
+// It is used by property tests and returns the first violation found.
+func (f *FTL) CheckConsistency() error {
+	// Forward entries must appear in reverse lists.
+	for lpn, loc := range f.fwd {
+		found := false
+		for _, v := range f.rev[loc.pack()] {
+			if v == lpn {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("ftl: lpn %d missing from reverse map at %+v", lpn, loc)
+		}
+	}
+	// Reverse lists must agree with block live counts.
+	for key, lpns := range f.rev {
+		loc := Loc{
+			Plane: int32(key >> 48),
+			Pool:  int32(key >> 40 & 0xff),
+			Block: int32(key >> 16 & 0xffffff),
+			Page:  int32(key & 0xffff),
+		}
+		blk := f.blockAt(loc)
+		if blk.PageLive(int(loc.Page)) != len(lpns) {
+			return fmt.Errorf("ftl: page %+v live=%d but reverse map lists %d LPNs",
+				loc, blk.PageLive(int(loc.Page)), len(lpns))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package ftl
+
+// MapCache models the DFTL-style cached mapping table a real eMMC
+// controller uses: the full sector map lives in flash (translation pages),
+// and only a small RAM cache of mapping entries is held in the controller —
+// eMMC devices carry far less RAM than SSDs (§I of the paper).
+//
+// A lookup or update that misses the cache costs a translation-page read
+// (and, for evicted dirty entries, a translation-page write). The device
+// model charges those as extra flash operations, so weak temporal locality
+// (Characteristic 5 / Implication 3) shows up as real latency.
+//
+// The cache maps translation-page-sized groups of consecutive LPNs (one
+// 4 KB translation page covers 512 eight-byte entries), which is how DFTL
+// amortizes locality: one miss caches a whole neighborhood.
+type MapCache struct {
+	// entries per translation page: 4096 B / 8 B per mapping entry.
+	groupSize int64
+	capacity  int // cached translation pages
+	table     map[int64]*mapNode
+	head      *mapNode
+	tail      *mapNode
+
+	hits       int64
+	misses     int64
+	dirtyFlush int64
+}
+
+type mapNode struct {
+	group      int64
+	dirty      bool
+	prev, next *mapNode
+}
+
+// TranslationEntriesPerPage is DFTL's fan-out: a 4 KB translation page
+// holds 512 eight-byte mapping entries.
+const TranslationEntriesPerPage = 512
+
+// NewMapCache builds a cache holding capBytes of translation pages.
+// Returns nil (no caching — mapping always hits, as if RAM were unlimited)
+// when capBytes <= 0.
+func NewMapCache(capBytes int64) *MapCache {
+	pages := int(capBytes / 4096)
+	if pages < 1 {
+		return nil
+	}
+	return &MapCache{
+		groupSize: TranslationEntriesPerPage,
+		capacity:  pages,
+		table:     make(map[int64]*mapNode, pages),
+	}
+}
+
+// MapCacheStats reports cache activity.
+type MapCacheStats struct {
+	Hits         int64
+	Misses       int64
+	DirtyFlushes int64
+}
+
+// HitRate returns the fraction of lookups served from RAM.
+func (s MapCacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns accumulated statistics.
+func (c *MapCache) Stats() MapCacheStats {
+	return MapCacheStats{Hits: c.hits, Misses: c.misses, DirtyFlushes: c.dirtyFlush}
+}
+
+func (c *MapCache) detach(n *mapNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *MapCache) pushFront(n *mapNode) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// Access touches the mapping entry for the LPN. dirty marks an update (a
+// write changing the mapping). It returns the flash operations the access
+// cost: reads (translation-page fetch on miss) and writes (dirty eviction).
+func (c *MapCache) Access(lpn int64, dirty bool) (tReads, tWrites int) {
+	group := lpn / c.groupSize
+	if n, ok := c.table[group]; ok {
+		c.hits++
+		n.dirty = n.dirty || dirty
+		c.detach(n)
+		c.pushFront(n)
+		return 0, 0
+	}
+	c.misses++
+	tReads = 1 // fetch the translation page
+	if len(c.table) >= c.capacity {
+		evict := c.tail
+		c.detach(evict)
+		delete(c.table, evict.group)
+		if evict.dirty {
+			c.dirtyFlush++
+			tWrites = 1 // write back the dirty translation page
+		}
+	}
+	n := &mapNode{group: group, dirty: dirty}
+	c.table[group] = n
+	c.pushFront(n)
+	return tReads, tWrites
+}

@@ -1,0 +1,77 @@
+package ftl
+
+import "testing"
+
+func TestMapCacheDisabled(t *testing.T) {
+	if NewMapCache(0) != nil {
+		t.Fatal("zero-byte cache should be nil")
+	}
+	if NewMapCache(100) != nil {
+		t.Fatal("sub-page cache should be nil")
+	}
+}
+
+func TestMapCacheGroupLocality(t *testing.T) {
+	c := NewMapCache(4 * 4096)
+	// First touch of a group misses and fetches one translation page.
+	r, w := c.Access(0, false)
+	if r != 1 || w != 0 {
+		t.Fatalf("cold access cost %d/%d, want 1/0", r, w)
+	}
+	// Neighbors in the same 512-entry group hit.
+	for lpn := int64(1); lpn < TranslationEntriesPerPage; lpn++ {
+		if r, w := c.Access(lpn, false); r != 0 || w != 0 {
+			t.Fatalf("lpn %d missed within a cached group", lpn)
+		}
+	}
+	// The next group misses again.
+	if r, _ := c.Access(TranslationEntriesPerPage, false); r != 1 {
+		t.Fatal("new group should miss")
+	}
+	s := c.Stats()
+	if s.Misses != 2 || s.Hits != TranslationEntriesPerPage-1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMapCacheDirtyEviction(t *testing.T) {
+	c := NewMapCache(2 * 4096) // two translation pages
+	c.Access(0, true)          // group 0, dirty
+	c.Access(512, false)       // group 1
+	// Group 2 evicts group 0 (LRU), which is dirty -> write-back.
+	r, w := c.Access(1024, false)
+	if r != 1 || w != 1 {
+		t.Fatalf("dirty eviction cost %d/%d, want 1/1", r, w)
+	}
+	if c.Stats().DirtyFlushes != 1 {
+		t.Fatal("dirty flush not counted")
+	}
+	// Clean eviction costs no write.
+	r, w = c.Access(1536, false)
+	if r != 1 || w != 0 {
+		t.Fatalf("clean eviction cost %d/%d, want 1/0", r, w)
+	}
+}
+
+func TestMapCacheLRUOrder(t *testing.T) {
+	c := NewMapCache(2 * 4096)
+	c.Access(0, false)   // group 0
+	c.Access(512, false) // group 1
+	c.Access(0, false)   // touch group 0: group 1 becomes LRU
+	c.Access(1024, false)
+	// Group 0 must still be cached.
+	if r, _ := c.Access(0, false); r != 0 {
+		t.Fatal("recently used group evicted")
+	}
+}
+
+func TestMapCacheHitRate(t *testing.T) {
+	c := NewMapCache(8 * 4096)
+	c.Access(0, false)
+	c.Access(1, false)
+	c.Access(2, false)
+	hr := c.Stats().HitRate()
+	if hr < 0.66 || hr > 0.67 {
+		t.Fatalf("hit rate %.3f, want 2/3", hr)
+	}
+}

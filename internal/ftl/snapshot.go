@@ -1,0 +1,130 @@
+package ftl
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"emmcio/internal/flash"
+)
+
+// Snapshot serialization: the FTL's full state (mapping, block states, free
+// lists, statistics) in one gob stream, so an aged device can be archived
+// and resumed instead of replaying its history. The configuration is
+// embedded and checked on restore.
+
+// PoolSnapshot is the serializable state of one plane-pool.
+type PoolSnapshot struct {
+	Blocks []flash.BlockState
+	Free   []int32
+	Active int32
+}
+
+// PlaneSnapshot is the serializable state of one plane.
+type PlaneSnapshot struct {
+	Pools []PoolSnapshot
+}
+
+// SnapshotData is the serializable state of the whole FTL; callers embed it
+// in their own snapshot structures so one gob stream carries everything.
+type SnapshotData struct {
+	Config     Config
+	Planes     []PlaneSnapshot
+	Fwd        map[int64]Loc
+	Rev        map[uint64][]int64
+	Stats      Stats
+	PoolErases []int64
+}
+
+// SnapshotData exports the FTL state.
+func (f *FTL) SnapshotData() *SnapshotData {
+	snap := &SnapshotData{
+		Config:     f.cfg,
+		Fwd:        f.fwd,
+		Rev:        f.rev,
+		Stats:      f.stats,
+		PoolErases: f.poolErases,
+	}
+	for pi := range f.planes {
+		var ps PlaneSnapshot
+		for qi := range f.planes[pi].pools {
+			pool := &f.planes[pi].pools[qi]
+			q := PoolSnapshot{Free: pool.free, Active: pool.active}
+			for _, blk := range pool.blocks {
+				q.Blocks = append(q.Blocks, blk.Dump())
+			}
+			ps.Pools = append(ps.Pools, q)
+		}
+		snap.Planes = append(snap.Planes, ps)
+	}
+	return snap
+}
+
+// Snapshot writes the FTL state to w as one gob message.
+func (f *FTL) Snapshot(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(f.SnapshotData())
+}
+
+// RestoreSnapshot rebuilds an FTL from a stream written by Snapshot.
+func RestoreSnapshot(r io.Reader) (*FTL, error) {
+	var snap SnapshotData
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ftl: decoding snapshot: %w", err)
+	}
+	return RestoreFromData(&snap)
+}
+
+// RestoreFromData rebuilds an FTL from exported snapshot data.
+func RestoreFromData(snap *SnapshotData) (*FTL, error) {
+	if err := snap.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("ftl: snapshot config: %w", err)
+	}
+	if len(snap.Planes) != snap.Config.Geometry.Planes() {
+		return nil, fmt.Errorf("ftl: snapshot has %d planes for a %d-plane geometry",
+			len(snap.Planes), snap.Config.Geometry.Planes())
+	}
+	f := &FTL{
+		cfg:        snap.Config,
+		planes:     make([]planeState, len(snap.Planes)),
+		fwd:        snap.Fwd,
+		rev:        snap.Rev,
+		stats:      snap.Stats,
+		poolErases: snap.PoolErases,
+	}
+	if f.fwd == nil {
+		f.fwd = make(map[int64]Loc)
+	}
+	if f.rev == nil {
+		f.rev = make(map[uint64][]int64)
+	}
+	if len(f.poolErases) != len(snap.Config.Pools) {
+		f.poolErases = make([]int64, len(snap.Config.Pools))
+	}
+	for pi, ps := range snap.Planes {
+		if len(ps.Pools) != len(snap.Config.Pools) {
+			return nil, fmt.Errorf("ftl: snapshot plane %d has %d pools, config %d",
+				pi, len(ps.Pools), len(snap.Config.Pools))
+		}
+		pools := make([]poolState, len(ps.Pools))
+		for qi, q := range ps.Pools {
+			spec := snap.Config.Pools[qi]
+			if len(q.Blocks) != spec.BlocksPerPlane {
+				return nil, fmt.Errorf("ftl: snapshot pool %d/%d has %d blocks, spec %d",
+					pi, qi, len(q.Blocks), spec.BlocksPerPlane)
+			}
+			pool := poolState{spec: spec, free: q.Free, active: q.Active}
+			for _, bs := range q.Blocks {
+				if len(bs.Live) != spec.PagesPerBlock {
+					return nil, fmt.Errorf("ftl: snapshot block page count mismatch")
+				}
+				pool.blocks = append(pool.blocks, flash.RestoreBlock(bs))
+			}
+			pools[qi] = pool
+		}
+		f.planes[pi].pools = pools
+	}
+	if err := f.CheckConsistency(); err != nil {
+		return nil, fmt.Errorf("ftl: snapshot inconsistent: %w", err)
+	}
+	return f, nil
+}

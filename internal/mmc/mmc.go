@@ -1,0 +1,239 @@
+// Package mmc encodes the eMMC 4.5 wire protocol the paper's Fig. 1 driver
+// speaks: the CMD23/CMD18/CMD25 sequences of ordinary transfers and the
+// packed-command header block (JEDEC JESD84-B45 §6.6.29) that carries
+// multiple write requests in one data transfer — the packing the paper's
+// §II-B workflow and §III-A throughput analysis attribute large requests to.
+//
+// The encoder turns block requests into command sequences; the decoder
+// reverses them, and round-trip equality is property-tested. The package is
+// self-contained so both the driver model (internal/blockdev) and tooling
+// can use it without cycles.
+package mmc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"emmcio/internal/trace"
+)
+
+// MMC block size: the protocol addresses 512-byte blocks.
+const BlockSize = 512
+
+// Command opcodes (JEDEC JESD84-B45 subset).
+const (
+	CmdSetBlockCount = 23 // CMD23 SET_BLOCK_COUNT
+	CmdReadMultiple  = 18 // CMD18 READ_MULTIPLE_BLOCK
+	CmdWriteMultiple = 25 // CMD25 WRITE_MULTIPLE_BLOCK
+)
+
+// CMD23 argument flags.
+const (
+	// Cmd23Packed marks the transfer as a packed command (bit 30).
+	Cmd23Packed = 1 << 30
+)
+
+// Command is one command/argument pair on the bus.
+type Command struct {
+	Opcode uint8
+	Arg    uint32
+}
+
+// String renders "CMD25(arg=0x...)".
+func (c Command) String() string {
+	return fmt.Sprintf("CMD%d(arg=0x%08x)", c.Opcode, c.Arg)
+}
+
+// Packed header constants (version 1).
+const (
+	packedVersion    = 0x01
+	PackedTypeRead   = 0x01
+	PackedTypeWrite  = 0x02
+	maxPackedEntries = 63 // fits the 512-byte header: 8 + 63*8 = 512
+)
+
+// PackedEntry describes one request inside a packed command.
+type PackedEntry struct {
+	// Blocks is the transfer length in 512-byte blocks.
+	Blocks uint32
+	// Addr is the start address in 512-byte blocks.
+	Addr uint32
+}
+
+// PackedHeader is the 512-byte header block leading a packed transfer.
+type PackedHeader struct {
+	RW      uint8 // PackedTypeRead or PackedTypeWrite
+	Entries []PackedEntry
+}
+
+// Marshal lays the header out as its on-wire 512-byte block:
+// byte 0 version, byte 1 r/w type, byte 2 entry count, then one 8-byte
+// (CMD23 arg, CMD25/18 arg) pair per entry starting at byte 8.
+func (h *PackedHeader) Marshal() ([BlockSize]byte, error) {
+	var out [BlockSize]byte
+	if h.RW != PackedTypeRead && h.RW != PackedTypeWrite {
+		return out, fmt.Errorf("mmc: bad packed type %d", h.RW)
+	}
+	if len(h.Entries) == 0 || len(h.Entries) > maxPackedEntries {
+		return out, fmt.Errorf("mmc: %d packed entries (1..%d allowed)", len(h.Entries), maxPackedEntries)
+	}
+	out[0] = packedVersion
+	out[1] = h.RW
+	out[2] = byte(len(h.Entries))
+	for i, e := range h.Entries {
+		if e.Blocks == 0 {
+			return out, fmt.Errorf("mmc: packed entry %d has zero length", i)
+		}
+		off := 8 + i*8
+		binary.LittleEndian.PutUint32(out[off:], e.Blocks)
+		binary.LittleEndian.PutUint32(out[off+4:], e.Addr)
+	}
+	return out, nil
+}
+
+// UnmarshalPackedHeader parses a header block.
+func UnmarshalPackedHeader(b []byte) (*PackedHeader, error) {
+	if len(b) < BlockSize {
+		return nil, fmt.Errorf("mmc: header block too short (%d bytes)", len(b))
+	}
+	if b[0] != packedVersion {
+		return nil, fmt.Errorf("mmc: unsupported packed version %d", b[0])
+	}
+	h := &PackedHeader{RW: b[1]}
+	if h.RW != PackedTypeRead && h.RW != PackedTypeWrite {
+		return nil, fmt.Errorf("mmc: bad packed type %d", h.RW)
+	}
+	n := int(b[2])
+	if n == 0 || n > maxPackedEntries {
+		return nil, fmt.Errorf("mmc: bad entry count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		off := 8 + i*8
+		e := PackedEntry{
+			Blocks: binary.LittleEndian.Uint32(b[off:]),
+			Addr:   binary.LittleEndian.Uint32(b[off+4:]),
+		}
+		if e.Blocks == 0 {
+			return nil, fmt.Errorf("mmc: entry %d has zero length", i)
+		}
+		h.Entries = append(h.Entries, e)
+	}
+	return h, nil
+}
+
+// Sequence is the full wire exchange for one host transfer: the command
+// pairs plus, for packed transfers, the header block that precedes the data.
+type Sequence struct {
+	Commands []Command
+	Header   *PackedHeader // nil for ordinary transfers
+	// DataBlocks is the payload length in 512-byte blocks (header included
+	// for packed transfers).
+	DataBlocks uint32
+}
+
+// Encode builds the wire sequence for a group of requests:
+//
+//   - one read, or one write           → CMD23(count) + CMD18/CMD25(addr)
+//   - several writes (packed command)  → CMD23(PACKED|total) + CMD25(addr of
+//     header) with the header block followed by all payloads
+//
+// Mixed read/write groups and multi-read groups are rejected: eMMC 4.5
+// packs only homogeneous write groups through this path (packed reads use a
+// separate two-phase exchange we do not model).
+func Encode(reqs []trace.Request) (Sequence, error) {
+	if len(reqs) == 0 {
+		return Sequence{}, fmt.Errorf("mmc: empty request group")
+	}
+	for _, r := range reqs {
+		if r.Size == 0 || r.Size%BlockSize != 0 {
+			return Sequence{}, fmt.Errorf("mmc: size %d not block aligned", r.Size)
+		}
+		if r.LBA > 0xffffffff {
+			return Sequence{}, fmt.Errorf("mmc: address %d beyond 32-bit block addressing", r.LBA)
+		}
+	}
+	if len(reqs) == 1 {
+		r := reqs[0]
+		blocks := r.Size / BlockSize
+		op := uint8(CmdWriteMultiple)
+		if r.Op == trace.Read {
+			op = CmdReadMultiple
+		}
+		return Sequence{
+			Commands: []Command{
+				{Opcode: CmdSetBlockCount, Arg: blocks},
+				{Opcode: op, Arg: uint32(r.LBA)},
+			},
+			DataBlocks: blocks,
+		}, nil
+	}
+	// Packed write.
+	h := &PackedHeader{RW: PackedTypeWrite}
+	total := uint32(1) // header block
+	for i, r := range reqs {
+		if r.Op != trace.Write {
+			return Sequence{}, fmt.Errorf("mmc: request %d in a packed group is not a write", i)
+		}
+		blocks := r.Size / BlockSize
+		h.Entries = append(h.Entries, PackedEntry{Blocks: blocks, Addr: uint32(r.LBA)})
+		total += blocks
+	}
+	if len(h.Entries) > maxPackedEntries {
+		return Sequence{}, fmt.Errorf("mmc: %d entries exceed the packed limit %d", len(h.Entries), maxPackedEntries)
+	}
+	return Sequence{
+		Commands: []Command{
+			{Opcode: CmdSetBlockCount, Arg: Cmd23Packed | total},
+			{Opcode: CmdWriteMultiple, Arg: h.Entries[0].Addr},
+		},
+		Header:     h,
+		DataBlocks: total,
+	}, nil
+}
+
+// Decode reverses Encode, reconstructing the request group (sizes,
+// addresses, operations; timestamps are not on the wire).
+func Decode(seq Sequence) ([]trace.Request, error) {
+	if len(seq.Commands) != 2 || seq.Commands[0].Opcode != CmdSetBlockCount {
+		return nil, fmt.Errorf("mmc: malformed sequence")
+	}
+	cmd23 := seq.Commands[0].Arg
+	xfer := seq.Commands[1]
+	if cmd23&Cmd23Packed != 0 {
+		if seq.Header == nil {
+			return nil, fmt.Errorf("mmc: packed sequence without header")
+		}
+		if xfer.Opcode != CmdWriteMultiple {
+			return nil, fmt.Errorf("mmc: packed transfer must use CMD25")
+		}
+		total := uint32(1)
+		var out []trace.Request
+		for _, e := range seq.Header.Entries {
+			out = append(out, trace.Request{
+				LBA:  uint64(e.Addr),
+				Size: e.Blocks * BlockSize,
+				Op:   trace.Write,
+			})
+			total += e.Blocks
+		}
+		if cmd23&^uint32(Cmd23Packed) != total {
+			return nil, fmt.Errorf("mmc: CMD23 count %d does not match header total %d",
+				cmd23&^uint32(Cmd23Packed), total)
+		}
+		return out, nil
+	}
+	var op trace.Op
+	switch xfer.Opcode {
+	case CmdReadMultiple:
+		op = trace.Read
+	case CmdWriteMultiple:
+		op = trace.Write
+	default:
+		return nil, fmt.Errorf("mmc: unexpected transfer CMD%d", xfer.Opcode)
+	}
+	return []trace.Request{{
+		LBA:  uint64(xfer.Arg),
+		Size: cmd23 * BlockSize,
+		Op:   op,
+	}}, nil
+}

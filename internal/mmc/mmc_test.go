@@ -1,0 +1,218 @@
+package mmc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emmcio/internal/trace"
+)
+
+func TestEncodeSingleRead(t *testing.T) {
+	seq, err := Encode([]trace.Request{{LBA: 1000, Size: 8192, Op: trace.Read}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Commands) != 2 {
+		t.Fatalf("%d commands", len(seq.Commands))
+	}
+	if seq.Commands[0].Opcode != CmdSetBlockCount || seq.Commands[0].Arg != 16 {
+		t.Fatalf("CMD23 %+v, want count 16 blocks", seq.Commands[0])
+	}
+	if seq.Commands[1].Opcode != CmdReadMultiple || seq.Commands[1].Arg != 1000 {
+		t.Fatalf("transfer %+v", seq.Commands[1])
+	}
+	if seq.Header != nil {
+		t.Fatal("single read must not carry a packed header")
+	}
+	if seq.DataBlocks != 16 {
+		t.Fatalf("data blocks %d", seq.DataBlocks)
+	}
+}
+
+func TestEncodeSingleWrite(t *testing.T) {
+	seq, err := Encode([]trace.Request{{LBA: 8, Size: 4096, Op: trace.Write}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Commands[1].Opcode != CmdWriteMultiple {
+		t.Fatal("write must use CMD25")
+	}
+}
+
+func TestEncodePackedWrite(t *testing.T) {
+	reqs := []trace.Request{
+		{LBA: 0, Size: 4096, Op: trace.Write},
+		{LBA: 4096, Size: 8192, Op: trace.Write},
+		{LBA: 90000, Size: 4096, Op: trace.Write},
+	}
+	seq, err := Encode(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Header == nil || seq.Header.RW != PackedTypeWrite {
+		t.Fatal("packed write needs a write header")
+	}
+	if len(seq.Header.Entries) != 3 {
+		t.Fatalf("%d entries", len(seq.Header.Entries))
+	}
+	if seq.Commands[0].Arg&Cmd23Packed == 0 {
+		t.Fatal("CMD23 missing PACKED flag")
+	}
+	// 1 header block + 8 + 16 + 8 payload blocks.
+	if want := uint32(1 + 8 + 16 + 8); seq.DataBlocks != want {
+		t.Fatalf("data blocks %d, want %d", seq.DataBlocks, want)
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	if _, err := Encode(nil); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := Encode([]trace.Request{{LBA: 0, Size: 100, Op: trace.Write}}); err == nil {
+		t.Fatal("unaligned size accepted")
+	}
+	mixed := []trace.Request{
+		{LBA: 0, Size: 4096, Op: trace.Write},
+		{LBA: 100, Size: 4096, Op: trace.Read},
+	}
+	if _, err := Encode(mixed); err == nil {
+		t.Fatal("mixed packed group accepted")
+	}
+	if _, err := Encode([]trace.Request{{LBA: 1 << 33, Size: 4096, Op: trace.Write}}); err == nil {
+		t.Fatal("address beyond 32-bit accepted")
+	}
+}
+
+func TestHeaderMarshalLayout(t *testing.T) {
+	h := &PackedHeader{RW: PackedTypeWrite, Entries: []PackedEntry{
+		{Blocks: 8, Addr: 0x1234},
+		{Blocks: 16, Addr: 0xABCD},
+	}}
+	b, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x01 || b[1] != PackedTypeWrite || b[2] != 2 {
+		t.Fatalf("header prefix % x", b[:3])
+	}
+	if b[8] != 8 || b[12] != 0x34 || b[13] != 0x12 {
+		t.Fatalf("first entry bytes % x", b[8:16])
+	}
+	back, err := UnmarshalPackedHeader(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RW != h.RW || len(back.Entries) != 2 || back.Entries[1] != h.Entries[1] {
+		t.Fatalf("round trip %+v", back)
+	}
+}
+
+func TestHeaderUnmarshalRejects(t *testing.T) {
+	var b [BlockSize]byte
+	if _, err := UnmarshalPackedHeader(b[:10]); err == nil {
+		t.Fatal("short block accepted")
+	}
+	if _, err := UnmarshalPackedHeader(b[:]); err == nil {
+		t.Fatal("zero version accepted")
+	}
+	b[0] = 0x01
+	b[1] = 0x07
+	if _, err := UnmarshalPackedHeader(b[:]); err == nil {
+		t.Fatal("bad type accepted")
+	}
+	b[1] = PackedTypeWrite
+	b[2] = 0
+	if _, err := UnmarshalPackedHeader(b[:]); err == nil {
+		t.Fatal("zero entries accepted")
+	}
+}
+
+func TestMarshalRejects(t *testing.T) {
+	h := &PackedHeader{RW: PackedTypeWrite}
+	if _, err := h.Marshal(); err == nil {
+		t.Fatal("empty header accepted")
+	}
+	h.Entries = make([]PackedEntry, maxPackedEntries+1)
+	for i := range h.Entries {
+		h.Entries[i].Blocks = 1
+	}
+	if _, err := h.Marshal(); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+}
+
+// Property: Encode → Decode reproduces addresses, sizes and ops for both
+// single transfers and packed write groups.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		x := uint64(seed)
+		count := int(n)%8 + 1
+		reqs := make([]trace.Request, 0, count)
+		for i := 0; i < count; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			reqs = append(reqs, trace.Request{
+				LBA:  (x >> 16) & 0xffffff,
+				Size: uint32((x%16 + 1)) * 4096,
+				Op:   trace.Write,
+			})
+		}
+		if count == 1 && seed%2 == 0 {
+			reqs[0].Op = trace.Read
+		}
+		seq, err := Encode(reqs)
+		if err != nil {
+			return false
+		}
+		// A packed header must survive its own wire form.
+		if seq.Header != nil {
+			raw, err := seq.Header.Marshal()
+			if err != nil {
+				return false
+			}
+			back, err := UnmarshalPackedHeader(raw[:])
+			if err != nil || len(back.Entries) != len(seq.Header.Entries) {
+				return false
+			}
+			seq.Header = back
+		}
+		got, err := Decode(seq)
+		if err != nil || len(got) != len(reqs) {
+			return false
+		}
+		for i := range reqs {
+			if got[i].LBA != reqs[i].LBA || got[i].Size != reqs[i].Size || got[i].Op != reqs[i].Op {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	if _, err := Decode(Sequence{}); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	// Packed flag without header.
+	seq := Sequence{Commands: []Command{
+		{Opcode: CmdSetBlockCount, Arg: Cmd23Packed | 9},
+		{Opcode: CmdWriteMultiple, Arg: 0},
+	}}
+	if _, err := Decode(seq); err == nil {
+		t.Fatal("packed sequence without header accepted")
+	}
+	// Count mismatch.
+	seq.Header = &PackedHeader{RW: PackedTypeWrite, Entries: []PackedEntry{{Blocks: 4, Addr: 0}}}
+	if _, err := Decode(seq); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	c := Command{Opcode: 25, Arg: 0x10}
+	if c.String() != "CMD25(arg=0x00000010)" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}

@@ -1,0 +1,142 @@
+package paper
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRosterComplete(t *testing.T) {
+	if len(IndividualApps) != 18 {
+		t.Fatalf("%d individual apps, want 18", len(IndividualApps))
+	}
+	if len(ComboApps) != 7 {
+		t.Fatalf("%d combo traces, want 7", len(ComboApps))
+	}
+	if len(AllTraces) != 25 {
+		t.Fatalf("%d traces total, want 25", len(AllTraces))
+	}
+}
+
+func TestTablesCoverAllTraces(t *testing.T) {
+	for _, name := range AllTraces {
+		if _, ok := TableIII[name]; !ok {
+			t.Errorf("Table III missing %s", name)
+		}
+		if _, ok := TableIV[name]; !ok {
+			t.Errorf("Table IV missing %s", name)
+		}
+	}
+	if len(TableIII) != 25 || len(TableIV) != 25 {
+		t.Fatalf("table sizes %d/%d, want 25/25", len(TableIII), len(TableIV))
+	}
+}
+
+// Table III is internally consistent: DataKB ≈ Requests × AveKB, and the
+// write-size percentage follows from the request mix and per-op mean sizes.
+// This consistency is what lets the generators target only the primitive
+// columns and recover the rest.
+func TestTableIIIInternallyConsistent(t *testing.T) {
+	for name, row := range TableIII {
+		impliedData := float64(EffectiveRequests(name)) * row.AveKB
+		relErr := math.Abs(impliedData-float64(row.DataKB)) / float64(row.DataKB)
+		if relErr > 0.05 {
+			t.Errorf("%s: Requests*AveKB = %.0f vs DataKB %d (%.1f%% off)",
+				name, impliedData, row.DataKB, relErr*100)
+		}
+		w := row.WriteReqPct / 100
+		impliedWriteSize := w * row.AveWriteKB / (w*row.AveWriteKB + (1-w)*row.AveReadKB) * 100
+		if math.Abs(impliedWriteSize-row.WriteSizePct) > 6 {
+			t.Errorf("%s: implied write-size %.1f%% vs published %.1f%%",
+				name, impliedWriteSize, row.WriteSizePct)
+		}
+	}
+}
+
+// Table IV is consistent with Table III: arrival rate ≈ requests / duration
+// and access rate ≈ data / duration.
+func TestTableIVConsistentWithTableIII(t *testing.T) {
+	for _, name := range AllTraces {
+		s, tm := TableIII[name], TableIV[name]
+		impliedRate := float64(EffectiveRequests(name)) / tm.DurationSec
+		if relDiff(impliedRate, tm.ArrivalRate) > 0.10 {
+			t.Errorf("%s: implied arrival rate %.2f vs published %.2f", name, impliedRate, tm.ArrivalRate)
+		}
+		impliedAccess := float64(s.DataKB) / tm.DurationSec
+		if relDiff(impliedAccess, tm.AccessRate) > 0.10 {
+			t.Errorf("%s: implied access rate %.2f vs published %.2f", name, impliedAccess, tm.AccessRate)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestCharacteristic1WriteDominance(t *testing.T) {
+	// 15 of the 18 individual traces are write-dominant (52.8%–99.9%),
+	// 6 of them above 90%.
+	dominant, above90 := 0, 0
+	for _, name := range IndividualApps {
+		p := TableIII[name].WriteReqPct
+		if p >= 52.8 {
+			dominant++
+		}
+		if p > 90 {
+			above90++
+		}
+	}
+	if dominant != 15 {
+		t.Errorf("write-dominant traces = %d, want 15", dominant)
+	}
+	if above90 != 6 {
+		t.Errorf("traces above 90%% writes = %d, want 6", above90)
+	}
+}
+
+func TestCharacteristic6InterarrivalMeans(t *testing.T) {
+	// 13 of 18 individual traces have mean inter-arrival >= 200 ms,
+	// i.e. arrival rate <= 5 req/s.
+	n := 0
+	for _, name := range IndividualApps {
+		if 1.0/TableIV[name].ArrivalRate >= 0.2 {
+			n++
+		}
+	}
+	if n != 13 {
+		t.Errorf("traces with mean inter-arrival >= 200ms = %d, want 13", n)
+	}
+}
+
+func TestTableVCapacities(t *testing.T) {
+	// 4PS: 2ch × 1chip × 2die × 2plane × 1024blk × 1024pg × 4KB = 32 GB.
+	c4 := TableV4PS
+	bytes4 := int64(c4.Channels*c4.ChipsPerChan*c4.DiesPerChip*c4.PlanesPerDie*c4.BlocksPerPlane*c4.PagesPerBlock) * 4096
+	if bytes4 != 32<<30 {
+		t.Errorf("4PS capacity %d, want 32 GiB", bytes4)
+	}
+	c8 := TableV8PS
+	bytes8 := int64(c8.Channels*c8.ChipsPerChan*c8.DiesPerChip*c8.PlanesPerDie*c8.BlocksPerPlane*c8.PagesPerBlock) * 8192
+	if bytes8 != 32<<30 {
+		t.Errorf("8PS capacity %d, want 32 GiB", bytes8)
+	}
+	h := TableVHPS
+	bytesH := int64(h.Channels * 2 * h.PlanesPerDie) // dies fixed at 2 per chip, 1 chip per channel
+	_ = bytesH
+	perPlane := int64(h.Blocks4KPerPlane)*1024*4096 + int64(h.Blocks8KPerPlane)*1024*8192
+	total := perPlane * int64(h.Channels*h.DiesPerChip*h.PlanesPerDie)
+	if total != 32<<30 {
+		t.Errorf("HPS capacity %d, want 32 GiB", total)
+	}
+}
+
+func TestFig8Fig9HeadlinesSane(t *testing.T) {
+	if !(Fig8BestReduction > Fig8AverageReduction && Fig8AverageReduction > Fig8WorstReduction) {
+		t.Error("Fig. 8 best > average > worst ordering violated")
+	}
+	if !(Fig9BestGain > Fig9AverageGain) {
+		t.Error("Fig. 9 best > average ordering violated")
+	}
+}

@@ -1,0 +1,168 @@
+// Package reliability models MLC NAND wear-dependent read reliability: the
+// raw bit error rate (RBER) grows with program/erase cycling, the
+// controller's ECC corrects up to a fixed number of bits per codeword, and
+// reads that exceed the ECC budget pay read-retry latency.
+//
+// The paper's group studied exactly this coupling ("Understanding the
+// impact of threshold voltage on MLC flash memory performance and
+// reliability", its reference [14]); here it closes the loop between the
+// endurance story of Fig. 9 — a scheme that erases more ages faster — and
+// user-visible read latency.
+//
+// The model is deterministic (expected values), so replays stay
+// reproducible: the expected number of read attempts at a given wear level
+// follows from the Poisson tail of the per-codeword error count.
+package reliability
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model parameterizes wear-dependent read reliability.
+type Model struct {
+	// RBERFresh is the raw bit error rate of a fresh block.
+	RBERFresh float64
+	// RBERGrowth is the exponential growth factor over one full endurance
+	// life: RBER(pe) = RBERFresh * exp(RBERGrowth * pe/Endurance).
+	RBERGrowth float64
+	// Endurance is the rated program/erase cycle budget (MLC ~3000).
+	Endurance float64
+	// CodewordBits is the ECC codeword payload (1 KB codewords = 8192 bits).
+	CodewordBits float64
+	// CorrectableBits is the ECC strength per codeword (e.g. BCH-40).
+	CorrectableBits int
+	// MaxRetries bounds the read-retry loop.
+	MaxRetries int
+	// RetryRBERFactor scales RBER on each retry (threshold-shifted re-read
+	// recovers most errors).
+	RetryRBERFactor float64
+}
+
+// Default returns an MLC-class model: RBER 5e-6 fresh growing ~200× over a
+// 3000-cycle life, 1 KB codewords with 40-bit BCH, up to 5 retries that
+// each quarter the effective RBER. With these constants the ECC budget is
+// comfortable through rated life and the read-retry knee arrives at ~130%
+// of it — the margin real MLC parts are binned for.
+func Default() *Model {
+	return &Model{
+		RBERFresh:       5e-6,
+		RBERGrowth:      math.Log(200),
+		Endurance:       3000,
+		CodewordBits:    8192,
+		CorrectableBits: 40,
+		MaxRetries:      5,
+		RetryRBERFactor: 0.25,
+	}
+}
+
+// Validate reports nonsensical parameters.
+func (m *Model) Validate() error {
+	switch {
+	case m.RBERFresh <= 0 || m.RBERFresh >= 1:
+		return fmt.Errorf("reliability: RBERFresh %v outside (0,1)", m.RBERFresh)
+	case m.Endurance <= 0:
+		return fmt.Errorf("reliability: non-positive endurance")
+	case m.CodewordBits <= 0:
+		return fmt.Errorf("reliability: non-positive codeword size")
+	case m.CorrectableBits <= 0:
+		return fmt.Errorf("reliability: non-positive ECC strength")
+	case m.MaxRetries < 0:
+		return fmt.Errorf("reliability: negative retry bound")
+	case m.RetryRBERFactor <= 0 || m.RetryRBERFactor >= 1:
+		return fmt.Errorf("reliability: retry factor %v outside (0,1)", m.RetryRBERFactor)
+	}
+	return nil
+}
+
+// RBER returns the raw bit error rate after pe program/erase cycles.
+func (m *Model) RBER(pe float64) float64 {
+	if pe < 0 {
+		pe = 0
+	}
+	r := m.RBERFresh * math.Exp(m.RBERGrowth*pe/m.Endurance)
+	if r > 0.5 {
+		r = 0.5
+	}
+	return r
+}
+
+// poissonTail returns P(X > t) for X ~ Poisson(lambda).
+func poissonTail(lambda float64, t int) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	// Sum P(X <= t) iteratively.
+	term := math.Exp(-lambda)
+	sum := term
+	for k := 1; k <= t; k++ {
+		term *= lambda / float64(k)
+		sum += term
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return 1 - sum
+}
+
+// FailureProbability returns the chance one codeword read at the given wear
+// exceeds the ECC budget on the first attempt.
+func (m *Model) FailureProbability(pe float64) float64 {
+	return poissonTail(m.RBER(pe)*m.CodewordBits, m.CorrectableBits)
+}
+
+// ExpectedReadAttempts returns the expected number of read attempts
+// (1 = no retry) for a codeword at the given wear level, with each retry
+// lowering the effective RBER by RetryRBERFactor.
+func (m *Model) ExpectedReadAttempts(pe float64) float64 {
+	attempts := 1.0
+	rber := m.RBER(pe)
+	pFailPrev := 1.0 // probability we are still failing before attempt k
+	for k := 0; k < m.MaxRetries; k++ {
+		pFail := poissonTail(rber*m.CodewordBits, m.CorrectableBits)
+		pFailPrev *= pFail
+		if pFailPrev < 1e-12 {
+			break
+		}
+		attempts += pFailPrev
+		rber *= m.RetryRBERFactor
+	}
+	return attempts
+}
+
+// ReadLatencyFactor returns the multiplier on nominal read latency at the
+// given wear level: expected attempts, i.e. 1.0 for a fresh device.
+func (m *Model) ReadLatencyFactor(pe float64) float64 {
+	return m.ExpectedReadAttempts(pe)
+}
+
+// UncorrectableProbability returns the chance a codeword stays unreadable
+// after all retries — the end-of-life signal.
+func (m *Model) UncorrectableProbability(pe float64) float64 {
+	p := 1.0
+	rber := m.RBER(pe)
+	for k := 0; k <= m.MaxRetries; k++ {
+		p *= poissonTail(rber*m.CodewordBits, m.CorrectableBits)
+		rber *= m.RetryRBERFactor
+	}
+	return p
+}
+
+// LifetimePE returns the wear level at which the first-attempt failure
+// probability crosses the given threshold — a latency-cliff definition of
+// useful lifetime (bisection over [0, 10×Endurance]).
+func (m *Model) LifetimePE(failureThreshold float64) float64 {
+	lo, hi := 0.0, m.Endurance*10
+	if m.FailureProbability(hi) < failureThreshold {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if m.FailureProbability(mid) < failureThreshold {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

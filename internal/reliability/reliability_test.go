@@ -1,0 +1,126 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []func(*Model){
+		func(m *Model) { m.RBERFresh = 0 },
+		func(m *Model) { m.RBERFresh = 1 },
+		func(m *Model) { m.Endurance = 0 },
+		func(m *Model) { m.CodewordBits = 0 },
+		func(m *Model) { m.CorrectableBits = 0 },
+		func(m *Model) { m.MaxRetries = -1 },
+		func(m *Model) { m.RetryRBERFactor = 1 },
+	}
+	for i, mutate := range cases {
+		m := *Default()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRBERGrowsWithWear(t *testing.T) {
+	m := Default()
+	if m.RBER(0) != m.RBERFresh {
+		t.Fatal("fresh RBER mismatch")
+	}
+	prev := 0.0
+	for pe := 0.0; pe <= 3*m.Endurance; pe += 500 {
+		r := m.RBER(pe)
+		if r < prev {
+			t.Fatalf("RBER fell at %v cycles", pe)
+		}
+		prev = r
+	}
+	// One full life multiplies RBER by the configured growth (200x).
+	ratio := m.RBER(m.Endurance) / m.RBER(0)
+	if math.Abs(ratio-200) > 2 {
+		t.Fatalf("one-life RBER growth %.1fx, want 200x", ratio)
+	}
+	if m.RBER(1e12) > 0.5 {
+		t.Fatal("RBER must clamp at 0.5")
+	}
+}
+
+func TestPoissonTail(t *testing.T) {
+	if got := poissonTail(0, 5); got != 0 {
+		t.Fatalf("tail of zero-mean %v", got)
+	}
+	// P(X > 0) = 1 - e^-1 for lambda=1.
+	if got := poissonTail(1, 0); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Fatalf("P(X>0) = %v", got)
+	}
+	// Large threshold swallows everything.
+	if got := poissonTail(1, 100); got > 1e-12 {
+		t.Fatalf("P(X>100) = %v", got)
+	}
+	// Monotone in lambda.
+	if poissonTail(5, 10) >= poissonTail(20, 10) {
+		t.Fatal("tail not monotone in lambda")
+	}
+}
+
+func TestFreshDeviceReadsClean(t *testing.T) {
+	m := Default()
+	if p := m.FailureProbability(0); p > 1e-9 {
+		t.Fatalf("fresh failure probability %v", p)
+	}
+	if f := m.ReadLatencyFactor(0); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("fresh latency factor %v, want 1", f)
+	}
+}
+
+func TestAgingDegradesReads(t *testing.T) {
+	m := Default()
+	fresh := m.ReadLatencyFactor(0)
+	old := m.ReadLatencyFactor(1.3 * m.Endurance)
+	ancient := m.ReadLatencyFactor(2 * m.Endurance)
+	if !(fresh < old || old < ancient) {
+		t.Fatalf("latency factors not increasing: %v %v %v", fresh, old, ancient)
+	}
+	if ancient <= 1.01 {
+		t.Fatalf("well-past-endurance factor %v shows no retries", ancient)
+	}
+	if ancient > float64(m.MaxRetries)+1 {
+		t.Fatalf("factor %v exceeds retry bound", ancient)
+	}
+}
+
+func TestUncorrectableEventuallyRises(t *testing.T) {
+	m := Default()
+	if p := m.UncorrectableProbability(0); p > 1e-15 {
+		t.Fatalf("fresh uncorrectable probability %v", p)
+	}
+	if p := m.UncorrectableProbability(5 * m.Endurance); p <= 0 {
+		t.Fatal("deeply worn device never fails uncorrectably")
+	}
+}
+
+func TestLifetimePE(t *testing.T) {
+	m := Default()
+	pe := m.LifetimePE(0.01)
+	if pe <= m.Endurance/2 {
+		t.Fatalf("lifetime %v cycles implausibly short", pe)
+	}
+	// At the returned wear, failure probability is near the threshold.
+	if p := m.FailureProbability(pe); math.Abs(p-0.01) > 0.005 {
+		t.Fatalf("failure probability at lifetime = %v, want ~0.01", p)
+	}
+	// A stronger ECC extends lifetime.
+	strong := *m
+	strong.CorrectableBits = 60
+	if strong.LifetimePE(0.01) <= pe {
+		t.Fatal("stronger ECC did not extend lifetime")
+	}
+}

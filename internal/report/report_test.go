@@ -1,0 +1,86 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Demo", "App", "Value")
+	tb.AddRow("Twitter", "13.5")
+	tb.AddRow("Email", "20.0")
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "App", "Twitter", "20.0", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows() = %d", tb.Rows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("Demo", "a", "b")
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "a,b\n1,2\n" {
+		t.Fatalf("csv output %q", buf.String())
+	}
+}
+
+func TestAddRowPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	NewTable("x", "a", "b").AddRow("only one")
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Error("F")
+	}
+	if I(42) != "42" {
+		t.Error("I")
+	}
+	if Pct(0.525, 1) != "52.5" {
+		t.Error("Pct")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Errorf("Bar(5,10,10) = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Error("Bar should clamp at width")
+	}
+	if Bar(1, 0, 10) != "" {
+		t.Error("Bar with zero max should be empty")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "App", "Val")
+	tb.AddRow("Twitter", "a|b")
+	var buf bytes.Buffer
+	if err := tb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### Demo", "| App | Val |", "|---|---|", `a\|b`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// The SVG renderers produce self-contained figures for the paper's chart
+// types: grouped bars (Figs. 8/9), line series over a log-x size axis
+// (Fig. 3), and stacked distribution bars (Figs. 4–7). Everything is plain
+// stdlib string building; the output opens in any browser.
+
+// Series is one named line or bar group.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Figure is a renderable chart.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks labels the category positions (bars) or x samples (lines).
+	XTicks []string
+	Series []Series
+	// LogY plots the y axis in log10 (Fig. 8b's scale).
+	LogY bool
+}
+
+const (
+	figW, figH = 880, 420
+	marginL    = 70
+	marginR    = 20
+	marginT    = 40
+	marginB    = 90
+	plotW      = figW - marginL - marginR
+	plotH      = figH - marginT - marginB
+)
+
+// palette holds fill colors for up to six series.
+var palette = []string{"#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"}
+
+func (f *Figure) validate() error {
+	if len(f.Series) == 0 {
+		return fmt.Errorf("report: figure %q has no series", f.Title)
+	}
+	n := len(f.Series[0].Values)
+	for _, s := range f.Series {
+		if len(s.Values) != n {
+			return fmt.Errorf("report: figure %q has ragged series", f.Title)
+		}
+	}
+	if len(f.XTicks) != n {
+		return fmt.Errorf("report: figure %q has %d ticks for %d values", f.Title, len(f.XTicks), n)
+	}
+	return nil
+}
+
+func (f *Figure) yRange() (lo, hi float64) {
+	hi = math.Inf(-1)
+	lo = 0
+	if f.LogY {
+		lo = math.Inf(1)
+	}
+	for _, s := range f.Series {
+		for _, v := range s.Values {
+			if v > hi {
+				hi = v
+			}
+			if f.LogY && v > 0 && v < lo {
+				lo = v
+			}
+		}
+	}
+	if hi <= 0 {
+		hi = 1
+	}
+	if f.LogY {
+		if math.IsInf(lo, 1) {
+			lo = 0.1
+		}
+		lo = math.Pow(10, math.Floor(math.Log10(lo)))
+		hi = math.Pow(10, math.Ceil(math.Log10(hi)))
+	} else {
+		hi *= 1.08
+	}
+	return lo, hi
+}
+
+func (f *Figure) yPos(v, lo, hi float64) float64 {
+	var frac float64
+	if f.LogY {
+		if v <= 0 {
+			v = lo
+		}
+		frac = (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
+	} else {
+		frac = (v - lo) / (hi - lo)
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return float64(marginT) + float64(plotH)*(1-frac)
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func (f *Figure) header(b *strings.Builder) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, figW, figH)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`, figW, figH)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`, marginL, svgEscape(f.Title))
+	// Axes.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	if f.YLabel != "" {
+		fmt.Fprintf(b, `<text x="14" y="%d" font-size="12" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`,
+			marginT+plotH/2, marginT+plotH/2, svgEscape(f.YLabel))
+	}
+	if f.XLabel != "" {
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`,
+			marginL+plotW/2, figH-8, svgEscape(f.XLabel))
+	}
+}
+
+func (f *Figure) yGrid(b *strings.Builder, lo, hi float64) {
+	ticks := 5
+	for i := 0; i <= ticks; i++ {
+		var v float64
+		if f.LogY {
+			v = lo * math.Pow(hi/lo, float64(i)/float64(ticks))
+		} else {
+			v = lo + (hi-lo)*float64(i)/float64(ticks)
+		}
+		y := f.yPos(v, lo, hi)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`,
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`,
+			marginL-6, y+3, fmtTick(v))
+	}
+}
+
+func fmtTick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func (f *Figure) legend(b *strings.Builder) {
+	x := marginL + 10
+	for i, s := range f.Series {
+		color := palette[i%len(palette)]
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`, x, marginT+4, color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11">%s</text>`, x+16, marginT+14, svgEscape(s.Name))
+		x += 22 + 8*len(s.Name)
+	}
+}
+
+// WriteBarSVG renders grouped bars (Figs. 8 and 9).
+func (f *Figure) WriteBarSVG(w io.Writer) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	lo, hi := f.yRange()
+	var b strings.Builder
+	f.header(&b)
+	f.yGrid(&b, lo, hi)
+	f.legend(&b)
+
+	n := len(f.XTicks)
+	groupW := float64(plotW) / float64(n)
+	barW := groupW * 0.8 / float64(len(f.Series))
+	for gi := range f.XTicks {
+		gx := float64(marginL) + groupW*float64(gi) + groupW*0.1
+		for si, s := range f.Series {
+			v := s.Values[gi]
+			y := f.yPos(v, lo, hi)
+			h := float64(marginT+plotH) - y
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %g</title></rect>`,
+				gx+barW*float64(si), y, barW, h, palette[si%len(palette)],
+				svgEscape(s.Name), svgEscape(f.XTicks[gi]), v)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="end" transform="rotate(-45 %.1f %d)">%s</text>`,
+			gx+groupW*0.4, marginT+plotH+14, gx+groupW*0.4, marginT+plotH+14, svgEscape(f.XTicks[gi]))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteLineSVG renders line series over the tick positions (Fig. 3).
+// Series values <= 0 are treated as missing points (e.g. the read curve
+// past 256 KB).
+func (f *Figure) WriteLineSVG(w io.Writer) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	lo, hi := f.yRange()
+	var b strings.Builder
+	f.header(&b)
+	f.yGrid(&b, lo, hi)
+	f.legend(&b)
+
+	n := len(f.XTicks)
+	step := float64(plotW) / float64(n-1+1)
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, v := range s.Values {
+			if v <= 0 {
+				continue
+			}
+			x := float64(marginL) + step*float64(i) + step/2
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, f.yPos(v, lo, hi)))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`,
+			color, strings.Join(pts, " "))
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`, xy[0], xy[1], color)
+		}
+	}
+	for i, tick := range f.XTicks {
+		x := float64(marginL) + step*float64(i) + step/2
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`,
+			x, marginT+plotH+14, svgEscape(tick))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteStackedSVG renders 100%-stacked distribution bars (Figs. 4–7):
+// every column's series values are normalized to sum to one.
+func (f *Figure) WriteStackedSVG(w io.Writer) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	f.header(&b)
+	f.legend(&b)
+
+	n := len(f.XTicks)
+	groupW := float64(plotW) / float64(n)
+	barW := groupW * 0.7
+	for gi := range f.XTicks {
+		var total float64
+		for _, s := range f.Series {
+			total += s.Values[gi]
+		}
+		if total <= 0 {
+			total = 1
+		}
+		gx := float64(marginL) + groupW*float64(gi) + groupW*0.15
+		yTop := float64(marginT + plotH)
+		for si, s := range f.Series {
+			h := s.Values[gi] / total * float64(plotH)
+			yTop -= h
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.1f%%</title></rect>`,
+				gx, yTop, barW, h, palette[si%len(palette)],
+				svgEscape(f.XTicks[gi]), svgEscape(s.Name), s.Values[gi]/total*100)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="end" transform="rotate(-45 %.1f %d)">%s</text>`,
+			gx+barW/2, marginT+plotH+14, gx+barW/2, marginT+plotH+14, svgEscape(f.XTicks[gi]))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

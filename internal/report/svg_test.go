@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func barFigure() *Figure {
+	return &Figure{
+		Title:  "Fig. 8: MRT",
+		YLabel: "ms",
+		XTicks: []string{"Idle", "Twitter"},
+		Series: []Series{
+			{Name: "4PS", Values: []float64{3.7, 3.7}},
+			{Name: "HPS", Values: []float64{2.7, 2.8}},
+		},
+	}
+}
+
+func TestWriteBarSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := barFigure().WriteBarSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "Fig. 8: MRT", "Twitter", "4PS", "rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series x two groups = 4 data rects (plus background).
+	if n := strings.Count(out, "<title>"); n != 4 {
+		t.Errorf("%d bars, want 4", n)
+	}
+}
+
+func TestWriteBarSVGLogScale(t *testing.T) {
+	f := barFigure()
+	f.LogY = true
+	f.Series[0].Values = []float64{15000, 3.7}
+	var buf bytes.Buffer
+	if err := f.WriteBarSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no SVG output")
+	}
+}
+
+func TestWriteLineSVG(t *testing.T) {
+	f := &Figure{
+		Title:  "Fig. 3",
+		XTicks: []string{"4KB", "8KB", "16KB"},
+		Series: []Series{
+			{Name: "Read", Values: []float64{10, 20, 0}}, // 0 = missing point
+			{Name: "Write", Values: []float64{2, 5, 9}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteLineSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "polyline") {
+		t.Fatal("no polyline")
+	}
+	// The read series must have 2 circles, the write series 3.
+	if n := strings.Count(out, "<circle"); n != 5 {
+		t.Errorf("%d points, want 5 (missing point skipped)", n)
+	}
+}
+
+func TestWriteStackedSVG(t *testing.T) {
+	f := &Figure{
+		Title:  "Fig. 4",
+		XTicks: []string{"Idle"},
+		Series: []Series{
+			{Name: "<=4KB", Values: []float64{0.5}},
+			{Name: ">4KB", Values: []float64{0.5}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteStackedSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "50.0%") {
+		t.Fatal("stacked percentages missing")
+	}
+}
+
+func TestFigureValidation(t *testing.T) {
+	var buf bytes.Buffer
+	bad := &Figure{Title: "x", XTicks: []string{"a"}}
+	if err := bad.WriteBarSVG(&buf); err == nil {
+		t.Fatal("no-series figure accepted")
+	}
+	ragged := &Figure{
+		Title:  "x",
+		XTicks: []string{"a", "b"},
+		Series: []Series{{Name: "s", Values: []float64{1}}},
+	}
+	if err := ragged.WriteBarSVG(&buf); err == nil {
+		t.Fatal("ragged figure accepted")
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	f := barFigure()
+	f.Title = `<script>"a"&b</script>`
+	var buf bytes.Buffer
+	if err := f.WriteBarSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Fatal("title not escaped")
+	}
+}

@@ -1,0 +1,196 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	saw := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		saw[r.Uint64()] = true
+	}
+	if len(saw) < 60 {
+		t.Fatalf("zero-seeded generator produced only %d distinct values", len(saw))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(9)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{1, 2, 7, 100} {
+		for i := 0; i < 1000; i++ {
+			v := r.IntN(n)
+			if v < 0 || v >= n {
+				t.Fatalf("IntN(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntN(0) did not panic")
+		}
+	}()
+	New(1).IntN(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.15 {
+		t.Fatalf("Exp mean %v, want ~5.0", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	var sum, sq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("Normal mean %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.1 {
+		t.Fatalf("Normal stddev %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(23)
+	child := parent.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked stream tracks parent: %d/100 identical", same)
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	w := NewWeighted([]int64{4, 8, 16}, []float64{0.5, 0.3, 0.2})
+	r := New(29)
+	counts := map[int64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[w.Sample(r)]++
+	}
+	for v, want := range map[int64]float64{4: 0.5, 8: 0.3, 16: 0.2} {
+		got := float64(counts[v]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("value %d frequency %v, want ~%v", v, got, want)
+		}
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	w := NewWeighted([]int64{4, 8, 16}, []float64{0.5, 0.3, 0.2})
+	want := 4*0.5 + 8*0.3 + 16*0.2
+	if math.Abs(w.Mean()-want) > 1e-9 {
+		t.Fatalf("Mean() = %v, want %v", w.Mean(), want)
+	}
+}
+
+func TestWeightedDropsZeroWeights(t *testing.T) {
+	w := NewWeighted([]int64{1, 2, 3}, []float64{0, 1, 0})
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", w.Len())
+	}
+	r := New(31)
+	for i := 0; i < 100; i++ {
+		if v := w.Sample(r); v != 2 {
+			t.Fatalf("sampled %d from single-outcome distribution", v)
+		}
+	}
+}
+
+func TestWeightedSampleAlwaysInSupport(t *testing.T) {
+	f := func(seed uint64) bool {
+		w := NewWeighted([]int64{3, 5, 9, 12}, []float64{1, 2, 3, 4})
+		r := New(seed)
+		for i := 0; i < 200; i++ {
+			switch w.Sample(r) {
+			case 3, 5, 9, 12:
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMix64KnownSequenceDeterministic(t *testing.T) {
+	var s1, s2 uint64 = 1234, 1234
+	for i := 0; i < 10; i++ {
+		if SplitMix64(&s1) != SplitMix64(&s2) {
+			t.Fatal("SplitMix64 not deterministic")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package sim provides a minimal discrete-event simulation kernel:
+// a virtual clock, a time-ordered event queue, and busy-until resource
+// bookkeeping. The eMMC device model in internal/emmc is built on top of it.
+//
+// All times are expressed as int64 nanoseconds since simulation start.
+// Nanosecond resolution comfortably covers both the microsecond-scale flash
+// operations (Table V of the paper) and the hour-scale trace durations
+// (Table IV).
+package sim
+
+import "container/heap"
+
+// Time is a simulation timestamp in nanoseconds since simulation start.
+type Time = int64
+
+// Common durations, in nanoseconds.
+const (
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	At Time
+	// Fn runs when the clock reaches At. It may schedule further events.
+	Fn func(now Time)
+
+	seq   uint64 // tie-breaker: FIFO among equal timestamps
+	index int    // heap index
+}
+
+// eventHeap implements heap.Interface ordered by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop.
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	nextSq uint64
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule enqueues fn to run at time at. Scheduling in the past is a
+// programming error and panics, because it would silently reorder causality.
+func (e *Engine) Schedule(at Time, fn func(now Time)) *Event {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.nextSq}
+	e.nextSq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAfter enqueues fn to run delay nanoseconds from now.
+func (e *Engine) ScheduleAfter(delay Time, fn func(now Time)) *Event {
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step executes the earliest event, advancing the clock to its timestamp.
+// It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	ev.Fn(e.now)
+	return true
+}
+
+// Run drains the event queue to completion and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps <= deadline, then advances the
+// clock to deadline if it has not already passed it.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Resource models a serially reusable unit (a flash channel, a plane, the
+// whole device) by tracking the earliest time it becomes free.
+type Resource struct {
+	freeAt Time
+	busy   Time // cumulative busy time, for utilization accounting
+}
+
+// FreeAt returns the earliest time the resource is available.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Reserve occupies the resource for dur starting no earlier than from,
+// and returns the (start, end) of the granted interval.
+func (r *Resource) Reserve(from Time, dur Time) (start, end Time) {
+	start = from
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + dur
+	r.freeAt = end
+	r.busy += dur
+	return start, end
+}
+
+// ReserveWindow occupies exactly [from, from+dur). The caller must have
+// established from >= FreeAt(); violating that would overlap reservations,
+// so it panics.
+func (r *Resource) ReserveWindow(from, dur Time) {
+	if from < r.freeAt {
+		panic("sim: ReserveWindow overlaps an existing reservation")
+	}
+	r.freeAt = from + dur
+	r.busy += dur
+}
+
+// BusyTime returns the cumulative reserved time.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Reset clears the resource to idle at time zero.
+func (r *Resource) Reset() { r.freeAt = 0; r.busy = 0 }
+
+// State exports the resource's bookkeeping for snapshots.
+func (r *Resource) State() (freeAt, busy Time) { return r.freeAt, r.busy }
+
+// SetState restores bookkeeping captured by State.
+func (r *Resource) SetState(freeAt, busy Time) { r.freeAt = freeAt; r.busy = busy }

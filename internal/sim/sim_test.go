@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var e Engine
+	var got []Time
+	times := []Time{500, 100, 300, 200, 400}
+	for _, at := range times {
+		at := at
+		e.Schedule(at, func(now Time) { got = append(got, now) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("ran %d events, want %d", len(got), len(times))
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(42, func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	var e Engine
+	var fired []Time
+	e.Schedule(10, func(now Time) {
+		e.ScheduleAfter(5, func(now2 Time) { fired = append(fired, now2) })
+	})
+	end := e.Run()
+	if len(fired) != 1 || fired[0] != 15 {
+		t.Fatalf("nested event fired at %v, want [15]", fired)
+	}
+	if end != 15 {
+		t.Fatalf("final time %d, want 15", end)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(10, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func(Time) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.Schedule(10, func(Time) { ran++ })
+	e.Schedule(20, func(Time) { ran++ })
+	e.Schedule(30, func(Time) { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("RunUntil(20) ran %d events, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock at %d, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("clock %d, want 1000", e.Now())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	var r Resource
+	s1, e1 := r.Reserve(0, 100)
+	if s1 != 0 || e1 != 100 {
+		t.Fatalf("first reservation (%d,%d), want (0,100)", s1, e1)
+	}
+	s2, e2 := r.Reserve(50, 100)
+	if s2 != 100 || e2 != 200 {
+		t.Fatalf("overlapping reservation (%d,%d), want (100,200)", s2, e2)
+	}
+	s3, e3 := r.Reserve(500, 100)
+	if s3 != 500 || e3 != 600 {
+		t.Fatalf("idle-gap reservation (%d,%d), want (500,600)", s3, e3)
+	}
+	if r.BusyTime() != 300 {
+		t.Fatalf("busy time %d, want 300", r.BusyTime())
+	}
+}
+
+func TestResourceReservationsNeverOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		var r Resource
+		from := Time(0)
+		prevEnd := Time(0)
+		x := uint64(seed)
+		for i := 0; i < 100; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			from += Time(x % 1000)
+			dur := Time(x%97 + 1)
+			start, end := r.Reserve(from, dur)
+			if start < prevEnd || end != start+dur || start < from {
+				return false
+			}
+			prevEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapStressOrdering(t *testing.T) {
+	var e Engine
+	x := uint64(12345)
+	var prev Time = -1
+	ok := true
+	for i := 0; i < 5000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		at := Time(x % 1000000)
+		e.Schedule(at, func(now Time) {
+			if now < prev {
+				ok = false
+			}
+			prev = now
+		})
+	}
+	e.Run()
+	if !ok {
+		t.Fatal("events delivered out of order under stress")
+	}
+}

@@ -1,0 +1,58 @@
+package stats
+
+import "emmcio/internal/trace"
+
+// SpatialLocality implements the paper's definition (§III-C): the percentage
+// of sequential request accesses over the total number of requests, where a
+// sequential access happens when the starting address of the current request
+// is next to the ending address of its predecessor.
+// Returns a fraction in [0, 1]; 0 for traces with fewer than 2 requests.
+func SpatialLocality(t *trace.Trace) float64 {
+	if len(t.Reqs) < 2 {
+		return 0
+	}
+	seq := 0
+	prevEnd := t.Reqs[0].EndLBA()
+	for i := 1; i < len(t.Reqs); i++ {
+		if t.Reqs[i].LBA == prevEnd {
+			seq++
+		}
+		prevEnd = t.Reqs[i].EndLBA()
+	}
+	return float64(seq) / float64(len(t.Reqs))
+}
+
+// TemporalLocality implements the paper's definition (§III-C): the percentage
+// of address hits out of the total number of requests, where the hit count is
+// increased by one whenever an address is re-accessed. We track addresses at
+// request-start granularity in 4 KB pages, which is the granularity the file
+// system aligns requests to.
+func TemporalLocality(t *trace.Trace) float64 {
+	if len(t.Reqs) == 0 {
+		return 0
+	}
+	seen := make(map[uint64]struct{}, len(t.Reqs))
+	hits := 0
+	for i := range t.Reqs {
+		page := t.Reqs[i].LBA / trace.SectorsPerPage
+		if _, ok := seen[page]; ok {
+			hits++
+		} else {
+			seen[page] = struct{}{}
+		}
+	}
+	return float64(hits) / float64(len(t.Reqs))
+}
+
+// Interarrivals returns the successive arrival gaps of a trace in
+// nanoseconds (length = len(Reqs)-1).
+func Interarrivals(t *trace.Trace) []int64 {
+	if len(t.Reqs) < 2 {
+		return nil
+	}
+	out := make([]int64, 0, len(t.Reqs)-1)
+	for i := 1; i < len(t.Reqs); i++ {
+		out = append(out, t.Reqs[i].Arrival-t.Reqs[i-1].Arrival)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"testing"
+
+	"emmcio/internal/trace"
+)
+
+func TestSpatialLocalityFullySequential(t *testing.T) {
+	tr := &trace.Trace{}
+	var lba uint64
+	for i := 0; i < 10; i++ {
+		tr.Reqs = append(tr.Reqs, trace.Request{Arrival: int64(i), LBA: lba, Size: 4096, Op: trace.Write})
+		lba += trace.SectorsPerPage
+	}
+	// 9 of 10 requests follow their predecessor.
+	if got := SpatialLocality(tr); got != 0.9 {
+		t.Fatalf("SpatialLocality = %v, want 0.9", got)
+	}
+}
+
+func TestSpatialLocalityRandom(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 10; i++ {
+		tr.Reqs = append(tr.Reqs, trace.Request{Arrival: int64(i), LBA: uint64(i) * 1000 * trace.SectorsPerPage, Size: 4096})
+	}
+	if got := SpatialLocality(tr); got != 0 {
+		t.Fatalf("SpatialLocality = %v, want 0", got)
+	}
+}
+
+func TestSpatialLocalityTiny(t *testing.T) {
+	if SpatialLocality(&trace.Trace{}) != 0 {
+		t.Fatal("empty trace should have zero spatial locality")
+	}
+}
+
+func TestTemporalLocalityRehits(t *testing.T) {
+	tr := &trace.Trace{Reqs: []trace.Request{
+		{Arrival: 0, LBA: 0, Size: 4096},
+		{Arrival: 1, LBA: 0, Size: 4096},   // hit
+		{Arrival: 2, LBA: 800, Size: 4096}, // miss
+		{Arrival: 3, LBA: 0, Size: 4096},   // hit
+	}}
+	if got := TemporalLocality(tr); got != 0.5 {
+		t.Fatalf("TemporalLocality = %v, want 0.5", got)
+	}
+}
+
+func TestTemporalLocalityNoRepeats(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 5; i++ {
+		tr.Reqs = append(tr.Reqs, trace.Request{LBA: uint64(i) * 8, Size: 4096})
+	}
+	if got := TemporalLocality(tr); got != 0 {
+		t.Fatalf("TemporalLocality = %v, want 0", got)
+	}
+}
+
+func TestInterarrivals(t *testing.T) {
+	tr := &trace.Trace{Reqs: []trace.Request{
+		{Arrival: 0}, {Arrival: 100}, {Arrival: 350},
+	}}
+	got := Interarrivals(tr)
+	if len(got) != 2 || got[0] != 100 || got[1] != 250 {
+		t.Fatalf("Interarrivals = %v", got)
+	}
+	if Interarrivals(&trace.Trace{}) != nil {
+		t.Fatal("empty trace should yield nil interarrivals")
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadBlkparse parses the text output of blkparse(1) — the tool BIOtracer's
+// log format descends from — into a Trace, so real device traces can be fed
+// through the same analysis and replay pipelines as the synthetic ones.
+//
+// Expected line shape (default blkparse format):
+//
+//	maj,min cpu seq timestamp pid ACTION RWBS sector + sectors [process]
+//
+// Events are correlated by (sector, size):
+//
+//	Q (queue)    → request arrival
+//	D (issue)    → service start
+//	C (complete) → finish
+//
+// Lines with other actions (G, P, I, U, M, ...) and non-read/write RWBS
+// flags are skipped. Requests lacking D/C events keep zero timestamps, and
+// every trace is returned arrival-sorted.
+func ReadBlkparse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{Name: "blktrace"}
+
+	type key struct {
+		lba     uint64
+		sectors uint64
+		op      Op
+	}
+	// Outstanding requests waiting for their D/C events, FIFO per key.
+	outstanding := make(map[key][]int)
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		// Minimum: maj,min cpu seq ts pid action rwbs sector + count
+		if len(fields) < 10 || fields[8] != "+" {
+			continue
+		}
+		action := fields[5]
+		rwbs := fields[6]
+		var op Op
+		switch {
+		case strings.ContainsAny(rwbs, "W"):
+			op = Write
+		case strings.ContainsAny(rwbs, "R"):
+			op = Read
+		default:
+			continue
+		}
+		ts, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: blkparse line %d: timestamp: %w", lineNo, err)
+		}
+		sector, err := strconv.ParseUint(fields[7], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: blkparse line %d: sector: %w", lineNo, err)
+		}
+		sectors, err := strconv.ParseUint(fields[9], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: blkparse line %d: sector count: %w", lineNo, err)
+		}
+		if sectors == 0 {
+			continue
+		}
+		ns := int64(ts * 1e9)
+		k := key{lba: sector, sectors: sectors, op: op}
+
+		switch action {
+		case "Q":
+			t.Reqs = append(t.Reqs, Request{
+				Arrival: ns,
+				LBA:     sector,
+				Size:    uint32(sectors * SectorSize),
+				Op:      op,
+			})
+			outstanding[k] = append(outstanding[k], len(t.Reqs)-1)
+		case "D":
+			if idxs := outstanding[k]; len(idxs) > 0 {
+				t.Reqs[idxs[0]].ServiceStart = ns
+			}
+		case "C":
+			if idxs := outstanding[k]; len(idxs) > 0 {
+				req := &t.Reqs[idxs[0]]
+				req.Finish = ns
+				if req.ServiceStart == 0 {
+					req.ServiceStart = req.Arrival
+				}
+				outstanding[k] = idxs[1:]
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.SortByArrival()
+	return t, nil
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const blkSample = `  8,0    3        1     0.000000000  1234  Q   W 1000 + 8 [app]
+  8,0    3        2     0.000100000  1234  G   W 1000 + 8 [app]
+  8,0    3        3     0.000200000  1234  D   W 1000 + 8 [app]
+  8,0    3        4     0.001500000     0  C   W 1000 + 8 [0]
+  8,0    1        5     0.002000000  1234  Q   R 2000 + 16 [app]
+  8,0    1        6     0.002500000  1234  D   R 2000 + 16 [app]
+  8,0    1        7     0.004000000     0  C   R 2000 + 16 [0]
+  8,0    1        8     0.005000000  1234  Q  WS 3000 + 8 [app]
+`
+
+func TestReadBlkparse(t *testing.T) {
+	tr, err := ReadBlkparse(strings.NewReader(blkSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Reqs) != 3 {
+		t.Fatalf("%d requests, want 3 (Q events only)", len(tr.Reqs))
+	}
+	w := tr.Reqs[0]
+	if w.Op != Write || w.LBA != 1000 || w.Size != 4096 {
+		t.Fatalf("first request %+v", w)
+	}
+	if w.Arrival != 0 || w.ServiceStart != 200_000 || w.Finish != 1_500_000 {
+		t.Fatalf("write timestamps %+v", w)
+	}
+	r := tr.Reqs[1]
+	if r.Op != Read || r.Size != 8192 || r.Finish != 4_000_000 {
+		t.Fatalf("read %+v", r)
+	}
+	// The WS (sync write) request has no D/C: timestamps stay zero.
+	if tr.Reqs[2].Finish != 0 {
+		t.Fatalf("unfinished request got a finish time: %+v", tr.Reqs[2])
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBlkparseSkipsNoise(t *testing.T) {
+	noisy := `garbage line
+  8,0 0 1 0.0 1 P N [swapper]
+  8,0 0 2 0.000001 1 Q W 500 + 8 [x]
+`
+	tr, err := ReadBlkparse(strings.NewReader(noisy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Reqs) != 1 {
+		t.Fatalf("%d requests, want 1", len(tr.Reqs))
+	}
+}
+
+func TestReadBlkparseDuplicateKeysFIFO(t *testing.T) {
+	in := `  8,0 0 1 0.000000 1 Q W 100 + 8 [x]
+  8,0 0 2 0.001000 1 Q W 100 + 8 [x]
+  8,0 0 3 0.002000 1 C W 100 + 8 [x]
+  8,0 0 4 0.003000 1 C W 100 + 8 [x]
+`
+	tr, err := ReadBlkparse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Reqs) != 2 {
+		t.Fatalf("%d requests", len(tr.Reqs))
+	}
+	if tr.Reqs[0].Finish != 2_000_000 || tr.Reqs[1].Finish != 3_000_000 {
+		t.Fatalf("completions matched out of order: %+v", tr.Reqs)
+	}
+}
+
+func TestReadBlkparseBadNumbers(t *testing.T) {
+	if _, err := ReadBlkparse(strings.NewReader("8,0 0 1 notatime 1 Q W 1 + 8 [x]\n")); err == nil {
+		t.Fatal("bad timestamp accepted")
+	}
+	if _, err := ReadBlkparse(strings.NewReader("8,0 0 1 0.0 1 Q W abc + 8 [x]\n")); err == nil {
+		t.Fatal("bad sector accepted")
+	}
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomTrace(r *rand.Rand, n int) *Trace {
+	t := &Trace{Name: "Random"}
+	var at int64
+	for i := 0; i < n; i++ {
+		at += r.Int63n(1000000)
+		pages := r.Intn(64) + 1
+		req := Request{
+			Arrival: at,
+			LBA:     uint64(r.Intn(1<<20)) * SectorsPerPage,
+			Size:    uint32(pages * PageSize),
+			Op:      Op(r.Intn(2)),
+		}
+		if r.Intn(2) == 0 {
+			req.ServiceStart = at + r.Int63n(10000)
+			req.Finish = req.ServiceStart + r.Int63n(100000) + 1
+		}
+		t.Reqs = append(t.Reqs, req)
+	}
+	return t
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr := randomTrace(r, 500)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("text round trip changed the trace")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tr := randomTrace(r, 500)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("binary round trip changed the trace")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTrace(r, int(n)%64)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if tr.Name != got.Name || len(tr.Reqs) != len(got.Reqs) {
+			return false
+		}
+		for i := range tr.Reqs {
+			if tr.Reqs[i] != got.Reqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTraceRoundTrips(t *testing.T) {
+	tr := &Trace{Name: "Empty"}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "Empty" || len(got.Reqs) != 0 {
+		t.Fatalf("got %q with %d reqs", got.Name, len(got.Reqs))
+	}
+}
+
+func TestReadTextRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"1 2 3\n",
+		"a b c d e f\n",
+		"1 2 4096 X 0 0\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadText accepted %q", c)
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlank(t *testing.T) {
+	in := "# name: Foo\n\n# comment\n100 8 4096 W 0 0\n"
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "Foo" || len(tr.Reqs) != 1 {
+		t.Fatalf("got name %q, %d reqs", tr.Name, len(tr.Reqs))
+	}
+}
+
+func TestReadBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE00000000"))); err == nil {
+		t.Fatal("ReadBinary accepted bad magic")
+	}
+}
+
+func TestReadBinaryRejectsTruncated(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(3)), 10)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)-5])); err == nil {
+		t.Fatal("ReadBinary accepted truncated stream")
+	}
+}
+
+func TestReadBinaryRejectsBadOp(t *testing.T) {
+	tr := &Trace{Name: "X", Reqs: []Request{{Arrival: 1, Size: 4096, Op: Write}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt the op byte of the single record: header is 4+1+len(name)+8.
+	opOff := 4 + 1 + len("X") + 8 + 20
+	b[opOff] = 7
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("ReadBinary accepted bad op byte")
+	}
+}
+
+func TestStreamText(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(9)), 300)
+	tr.Name = "Streamed"
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var got []Request
+	name, n, err := StreamText(&buf, func(r Request) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "Streamed" || n != 300 || len(got) != 300 {
+		t.Fatalf("name %q n %d len %d", name, n, len(got))
+	}
+	for i := range got {
+		if got[i] != tr.Reqs[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestStreamTextEarlyStop(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(10)), 50)
+	var buf bytes.Buffer
+	WriteText(&buf, tr)
+	sentinel := errStop{}
+	count := 0
+	_, _, err := StreamText(&buf, func(Request) error {
+		count++
+		if count == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("early-stop error not returned: %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("callback ran %d times", count)
+	}
+}
+
+type errStop struct{}
+
+func (errStop) Error() string { return "stop" }
+
+func TestStreamTextBadLine(t *testing.T) {
+	if _, _, err := StreamText(strings.NewReader("1 2 3\n"), func(Request) error { return nil }); err == nil {
+		t.Fatal("bad line accepted")
+	}
+}

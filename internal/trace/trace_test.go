@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"testing"
+)
+
+func mkTrace() *Trace {
+	return &Trace{
+		Name: "Test",
+		Reqs: []Request{
+			{Arrival: 0, LBA: 0, Size: 4096, Op: Write},
+			{Arrival: 1000, LBA: 8, Size: 8192, Op: Read},
+			{Arrival: 2000, LBA: 24, Size: 4096, Op: Write},
+		},
+	}
+}
+
+func TestRequestDerivedFields(t *testing.T) {
+	r := Request{Arrival: 100, LBA: 16, Size: 20 * 1024, Op: Write, ServiceStart: 150, Finish: 400}
+	if got := r.Pages(); got != 5 {
+		t.Errorf("Pages() = %d, want 5", got)
+	}
+	if got := r.EndLBA(); got != 16+40 {
+		t.Errorf("EndLBA() = %d, want 56", got)
+	}
+	if got := r.ResponseTime(); got != 300 {
+		t.Errorf("ResponseTime() = %d, want 300", got)
+	}
+	if got := r.ServiceTime(); got != 250 {
+		t.Errorf("ServiceTime() = %d, want 250", got)
+	}
+	if got := r.WaitTime(); got != 50 {
+		t.Errorf("WaitTime() = %d, want 50", got)
+	}
+}
+
+func TestUnreplayedTimesAreZero(t *testing.T) {
+	r := Request{Arrival: 100, Size: 4096}
+	if r.ResponseTime() != 0 || r.ServiceTime() != 0 {
+		t.Error("unreplayed request should report zero response/service time")
+	}
+}
+
+func TestTraceAggregates(t *testing.T) {
+	tr := mkTrace()
+	if got := tr.TotalBytes(); got != 16384 {
+		t.Errorf("TotalBytes = %d, want 16384", got)
+	}
+	if got := tr.WrittenBytes(); got != 8192 {
+		t.Errorf("WrittenBytes = %d, want 8192", got)
+	}
+	if got := tr.WriteCount(); got != 2 {
+		t.Errorf("WriteCount = %d, want 2", got)
+	}
+	if got := tr.Duration(); got != 2000 {
+		t.Errorf("Duration = %d, want 2000", got)
+	}
+}
+
+func TestDurationIncludesFinish(t *testing.T) {
+	tr := mkTrace()
+	tr.Reqs[2].ServiceStart = 2500
+	tr.Reqs[2].Finish = 9999
+	if got := tr.Duration(); got != 9999 {
+		t.Errorf("Duration = %d, want 9999", got)
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := mkTrace().Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateRejectsUnsorted(t *testing.T) {
+	tr := mkTrace()
+	tr.Reqs[0].Arrival = 5000
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted unsorted trace")
+	}
+}
+
+func TestValidateRejectsUnaligned(t *testing.T) {
+	tr := mkTrace()
+	tr.Reqs[1].Size = 1000
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted unaligned size")
+	}
+	tr = mkTrace()
+	tr.Reqs[1].LBA = 3 // not a multiple of 8 sectors
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted unaligned LBA")
+	}
+}
+
+func TestValidateRejectsZeroSize(t *testing.T) {
+	tr := mkTrace()
+	tr.Reqs[0].Size = 0
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted zero-size request")
+	}
+}
+
+func TestValidateRejectsBadTimestamps(t *testing.T) {
+	tr := mkTrace()
+	tr.Reqs[0].ServiceStart = 10
+	tr.Reqs[0].Finish = 5
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted finish < service start")
+	}
+}
+
+func TestMergeInterleavesByArrival(t *testing.T) {
+	a := &Trace{Name: "A", Reqs: []Request{
+		{Arrival: 0, Size: 4096}, {Arrival: 100, Size: 4096}, {Arrival: 300, Size: 4096},
+	}}
+	b := &Trace{Name: "B", Reqs: []Request{
+		{Arrival: 50, LBA: 8, Size: 4096}, {Arrival: 250, LBA: 8, Size: 4096},
+	}}
+	m := Merge("A/B", a, b)
+	if m.Name != "A/B" {
+		t.Errorf("merged name %q", m.Name)
+	}
+	if len(m.Reqs) != 5 {
+		t.Fatalf("merged %d requests, want 5", len(m.Reqs))
+	}
+	var prev int64 = -1
+	for _, r := range m.Reqs {
+		if r.Arrival < prev {
+			t.Fatalf("merge not sorted: %d after %d", r.Arrival, prev)
+		}
+		prev = r.Arrival
+	}
+}
+
+func TestWindowRebasesArrivals(t *testing.T) {
+	tr := mkTrace()
+	w := tr.Window(1000, 3000)
+	if len(w.Reqs) != 2 {
+		t.Fatalf("window holds %d requests, want 2", len(w.Reqs))
+	}
+	if w.Reqs[0].Arrival != 0 || w.Reqs[1].Arrival != 1000 {
+		t.Fatalf("window arrivals %d,%d; want 0,1000", w.Reqs[0].Arrival, w.Reqs[1].Arrival)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := mkTrace()
+	c := tr.Clone()
+	c.Reqs[0].Size = 999999
+	if tr.Reqs[0].Size == 999999 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestClearTimestamps(t *testing.T) {
+	tr := mkTrace()
+	tr.Reqs[0].ServiceStart = 5
+	tr.Reqs[0].Finish = 10
+	tr.ClearTimestamps()
+	if tr.Reqs[0].ServiceStart != 0 || tr.Reqs[0].Finish != 0 {
+		t.Fatal("timestamps not cleared")
+	}
+}
+
+func TestSortByArrival(t *testing.T) {
+	tr := &Trace{Reqs: []Request{
+		{Arrival: 300, Size: 4096}, {Arrival: 100, Size: 4096}, {Arrival: 200, Size: 4096},
+	}}
+	tr.SortByArrival()
+	if tr.Reqs[0].Arrival != 100 || tr.Reqs[2].Arrival != 300 {
+		t.Fatalf("not sorted: %+v", tr.Reqs)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("Op string mismatch")
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr := mkTrace()
+	tr.Reqs[0].ServiceStart = 1
+	tr.Reqs[0].Finish = 2
+	half := tr.Scale(0.5)
+	if half.Reqs[1].Arrival != 500 || half.Reqs[2].Arrival != 1000 {
+		t.Fatalf("scaled arrivals %+v", half.Reqs)
+	}
+	if half.Reqs[0].ServiceStart != 0 || half.Reqs[0].Finish != 0 {
+		t.Fatal("scale must clear replay timestamps")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(0) did not panic")
+		}
+	}()
+	tr.Scale(0)
+}
+
+func TestShift(t *testing.T) {
+	tr := mkTrace()
+	tr.Reqs[0].ServiceStart = 10
+	tr.Reqs[0].Finish = 20
+	s := tr.Shift(1000)
+	if s.Reqs[0].Arrival != 1000 || s.Reqs[0].ServiceStart != 1010 || s.Reqs[0].Finish != 1020 {
+		t.Fatalf("shifted %+v", s.Reqs[0])
+	}
+	// Unreplayed requests keep zero timestamps.
+	if s.Reqs[1].ServiceStart != 0 {
+		t.Fatal("shift invented a service start")
+	}
+}
+
+func TestShiftNegativePanics(t *testing.T) {
+	tr := mkTrace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative shift did not panic")
+		}
+	}()
+	tr.Shift(-100)
+}
+
+func TestConcat(t *testing.T) {
+	a := mkTrace()
+	b := mkTrace()
+	c := Concat("double", 500, a, b)
+	if len(c.Reqs) != 6 {
+		t.Fatalf("%d requests", len(c.Reqs))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Second session starts after the first's duration plus the gap.
+	if c.Reqs[3].Arrival != a.Duration()+500 {
+		t.Fatalf("second session starts at %d", c.Reqs[3].Arrival)
+	}
+}

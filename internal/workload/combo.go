@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"emmcio/internal/rng"
+	"emmcio/internal/trace"
+)
+
+// The paper gathers combo traces two ways (§III-D): concurrent execution
+// (Music or Radio playing behind another app) and task switching (FB/Msg:
+// "using Facebook, switching to read a message whenever a new message
+// comes, continuing to use Facebook after replying"). The 7 published
+// combos are calibrated directly as profiles in profiles.go; the composers
+// here let users build *new* combos from any two profiles.
+
+// Concurrent interleaves independently generated traces of both profiles,
+// as two applications running simultaneously. The result's duration is the
+// shorter profile's duration (the paper runs both for the session length).
+func Concurrent(name string, a, b *Profile, seed uint64) *trace.Trace {
+	ta := a.Generate(seed)
+	tb := b.Generate(seed + 1)
+	// Trim to the common duration so neither app runs alone at the tail.
+	da, db := ta.Duration(), tb.Duration()
+	d := da
+	if db < d {
+		d = db
+	}
+	out := trace.Merge(name, ta.Window(0, d+1), tb.Window(0, d+1))
+	return out
+}
+
+// Switching alternates between two profiles' request streams with the
+// given mean dwell time: only the active application issues I/O, plus a
+// small background trickle from the inactive one (its sync services stay
+// up, as the paper's collection protocol keeps background services on).
+func Switching(name string, a, b *Profile, dwellMeanNs int64, backgroundFrac float64, seed uint64) *trace.Trace {
+	ta := a.Generate(seed)
+	tb := b.Generate(seed + 1)
+	r := rng.New(seed ^ 0x5157c43a9b3f21e7)
+
+	out := &trace.Trace{Name: name}
+	d := ta.Duration()
+	if db := tb.Duration(); db < d {
+		d = db
+	}
+
+	// Build the dwell schedule: alternating [start, end) windows.
+	type window struct {
+		start, end int64
+		active     *trace.Trace
+		inactive   *trace.Trace
+	}
+	var windows []window
+	at := int64(0)
+	turnA := true
+	for at < d {
+		dwell := int64(r.Exp(float64(dwellMeanNs)))
+		if dwell < dwellMeanNs/8 {
+			dwell = dwellMeanNs / 8
+		}
+		w := window{start: at, end: at + dwell}
+		if turnA {
+			w.active, w.inactive = ta, tb
+		} else {
+			w.active, w.inactive = tb, ta
+		}
+		windows = append(windows, w)
+		at += dwell
+		turnA = !turnA
+	}
+
+	for _, w := range windows {
+		for i := range w.active.Reqs {
+			req := w.active.Reqs[i]
+			if req.Arrival >= w.start && req.Arrival < w.end {
+				out.Reqs = append(out.Reqs, req)
+			}
+		}
+		for i := range w.inactive.Reqs {
+			req := w.inactive.Reqs[i]
+			if req.Arrival >= w.start && req.Arrival < w.end && r.Bool(backgroundFrac) {
+				out.Reqs = append(out.Reqs, req)
+			}
+		}
+	}
+	out.SortByArrival()
+	return out
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+
+	"emmcio/internal/paper"
+)
+
+func TestConcurrentComposer(t *testing.T) {
+	reg := DefaultRegistry()
+	tr := Concurrent("Music+WB", reg.Lookup(paper.Music), reg.Lookup(paper.WebBrowsing), testSeed)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "Music+WB" {
+		t.Fatalf("name %q", tr.Name)
+	}
+	// The combined request rate exceeds either component's.
+	dur := float64(tr.Duration()) / 1e9
+	rate := float64(len(tr.Reqs)) / dur
+	musicRate := paper.TableIV[paper.Music].ArrivalRate
+	wbRate := paper.TableIV[paper.WebBrowsing].ArrivalRate
+	if rate < musicRate || rate < wbRate {
+		t.Fatalf("combined rate %.2f below a component's", rate)
+	}
+	if rate < (musicRate+wbRate)*0.7 {
+		t.Fatalf("combined rate %.2f too low vs %.2f + %.2f", rate, musicRate, wbRate)
+	}
+}
+
+func TestConcurrentTrimsToCommonDuration(t *testing.T) {
+	reg := DefaultRegistry()
+	// Booting lasts 40 s, Music 3801 s: the combo must not outlive Booting.
+	tr := Concurrent("x", reg.Lookup(paper.Booting), reg.Lookup(paper.Music), testSeed)
+	if got := float64(tr.Duration()) / 1e9; got > 41 {
+		t.Fatalf("combo lasts %.0f s, want <= ~40 s", got)
+	}
+}
+
+func TestSwitchingComposer(t *testing.T) {
+	reg := DefaultRegistry()
+	fb, msg := reg.Lookup(paper.Facebook), reg.Lookup(paper.Messaging)
+	tr := Switching("FB<->Msg", fb, msg, 30_000_000_000, 0.1, testSeed)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Reqs) == 0 {
+		t.Fatal("empty switching combo")
+	}
+	// Foreground-only composition: the rate sits near the dwell-weighted
+	// average of the components, well below their sum.
+	dur := float64(tr.Duration()) / 1e9
+	rate := float64(len(tr.Reqs)) / dur
+	sum := paper.TableIV[paper.Facebook].ArrivalRate + paper.TableIV[paper.Messaging].ArrivalRate
+	if rate >= sum {
+		t.Fatalf("switching rate %.2f not below concurrent sum %.2f", rate, sum)
+	}
+}
+
+func TestSwitchingDeterministic(t *testing.T) {
+	reg := DefaultRegistry()
+	a := Switching("x", reg.Lookup(paper.Facebook), reg.Lookup(paper.Messaging), 10_000_000_000, 0.1, 7)
+	b := Switching("x", reg.Lookup(paper.Facebook), reg.Lookup(paper.Messaging), 10_000_000_000, 0.1, 7)
+	if len(a.Reqs) != len(b.Reqs) {
+		t.Fatal("switching not deterministic")
+	}
+	for i := range a.Reqs {
+		if a.Reqs[i] != b.Reqs[i] {
+			t.Fatal("switching not deterministic")
+		}
+	}
+}

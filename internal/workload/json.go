@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON profile files let users define workloads without writing Go: the
+// same calibration knobs as the built-in profiles, loadable by the
+// command-line tools (emmcsim -profile app.json).
+//
+// Example:
+//
+//	{
+//	  "name": "Podcast",
+//	  "durationSec": 2400,
+//	  "requests": 4200,
+//	  "writeFrac": 0.72,
+//	  "meanReadKB": 48,
+//	  "meanWriteKB": 18,
+//	  "maxKB": 2048,
+//	  "spatial": 0.24,
+//	  "temporal": 0.35,
+//	  "p4": 0.53,
+//	  "burstFrac": 0.75,
+//	  "burstMeanMs": 6
+//	}
+
+// profileJSON mirrors Profile with JSON tags (the explicit size-mixture
+// overrides are supported as optional arrays of {kb, weight}).
+type profileJSON struct {
+	Name        string      `json:"name"`
+	DurationSec float64     `json:"durationSec"`
+	Requests    int         `json:"requests"`
+	WriteFrac   float64     `json:"writeFrac"`
+	MeanReadKB  float64     `json:"meanReadKB"`
+	MeanWriteKB float64     `json:"meanWriteKB"`
+	MaxKB       int         `json:"maxKB"`
+	Spatial     float64     `json:"spatial"`
+	Temporal    float64     `json:"temporal"`
+	P4          float64     `json:"p4"`
+	BurstFrac   float64     `json:"burstFrac"`
+	BurstMeanMs float64     `json:"burstMeanMs"`
+	ReadMix     []sizePoint `json:"readMix,omitempty"`
+	WriteMix    []sizePoint `json:"writeMix,omitempty"`
+}
+
+type sizePoint struct {
+	KB     int     `json:"kb"`
+	Weight float64 `json:"weight"`
+}
+
+// WriteProfileJSON serializes a profile.
+func WriteProfileJSON(w io.Writer, p *Profile) error {
+	pj := profileJSON{
+		Name:        p.Name,
+		DurationSec: p.DurationSec,
+		Requests:    p.Requests,
+		WriteFrac:   p.WriteFrac,
+		MeanReadKB:  p.MeanReadKB,
+		MeanWriteKB: p.MeanWriteKB,
+		MaxKB:       p.MaxKB,
+		Spatial:     p.Spatial,
+		Temporal:    p.Temporal,
+		P4:          p.P4,
+		BurstFrac:   p.BurstFrac,
+		BurstMeanMs: p.BurstMeanMs,
+	}
+	for _, sp := range p.ReadMix {
+		pj.ReadMix = append(pj.ReadMix, sizePoint{KB: sp.KB, Weight: sp.Weight})
+	}
+	for _, sp := range p.WriteMix {
+		pj.WriteMix = append(pj.WriteMix, sizePoint{KB: sp.KB, Weight: sp.Weight})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&pj)
+}
+
+// ReadProfileJSON parses and validates a profile.
+func ReadProfileJSON(r io.Reader) (*Profile, error) {
+	var pj profileJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pj); err != nil {
+		return nil, fmt.Errorf("workload: parsing profile JSON: %w", err)
+	}
+	p := &Profile{
+		Name:        pj.Name,
+		DurationSec: pj.DurationSec,
+		Requests:    pj.Requests,
+		WriteFrac:   pj.WriteFrac,
+		MeanReadKB:  pj.MeanReadKB,
+		MeanWriteKB: pj.MeanWriteKB,
+		MaxKB:       pj.MaxKB,
+		Spatial:     pj.Spatial,
+		Temporal:    pj.Temporal,
+		P4:          pj.P4,
+		BurstFrac:   pj.BurstFrac,
+		BurstMeanMs: pj.BurstMeanMs,
+	}
+	for _, sp := range pj.ReadMix {
+		p.ReadMix = append(p.ReadMix, SizePoint{KB: sp.KB, Weight: sp.Weight})
+	}
+	for _, sp := range pj.WriteMix {
+		p.WriteMix = append(p.WriteMix, SizePoint{KB: sp.KB, Weight: sp.Weight})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,168 @@
+// Package workload synthesizes block-level I/O traces that match the
+// published per-application statistics of the paper (Tables III/IV, Figs. 4
+// and 6). We do not have the authors' Nexus 5 traces, so each of the 18
+// applications and 7 combos is modeled as a Profile whose generator is
+// calibrated to the published marginals: request count, read/write mix,
+// per-op mean sizes, maximum request size, single-page (4 KB) request
+// fraction, inter-arrival mixture, and spatial/temporal locality targets.
+//
+// Generators are deterministic: the same seed always yields the same trace.
+package workload
+
+import (
+	"emmcio/internal/rng"
+	"emmcio/internal/trace"
+)
+
+// SizePoint is one outcome of an explicit request-size mixture.
+type SizePoint struct {
+	KB     int
+	Weight float64
+}
+
+// maxReadKB is the largest read request observed in any trace (§III-A:
+// "the largest size of a read request is 256 KB").
+const maxReadKB = 256
+
+// sizeLadder returns the discrete size support used by the automatic
+// mixture builder: 8 KB upward by ×1.5 steps rounded up to 4 KB multiples,
+// capped at maxKB (inclusive as the final rung when it fits the progression).
+func sizeLadder(maxKB int) []int64 {
+	var out []int64
+	v := 8
+	for v <= maxKB {
+		out = append(out, int64(v))
+		next := v + v/2
+		next = (next + 3) / 4 * 4
+		if next == v {
+			next = v + 4
+		}
+		v = next
+	}
+	if len(out) == 0 {
+		out = append(out, int64(maxKB))
+	}
+	return out
+}
+
+// buildMix constructs a request-size sampler with
+//   - exactly p4 probability mass on 4 KB (single-page) requests, and
+//   - the remaining mass spread over sizeLadder(maxKB) with geometric
+//     weights r^i, where r is solved by bisection so the overall mean matches
+//     meanKB as closely as the support allows.
+//
+// Sizes are returned in bytes.
+func buildMix(p4, meanKB float64, maxKB int) *rng.Weighted {
+	ladder := sizeLadder(maxKB)
+	// Mean the tail must contribute.
+	tailTarget := (meanKB - 4*p4) / (1 - p4)
+	tailMean := func(r float64) float64 {
+		var wsum, msum, w float64
+		w = 1
+		for _, s := range ladder {
+			wsum += w
+			msum += float64(s) * w
+			w *= r
+		}
+		return msum / wsum
+	}
+	lo, hi := 0.01, 16.0
+	// tailMean is increasing in r; clamp outside the achievable range.
+	switch {
+	case tailTarget <= tailMean(lo):
+		hi = lo
+	case tailTarget >= tailMean(hi):
+		lo = hi
+	default:
+		for i := 0; i < 80; i++ {
+			mid := (lo + hi) / 2
+			if tailMean(mid) < tailTarget {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	r := (lo + hi) / 2
+	values := make([]int64, 0, len(ladder)+1)
+	weights := make([]float64, 0, len(ladder)+1)
+	values = append(values, 4*1024)
+	weights = append(weights, p4)
+	w := 1.0
+	var wsum float64
+	for range ladder {
+		wsum += w
+		w *= r
+	}
+	w = 1.0
+	for _, s := range ladder {
+		values = append(values, s*1024)
+		weights = append(weights, (1-p4)*w/wsum)
+		w *= r
+	}
+	return rng.NewWeighted(values, weights)
+}
+
+// explicitMix constructs a sampler from hand-written size points (used for
+// applications with distinctive Fig. 4 shapes, e.g. Movie's 16–64 KB hump).
+func explicitMix(points []SizePoint) *rng.Weighted {
+	values := make([]int64, len(points))
+	weights := make([]float64, len(points))
+	for i, p := range points {
+		values[i] = int64(p.KB) * 1024
+		weights[i] = p.Weight
+	}
+	return rng.NewWeighted(values, weights)
+}
+
+// addrGen produces request start addresses with tunable spatial (sequential
+// successor) and temporal (address re-hit) locality, over a 32 GB device
+// address space. Addresses are 512-byte sector LBAs aligned to 4 KB pages.
+type addrGen struct {
+	r       *rng.Rand
+	seq     float64
+	temp    float64
+	prevEnd uint64
+	hist    []uint64
+	histCap int
+	pages   uint64 // device size in 4 KB pages
+}
+
+// deviceBytes is the modeled logical capacity (the Nexus 5 eMMC is 32 GB).
+const deviceBytes = 32 << 30
+
+func newAddrGen(r *rng.Rand, seq, temp float64) *addrGen {
+	return &addrGen{
+		r:       r,
+		seq:     seq,
+		temp:    temp,
+		histCap: 4096,
+		pages:   deviceBytes / trace.PageSize,
+	}
+}
+
+// next returns the start LBA for a request spanning the given page count.
+func (g *addrGen) next(reqPages int) uint64 {
+	var lba uint64
+	u := g.r.Float64()
+	switch {
+	case u < g.seq && g.prevEnd != 0:
+		lba = g.prevEnd
+	case u < g.seq+g.temp && len(g.hist) > 0:
+		lba = g.hist[g.r.IntN(len(g.hist))]
+	default:
+		maxStart := g.pages - uint64(reqPages)
+		lba = uint64(g.r.Int63N(int64(maxStart))) * trace.SectorsPerPage
+	}
+	// Keep the request inside the device.
+	if lba+uint64(reqPages)*trace.SectorsPerPage > g.pages*trace.SectorsPerPage {
+		lba = (g.pages - uint64(reqPages)) * trace.SectorsPerPage
+	}
+	g.prevEnd = lba + uint64(reqPages)*trace.SectorsPerPage
+	if len(g.hist) < g.histCap {
+		g.hist = append(g.hist, lba)
+	} else {
+		g.hist[g.r.IntN(g.histCap)] = lba
+	}
+	return lba
+}

@@ -1,0 +1,112 @@
+package workload
+
+import "emmcio/internal/paper"
+
+// fromPaper builds a profile whose Table III/IV columns come straight from
+// the published data; p4 (Fig. 4), burst fraction and burst mean (Fig. 6
+// shape) are the only free parameters, chosen per application as documented
+// on each profile below.
+func fromPaper(name string, p4, burstFrac, burstMeanMs float64) *Profile {
+	size := paper.TableIII[name]
+	timing := paper.TableIV[name]
+	return &Profile{
+		Name:        name,
+		DurationSec: timing.DurationSec,
+		Requests:    paper.EffectiveRequests(name),
+		WriteFrac:   size.WriteReqPct / 100,
+		MeanReadKB:  size.AveReadKB,
+		MeanWriteKB: size.AveWriteKB,
+		MaxKB:       size.MaxKB,
+		Spatial:     timing.SpatialPct / 100,
+		Temporal:    timing.TemporalPct / 100,
+		P4:          p4,
+		BurstFrac:   burstFrac,
+		BurstMeanMs: burstMeanMs,
+	}
+}
+
+// movieProfile gets hand-written size mixtures: Fig. 4 shows Movie is the
+// outlier with >65% of requests between 16 KB and 64 KB (media streaming
+// read-ahead), and Fig. 6 shows most of its gaps below 1 ms.
+func movieProfile() *Profile {
+	p := fromPaper(paper.Movie, 0.12, 0.90, 0.5)
+	p.ReadMix = []SizePoint{
+		{4, 0.120}, {8, 0.060}, {12, 0.020},
+		{16, 0.285}, {24, 0.200}, {32, 0.140}, {48, 0.080}, {64, 0.060},
+		{96, 0.030}, {128, 0.015}, {192, 0.004}, {256, 0.001},
+	}
+	p.WriteMix = []SizePoint{
+		{4, 0.120}, {8, 0.150}, {12, 0.130},
+		{16, 0.300}, {24, 0.170}, {32, 0.080}, {48, 0.030}, {64, 0.015},
+		{128, 0.005},
+	}
+	return p
+}
+
+// Apps returns the 18 individual-application profiles in paper order.
+//
+// Parameter choices (p4, burstFrac, burstMean):
+//   - p4 sits in Characteristic 2's 44.9%–57.4% band for the fifteen
+//     4 KB-majority traces, and below it for Movie (0.12), Booting (0.28)
+//     and CameraVideo (0.40), the three data-heavy outliers of Fig. 4.
+//   - burstFrac controls the >16 ms inter-arrival mass of Fig. 6: exactly
+//     the ten traces the paper calls out keep more than 20% of their gaps
+//     above 16 ms (burstFrac <= 0.78); the eight high-arrival-rate traces
+//     (Booting, Installing, Twitter, Messaging, GoogleMaps, Movie,
+//     CameraVideo, Amazon) are burstier.
+func Apps() []*Profile {
+	return []*Profile{
+		fromPaper(paper.Idle, 0.52, 0.70, 10),
+		fromPaper(paper.CallIn, 0.50, 0.60, 10),
+		fromPaper(paper.CallOut, 0.51, 0.60, 10),
+		fromPaper(paper.Booting, 0.28, 0.80, 1.2),
+		movieProfile(),
+		fromPaper(paper.Music, 0.46, 0.75, 8),
+		fromPaper(paper.AngryBirds, 0.48, 0.75, 8),
+		fromPaper(paper.CameraVideo, 0.40, 0.85, 3),
+		fromPaper(paper.GoogleMaps, 0.55, 0.88, 6),
+		fromPaper(paper.Messaging, 0.56, 0.88, 6),
+		fromPaper(paper.Twitter, 0.574, 0.88, 6),
+		fromPaper(paper.Email, 0.47, 0.75, 8),
+		fromPaper(paper.Facebook, 0.50, 0.75, 8),
+		fromPaper(paper.Amazon, 0.449, 0.88, 6),
+		fromPaper(paper.YouTube, 0.54, 0.65, 10),
+		fromPaper(paper.Radio, 0.49, 0.70, 8),
+		fromPaper(paper.Installing, 0.46, 0.88, 4),
+		fromPaper(paper.WebBrowsing, 0.53, 0.70, 8),
+	}
+}
+
+// Combos returns the 7 combo-trace profiles (§III-D). Their Table III/IV
+// columns are published directly, so they are calibrated as first-class
+// profiles rather than by merging two independently generated traces
+// (the shared-resource inflation the paper observes — a combo's access rate
+// exceeding the sum of its parts — is already baked into the published
+// numbers). Music-included combos carry a higher 4 KB fraction than
+// Radio-included ones (Fig. 7a), and only Music/FB keeps less than 20% of
+// its gaps above 4 ms (Fig. 7c).
+func Combos() []*Profile {
+	return []*Profile{
+		fromPaper(paper.MusicWB, 0.55, 0.78, 6),
+		fromPaper(paper.RadioWB, 0.48, 0.78, 6),
+		fromPaper(paper.MusicFB, 0.56, 0.90, 2),
+		fromPaper(paper.RadioFB, 0.49, 0.78, 6),
+		fromPaper(paper.MusicMsg, 0.57, 0.78, 6),
+		fromPaper(paper.RadioMsg, 0.50, 0.78, 6),
+		fromPaper(paper.FBMsg, 0.55, 0.80, 6),
+	}
+}
+
+// All returns all 25 profiles in paper order.
+func All() []*Profile {
+	return append(Apps(), Combos()...)
+}
+
+// DefaultRegistry returns a registry holding all 25 profiles.
+func DefaultRegistry() *Registry {
+	return NewRegistry(All()...)
+}
+
+// DefaultSeed is the seed used by the command-line tools and benchmarks so
+// every run of the reproduction works from the same 25 traces.
+const DefaultSeed = 20151004 // IISWC 2015 was held October 4-6, 2015
