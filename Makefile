@@ -1,0 +1,32 @@
+GO ?= go
+
+# `make check` is the repository's pre-merge gate: static checks, a full
+# build, the test suite under the race detector, and the telemetry overhead
+# budget (TestTelemetryOverheadBudget fails if disabled telemetry shifts the
+# mean response time by 5% or more — it must be exactly 0).
+.PHONY: check
+check: vet build race overhead
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+.PHONY: overhead
+overhead:
+	$(GO) test -run TestTelemetryOverheadBudget -v .
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchtime=1x .

@@ -68,10 +68,37 @@ func TestCLIPipeline(t *testing.T) {
 	}
 
 	// 3. Replay the file on every scheme, then snapshot/resume a device.
-	out = run(t, filepath.Join(bins, "emmcsim"), "-trace", tracePath)
+	out = run(t, filepath.Join(bins, "emmcsim"), "-in", tracePath)
 	for _, want := range []string{"4PS", "8PS", "HPS"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("emmcsim output missing %q:\n%s", want, out)
+		}
+	}
+
+	// 3b. Observability exports: Prometheus metrics + Chrome trace JSON.
+	promPath := filepath.Join(work, "out.prom")
+	chromePath := filepath.Join(work, "out.json")
+	out = run(t, filepath.Join(bins, "emmcsim"), "-in", tracePath, "-scheme", "HPS",
+		"-metrics", promPath, "-trace", chromePath, "-trace-buffer", "65536")
+	if !strings.Contains(out, "telemetry summary") {
+		t.Fatalf("emmcsim did not print a telemetry summary:\n%s", out)
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE core_response_ns histogram", "emmc_requests_total{op=\"read\"}", "ftl_"} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("metrics file missing %q:\n%.500s", want, prom)
+		}
+	}
+	chrome, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"traceEvents"`, `"ph":"X"`, "requests/", "channel/"} {
+		if !strings.Contains(string(chrome), want) {
+			t.Fatalf("chrome trace missing %q:\n%.500s", want, chrome)
 		}
 	}
 	snap := filepath.Join(work, "dev.snap")
@@ -113,6 +140,12 @@ func TestCLIPipeline(t *testing.T) {
 	out = run(t, filepath.Join(bins, "tracediff"), a, bTr)
 	if !strings.Contains(out, "mean response") || !strings.Contains(out, "B faster on") {
 		t.Fatalf("tracediff output:\n%s", out)
+	}
+
+	// 5b. Service-time percentiles from a replayed (timestamped) trace.
+	out = run(t, filepath.Join(bins, "tracestat"), "-percentiles", a)
+	if !strings.Contains(out, "Service-time percentiles") || !strings.Contains(out, "p99") {
+		t.Fatalf("tracestat -percentiles output:\n%s", out)
 	}
 
 	// 6. A JSON profile end to end.

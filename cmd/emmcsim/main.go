@@ -2,8 +2,9 @@
 // under one or more Table V schemes and reports the §V metrics.
 //
 //	emmcsim -app Booting                  # built-in workload, all schemes
-//	emmcsim -trace twitter.trace -scheme HPS
+//	emmcsim -in twitter.trace -scheme HPS
 //	emmcsim -app Twitter -gc idle -buffer 16
+//	emmcsim -app Twitter -scheme HPS -metrics out.prom -trace out.json
 package main
 
 import (
@@ -16,13 +17,14 @@ import (
 	"emmcio/internal/emmc"
 	"emmcio/internal/ftl"
 	"emmcio/internal/report"
+	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 	"emmcio/internal/workload"
 )
 
 func main() {
 	app := flag.String("app", "", "built-in application workload to replay")
-	tracePath := flag.String("trace", "", "trace file to replay (text or binary)")
+	tracePath := flag.String("in", "", "trace file to replay (text or binary)")
 	profilePath := flag.String("profile", "", "JSON workload profile to generate and replay")
 	schemeFlag := flag.String("scheme", "all", "4PS, 8PS, HPS, or all")
 	gc := flag.String("gc", "foreground", "GC policy: foreground or idle")
@@ -36,6 +38,9 @@ func main() {
 	loadDev := flag.String("load", "", "restore the device from a snapshot file (single scheme only)")
 	saveDev := flag.String("save", "", "snapshot the device after the replay (single scheme only)")
 	outTrace := flag.String("o", "", "write the replayed (timestamped) trace to this file (single scheme only; feed pairs to tracediff)")
+	metricsPath := flag.String("metrics", "", "write Prometheus text-format metrics here (single scheme only)")
+	chromeTrace := flag.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) here (single scheme only)")
+	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultTracerCapacity, "tracer ring-buffer capacity in events")
 	flag.Parse()
 
 	tr, err := loadTrace(*app, *tracePath, *profilePath, *seed)
@@ -91,8 +96,18 @@ func main() {
 		tr = trace.Concat(tr.Name, 1_000_000_000, copies...)
 	}
 
-	if (*loadDev != "" || *saveDev != "" || *outTrace != "") && len(schemes) != 1 {
-		fatal(fmt.Errorf("-load/-save/-o require a single -scheme"))
+	if (*loadDev != "" || *saveDev != "" || *outTrace != "" || *metricsPath != "" || *chromeTrace != "") && len(schemes) != 1 {
+		fatal(fmt.Errorf("-load/-save/-o/-metrics/-trace require a single -scheme"))
+	}
+
+	// Observability is off unless an export was requested.
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *metricsPath != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if *chromeTrace != "" {
+		tracer = telemetry.NewTracer(*traceBuffer)
 	}
 
 	tab := report.NewTable(fmt.Sprintf("Replay of %s (%d requests)", tr.Name, len(tr.Reqs)),
@@ -120,7 +135,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		m, err := core.ReplayOn(dev, s, run)
+		m, err := core.ReplayObserved(dev, s, run, reg, tracer)
 		if err != nil {
 			fatal(err)
 		}
@@ -161,6 +176,38 @@ func main() {
 	if err := tab.WriteText(os.Stdout); err != nil {
 		fatal(err)
 	}
+
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsPath)
+	}
+	if *chromeTrace != "" {
+		f, err := os.Create(*chromeTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chrome trace written to %s (open in ui.perfetto.dev)\n", *chromeTrace)
+	}
+	if reg != nil || tracer != nil {
+		if err := telemetry.WriteSummary(os.Stdout, reg, tracer); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func loadTrace(app, path, profilePath string, seed uint64) (*trace.Trace, error) {
@@ -171,7 +218,7 @@ func loadTrace(app, path, profilePath string, seed uint64) (*trace.Trace, error)
 		}
 	}
 	if set > 1 {
-		return nil, fmt.Errorf("pass exactly one of -app, -trace, -profile")
+		return nil, fmt.Errorf("pass exactly one of -app, -in, -profile")
 	}
 	switch {
 	case profilePath != "":
@@ -209,7 +256,7 @@ func loadTrace(app, path, profilePath string, seed uint64) (*trace.Trace, error)
 		}
 		return trace.ReadText(f)
 	default:
-		return nil, fmt.Errorf("pass -app <name>, -trace <file>, or -profile <file>")
+		return nil, fmt.Errorf("pass -app <name>, -in <file>, or -profile <file>")
 	}
 }
 

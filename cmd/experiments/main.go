@@ -20,6 +20,7 @@ import (
 
 	"emmcio/internal/experiments"
 	"emmcio/internal/report"
+	"emmcio/internal/telemetry"
 	"emmcio/internal/workload"
 )
 
@@ -30,6 +31,9 @@ func main() {
 	md := flag.Bool("md", false, "emit Markdown tables instead of aligned text")
 	fig3Reqs := flag.Int("fig3-reqs", 8, "requests per Fig. 3 sweep point")
 	svgDir := flag.String("svg", "", "also write the figures as SVG files into this directory")
+	metricsPath := flag.String("metrics", "", "write Prometheus metrics from the case-study replays here")
+	chromeTrace := flag.String("trace", "", "write a Chrome trace_event JSON of the case-study replays here")
+	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultTracerCapacity, "tracer ring-buffer capacity in events")
 	flag.Parse()
 
 	if *svgDir != "" {
@@ -54,6 +58,12 @@ func main() {
 	_ = writeSVG
 
 	env := experiments.NewEnv(*seed)
+	if *metricsPath != "" {
+		env.Telemetry = telemetry.NewRegistry()
+	}
+	if *chromeTrace != "" {
+		env.Tracer = telemetry.NewTracer(*traceBuffer)
+	}
 	out := os.Stdout
 
 	want := map[string]bool{}
@@ -273,6 +283,38 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; see -h\n", *exp)
 		os.Exit(2)
+	}
+
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := env.Telemetry.WritePrometheus(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsPath)
+	}
+	if *chromeTrace != "" {
+		f, err := os.Create(*chromeTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := env.Tracer.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chrome trace written to %s (open in ui.perfetto.dev)\n", *chromeTrace)
+	}
+	if env.Telemetry != nil || env.Tracer != nil {
+		if err := telemetry.WriteSummary(out, env.Telemetry, env.Tracer); err != nil {
+			fatal(err)
+		}
 	}
 }
 

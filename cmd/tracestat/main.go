@@ -19,6 +19,7 @@ import (
 	"emmcio/internal/experiments"
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
+	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 	"emmcio/internal/workload"
 )
@@ -27,6 +28,7 @@ func main() {
 	generated := flag.Bool("generated", false, "analyze the 25 built-in generated traces instead of files")
 	seed := flag.Uint64("seed", workload.DefaultSeed, "seed for -generated")
 	dists := flag.Bool("dist", false, "also print size/response/inter-arrival distributions")
+	percentiles := flag.Bool("percentiles", false, "print p50/p95/p99 service latencies per request type")
 	asJSON := flag.Bool("json", false, "emit machine-readable FullReport JSON instead of tables")
 	stream := flag.Bool("stream", false, "stream text trace files in constant memory (huge collections)")
 	flag.Parse()
@@ -128,6 +130,39 @@ func main() {
 	fmt.Println()
 	must(timeTab.WriteText(os.Stdout))
 	fmt.Println()
+
+	if *percentiles {
+		tab := report.NewTable("Service-time percentiles by request type",
+			"Trace", "Op", "Count", "p50(ms)", "p95(ms)", "p99(ms)", "Max(ms)")
+		for _, tr := range traces {
+			hists := map[trace.Op]*telemetry.Histogram{
+				trace.Read:  telemetry.NewHistogram(telemetry.DefaultLatencyBuckets()),
+				trace.Write: telemetry.NewHistogram(telemetry.DefaultLatencyBuckets()),
+			}
+			for _, r := range tr.Reqs {
+				if r.Finish > r.ServiceStart {
+					hists[r.Op].Observe(r.Finish - r.ServiceStart)
+				}
+			}
+			for _, op := range []trace.Op{trace.Read, trace.Write} {
+				h := hists[op]
+				if h.Count() == 0 {
+					continue
+				}
+				name := "read"
+				if op == trace.Write {
+					name = "write"
+				}
+				tab.AddRow(tr.Name, name, report.I(h.Count()),
+					report.F(float64(h.Quantile(0.50))/1e6, 3),
+					report.F(float64(h.Quantile(0.95))/1e6, 3),
+					report.F(float64(h.Quantile(0.99))/1e6, 3),
+					report.F(float64(h.Max())/1e6, 3))
+			}
+		}
+		must(tab.WriteText(os.Stdout))
+		fmt.Println()
+	}
 
 	if *dists {
 		for _, tr := range traces {

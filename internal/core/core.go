@@ -12,6 +12,7 @@ import (
 	"emmcio/internal/flash"
 	"emmcio/internal/ftl"
 	"emmcio/internal/reliability"
+	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 )
 
@@ -225,13 +226,73 @@ func Replay(s Scheme, opt Options, tr *trace.Trace) (Metrics, error) {
 // ReplayOn replays a trace on an existing device (which may hold state from
 // prior traces — useful for aging studies).
 func ReplayOn(dev *emmc.Device, s Scheme, tr *trace.Trace) (Metrics, error) {
+	return ReplayObserved(dev, s, tr, nil, nil)
+}
+
+// coreTel holds the replay loop's metric handles, resolved once.
+type coreTel struct {
+	readReqs, writeReqs *telemetry.Counter
+	readResp, writeResp *telemetry.Histogram
+	readServ, writeServ *telemetry.Histogram
+	readWait, writeWait *telemetry.Histogram
+}
+
+func newCoreTel(reg *telemetry.Registry) *coreTel {
+	if reg == nil {
+		return nil
+	}
+	r, w := telemetry.L("op", "read"), telemetry.L("op", "write")
+	return &coreTel{
+		readReqs:  reg.Counter("core_requests_total", r),
+		writeReqs: reg.Counter("core_requests_total", w),
+		readResp:  reg.Histogram("core_response_ns", nil, r),
+		writeResp: reg.Histogram("core_response_ns", nil, w),
+		readServ:  reg.Histogram("core_service_ns", nil, r),
+		writeServ: reg.Histogram("core_service_ns", nil, w),
+		readWait:  reg.Histogram("core_wait_ns", nil, r),
+		writeWait: reg.Histogram("core_wait_ns", nil, w),
+	}
+}
+
+// ReplayObserved is ReplayOn with observability: it attaches the registry and
+// tracer to the device stack (nil values leave telemetry off), records one
+// "request" span (arrival → finish) and one "service" span (service-start →
+// finish) per request on the requests/read or requests/write track, and
+// feeds the core_{response,service,wait}_ns histograms split by operation.
+func ReplayObserved(dev *emmc.Device, s Scheme, tr *trace.Trace, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
+	if reg != nil || tc != nil {
+		dev.SetTelemetry(reg, tc)
+	}
+	ct := newCoreTel(reg)
 	for i := range tr.Reqs {
-		res, err := dev.Submit(tr.Reqs[i])
+		req := tr.Reqs[i]
+		res, err := dev.Submit(req)
 		if err != nil {
 			return Metrics{}, fmt.Errorf("core: replaying %s request %d on %s: %w", tr.Name, i, s, err)
 		}
 		tr.Reqs[i].ServiceStart = res.ServiceStart
 		tr.Reqs[i].Finish = res.Finish
+		if ct != nil {
+			if req.Op == trace.Write {
+				ct.writeReqs.Inc()
+				ct.writeResp.Observe(res.Finish - req.Arrival)
+				ct.writeServ.Observe(res.Finish - res.ServiceStart)
+				ct.writeWait.Observe(res.ServiceStart - req.Arrival)
+			} else {
+				ct.readReqs.Inc()
+				ct.readResp.Observe(res.Finish - req.Arrival)
+				ct.readServ.Observe(res.Finish - res.ServiceStart)
+				ct.readWait.Observe(res.ServiceStart - req.Arrival)
+			}
+		}
+		if tc != nil {
+			track := "requests/read"
+			if req.Op == trace.Write {
+				track = "requests/write"
+			}
+			tc.Span("core", track, "request", req.Arrival, res.Finish)
+			tc.Span("core", track, "service", res.ServiceStart, res.Finish)
+		}
 	}
 	dm := dev.Metrics()
 	fs := dev.FTLStats()

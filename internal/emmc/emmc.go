@@ -28,6 +28,7 @@ import (
 	"emmcio/internal/ftl"
 	"emmcio/internal/reliability"
 	"emmcio/internal/sim"
+	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 )
 
@@ -218,6 +219,94 @@ type Device struct {
 	lastReadEnd int64
 	prefetches  int64
 	prefetchHit int64
+
+	// Telemetry is off by default; SetTelemetry attaches handles so the
+	// hot paths pay one nil check when disabled.
+	tel    *devTel
+	tracer *telemetry.Tracer
+}
+
+// devTel holds the device's metric handles, resolved once at attach time.
+type devTel struct {
+	reads, writes         *telemetry.Counter
+	readServNs            *telemetry.Histogram
+	writeServNs           *telemetry.Histogram
+	waitNs                *telemetry.Histogram
+	sub4K, sub8K          *telemetry.Counter
+	flushes               *telemetry.Counter
+	lightWakes, deepWakes *telemetry.Counter
+	gcStallNs             *telemetry.Counter
+	idleGCNs              *telemetry.Counter
+	destageIdle           *telemetry.Counter
+	destageSpace          *telemetry.Counter
+	destageBarrier        *telemetry.Counter
+	wbBytes               *telemetry.Gauge
+	chanBusy              []*telemetry.Gauge
+}
+
+// SetTelemetry attaches metrics and span tracing to the device (nil values
+// detach). Metrics: emmc_requests_total{op}, emmc_service_ns{op} latency
+// histograms, sub-request counters split 4K/8K, flush/wake/GC-stall
+// accounting, write-buffer occupancy, and per-channel cumulative busy time.
+// Spans: every flash transfer/program/read on its channel and plane track,
+// GC and wake markers, and flush barriers. The FTL and mapping cache are
+// wired through the same registry.
+func (d *Device) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	d.tracer = tr
+	d.ftl.SetTelemetry(reg)
+	d.mapCache.SetTelemetry(reg)
+	if reg == nil {
+		d.tel = nil
+		return
+	}
+	t := &devTel{
+		reads:          reg.Counter("emmc_requests_total", telemetry.L("op", "read")),
+		writes:         reg.Counter("emmc_requests_total", telemetry.L("op", "write")),
+		readServNs:     reg.Histogram("emmc_service_ns", nil, telemetry.L("op", "read")),
+		writeServNs:    reg.Histogram("emmc_service_ns", nil, telemetry.L("op", "write")),
+		waitNs:         reg.Histogram("emmc_wait_ns", nil),
+		sub4K:          reg.Counter("emmc_subrequests_total", telemetry.L("page", "4K")),
+		sub8K:          reg.Counter("emmc_subrequests_total", telemetry.L("page", "8K")),
+		flushes:        reg.Counter("emmc_flushes_total"),
+		lightWakes:     reg.Counter("emmc_wakes_total", telemetry.L("level", "light")),
+		deepWakes:      reg.Counter("emmc_wakes_total", telemetry.L("level", "deep")),
+		gcStallNs:      reg.Counter("emmc_gc_stall_ns_total"),
+		idleGCNs:       reg.Counter("emmc_idle_gc_ns_total"),
+		destageIdle:    reg.Counter("emmc_destages_total", telemetry.L("cause", "idle")),
+		destageSpace:   reg.Counter("emmc_destages_total", telemetry.L("cause", "space")),
+		destageBarrier: reg.Counter("emmc_destages_total", telemetry.L("cause", "barrier")),
+		wbBytes:        reg.Gauge("emmc_write_buffer_bytes"),
+	}
+	for i := 0; i < d.cfg.Geometry.Channels; i++ {
+		t.chanBusy = append(t.chanBusy,
+			reg.Gauge("emmc_channel_busy_ns", telemetry.L("channel", fmt.Sprintf("%d", i))))
+	}
+	d.tel = t
+}
+
+// trackChannel/trackPlane format Perfetto track names; only reached when a
+// tracer is attached.
+func trackChannel(ch int) string { return fmt.Sprintf("channel/%d", ch) }
+func trackPlane(pl int) string   { return fmt.Sprintf("plane/%d", pl) }
+
+// observeSub attributes one flash page operation to its 4K/8K pool.
+func (d *Device) observeSub(pageBytes int) {
+	if d.tel == nil {
+		return
+	}
+	if pageBytes >= 8192 {
+		d.tel.sub8K.Inc()
+	} else {
+		d.tel.sub4K.Inc()
+	}
+}
+
+// pageLabel names the pool size in span labels.
+func pageLabel(pageBytes int) string {
+	if pageBytes >= 8192 {
+		return "8K"
+	}
+	return "4K"
 }
 
 // New builds a fresh device.
@@ -405,13 +494,21 @@ func (d *Device) serialUnit(plane int) int {
 
 // scheduleWrite places one program operation (transfer then program, plus
 // any GC stall) on a channel/plane pair and returns its completion time.
-func (d *Device) scheduleWrite(opsStart int64, plane int, transfer, opNs int64) int64 {
-	ch := &d.channels[d.cfg.Geometry.ChannelOf(plane)]
+// pageBytes attributes the sub-request to its 4K/8K pool in telemetry.
+func (d *Device) scheduleWrite(opsStart int64, plane int, transfer, opNs int64, pageBytes int) int64 {
+	chIdx := d.cfg.Geometry.ChannelOf(plane)
+	ch := &d.channels[chIdx]
 	pl := &d.planes[plane]
+	d.observeSub(pageBytes)
 	if d.cfg.Timing.ChannelInterleave {
 		// Channel frees after the transfer; the plane runs the program.
-		_, chEnd := ch.Reserve(opsStart, transfer)
-		_, plEnd := pl.Reserve(chEnd, opNs)
+		chStart, chEnd := ch.Reserve(opsStart, transfer)
+		plStart, plEnd := pl.Reserve(chEnd, opNs)
+		if d.tracer != nil {
+			pg := telemetry.L("page", pageLabel(pageBytes))
+			d.tracer.Span("emmc", trackChannel(chIdx), "xfer-in", chStart, chEnd, pg)
+			d.tracer.Span("emmc", trackPlane(plane), "program", plStart, plEnd, pg)
+		}
 		return plEnd
 	}
 	// Simple controller: the channel is held through the program.
@@ -424,17 +521,29 @@ func (d *Device) scheduleWrite(opsStart int64, plane int, transfer, opNs int64) 
 	}
 	ch.ReserveWindow(start, transfer+opNs)
 	pl.ReserveWindow(start+transfer, opNs)
+	if d.tracer != nil {
+		pg := telemetry.L("page", pageLabel(pageBytes))
+		d.tracer.Span("emmc", trackChannel(chIdx), "xfer+program", start, start+transfer+opNs, pg)
+		d.tracer.Span("emmc", trackPlane(plane), "program", start+transfer, start+transfer+opNs, pg)
+	}
 	return start + transfer + opNs
 }
 
 // scheduleRead places one read operation (flash read then transfer out) and
 // returns its completion time.
-func (d *Device) scheduleRead(opsStart int64, plane int, opNs, transfer int64) int64 {
-	ch := &d.channels[d.cfg.Geometry.ChannelOf(plane)]
+func (d *Device) scheduleRead(opsStart int64, plane int, opNs, transfer int64, pageBytes int) int64 {
+	chIdx := d.cfg.Geometry.ChannelOf(plane)
+	ch := &d.channels[chIdx]
 	pl := &d.planes[plane]
+	d.observeSub(pageBytes)
 	if d.cfg.Timing.ChannelInterleave {
-		_, plEnd := pl.Reserve(opsStart, opNs)
-		_, chEnd := ch.Reserve(plEnd, transfer)
+		plStart, plEnd := pl.Reserve(opsStart, opNs)
+		chStart, chEnd := ch.Reserve(plEnd, transfer)
+		if d.tracer != nil {
+			pg := telemetry.L("page", pageLabel(pageBytes))
+			d.tracer.Span("emmc", trackPlane(plane), "read", plStart, plEnd, pg)
+			d.tracer.Span("emmc", trackChannel(chIdx), "xfer-out", chStart, chEnd, pg)
+		}
 		return chEnd
 	}
 	start := opsStart
@@ -446,6 +555,11 @@ func (d *Device) scheduleRead(opsStart int64, plane int, opNs, transfer int64) i
 	}
 	ch.ReserveWindow(start, opNs+transfer)
 	pl.ReserveWindow(start, opNs)
+	if d.tracer != nil {
+		pg := telemetry.L("page", pageLabel(pageBytes))
+		d.tracer.Span("emmc", trackChannel(chIdx), "read+xfer", start, start+opNs+transfer, pg)
+		d.tracer.Span("emmc", trackPlane(plane), "read", start, start+opNs, pg)
+	}
 	return start + opNs + transfer
 }
 
@@ -501,10 +615,18 @@ func (d *Device) SubmitPacked(dispatchAt int64, reqs []trace.Request) ([]Result,
 			opsStart += d.cfg.DeepWake
 			d.metrics.DeepWakes++
 			d.metrics.WakeNs += d.cfg.DeepWake
+			if d.tel != nil {
+				d.tel.deepWakes.Inc()
+			}
+			d.tracer.Instant("emmc", "device", "deep-wake", serviceStart)
 		case d.cfg.LightSleepAfter > 0 && idle >= d.cfg.LightSleepAfter:
 			opsStart += d.cfg.LightWake
 			d.metrics.LightWakes++
 			d.metrics.WakeNs += d.cfg.LightWake
+			if d.tel != nil {
+				d.tel.lightWakes.Inc()
+			}
+			d.tracer.Instant("emmc", "device", "light-wake", serviceStart)
 		}
 	}
 	opsStart += d.cfg.Timing.RequestOverheadNs
@@ -553,6 +675,16 @@ func (d *Device) SubmitPacked(dispatchAt int64, reqs []trace.Request) ([]Result,
 		d.metrics.SumServiceNs += finish - serviceStart
 		d.metrics.SumResponseNs += finish - req.Arrival
 		d.metrics.SumWaitNs += serviceStart - req.Arrival
+		if d.tel != nil {
+			if req.Op == trace.Write {
+				d.tel.writes.Inc()
+				d.tel.writeServNs.Observe(finish - serviceStart)
+			} else {
+				d.tel.reads.Inc()
+				d.tel.readServNs.Observe(finish - serviceStart)
+			}
+			d.tel.waitNs.Observe(serviceStart - req.Arrival)
+		}
 		out = append(out, Result{ServiceStart: serviceStart, Finish: finish, Waited: waited})
 	}
 
@@ -561,6 +693,15 @@ func (d *Device) SubmitPacked(dispatchAt int64, reqs []trace.Request) ([]Result,
 	}
 	if cmdFinish > d.lastEnd {
 		d.lastEnd = cmdFinish
+	}
+	if d.tel != nil {
+		for i := range d.channels {
+			_, busy := d.channels[i].State()
+			d.tel.chanBusy[i].Set(busy)
+		}
+		if d.writeBuf != nil {
+			d.tel.wbBytes.Set(d.writeBuf.usedBytes)
+		}
 	}
 	return out, nil
 }
@@ -587,7 +728,12 @@ func (d *Device) serveWrite(opsStart int64, lpns []int64) (int64, error) {
 			}
 			payload := len(c.lpns) * flash.SectorBytes
 			ch := d.rrPlane % d.cfg.Geometry.Channels
-			_, chEnd := d.channels[ch].Reserve(opsStart, d.cfg.Timing.Transfer(payload))
+			chStart, chEnd := d.channels[ch].Reserve(opsStart, d.cfg.Timing.Transfer(payload))
+			if d.tracer != nil {
+				d.tracer.Span("emmc", trackChannel(ch), "wb-ack", chStart, chEnd,
+					telemetry.L("page", pageLabel(c.pageSize)))
+			}
+			d.observeSub(c.pageSize)
 			if chEnd > finish {
 				finish = chEnd
 			}
@@ -609,6 +755,11 @@ func (d *Device) serveWrite(opsStart int64, lpns []int64) (int64, error) {
 			gcNs = d.gcTime(gcWork, c.pageSize)
 			d.metrics.ForegroundGC.Add(gcWork)
 			d.metrics.GCStallNs += gcNs
+			if d.tel != nil {
+				d.tel.gcStallNs.Add(gcNs)
+			}
+			d.tracer.Instant("ftl", "gc", "foreground-gc", opsStart,
+				telemetry.L("page", pageLabel(c.pageSize)))
 		}
 		if d.buffer != nil {
 			for _, lpn := range c.lpns {
@@ -621,7 +772,7 @@ func (d *Device) serveWrite(opsStart int64, lpns []int64) (int64, error) {
 		base := d.cfg.Timing.ProgramPool(d.cfg.Pools[c.pool], int(loc.Page))
 		prog := d.opCost(base, perPlaneOps[unit])
 		perPlaneOps[unit]++
-		end := d.scheduleWrite(opsStart, plane, d.cfg.Timing.Transfer(payload), gcNs+prog)
+		end := d.scheduleWrite(opsStart, plane, d.cfg.Timing.Transfer(payload), gcNs+prog, c.pageSize)
 		if end > finish {
 			finish = end
 		}
@@ -717,7 +868,10 @@ func (d *Device) serveRead(opsStart int64, lpns []int64) (int64, error) {
 	finish := opsStart
 	if hitSectors > 0 {
 		ch := d.rrPlane % d.cfg.Geometry.Channels
-		_, chEnd := d.channels[ch].Reserve(opsStart, d.cfg.Timing.Transfer(hitSectors*flash.SectorBytes))
+		chStart, chEnd := d.channels[ch].Reserve(opsStart, d.cfg.Timing.Transfer(hitSectors*flash.SectorBytes))
+		if d.tracer != nil {
+			d.tracer.Span("emmc", trackChannel(ch), "ram-hit-xfer", chStart, chEnd)
+		}
 		if chEnd > finish {
 			finish = chEnd
 		}
@@ -729,7 +883,8 @@ func (d *Device) serveRead(opsStart int64, lpns []int64) (int64, error) {
 			rd = int64(float64(rd) * f)
 		}
 		perPlaneOps[unit]++
-		end := d.scheduleRead(opsStart, op.plane, rd, d.cfg.Timing.Transfer(op.payload))
+		end := d.scheduleRead(opsStart, op.plane, rd, d.cfg.Timing.Transfer(op.payload),
+			d.cfg.Pools[op.pool].PageBytes)
 		if end > finish {
 			finish = end
 		}
@@ -765,6 +920,9 @@ func (d *Device) Flush(dispatchAt int64) (Result, error) {
 		}
 		start += ns
 		d.metrics.DestageStallNs += ns
+		if d.tel != nil {
+			d.tel.destageBarrier.Inc()
+		}
 	}
 	cost := d.cfg.FlushNs
 	if cost <= 0 {
@@ -775,6 +933,13 @@ func (d *Device) Flush(dispatchAt int64) (Result, error) {
 	d.lastEnd = finish
 	d.metrics.Flushes++
 	d.metrics.FlushNs += cost
+	if d.tel != nil {
+		d.tel.flushes.Inc()
+		if d.writeBuf != nil {
+			d.tel.wbBytes.Set(d.writeBuf.usedBytes)
+		}
+	}
+	d.tracer.Span("emmc", "device", "flush", serviceStart, finish)
 	return Result{ServiceStart: serviceStart, Finish: finish, Waited: waited}, nil
 }
 
@@ -798,12 +963,21 @@ func (d *Device) runIdleGC(arrival int64) int64 {
 			}
 			ns := d.gcTime(work, d.cfg.Pools[pool].PageBytes)
 			d.metrics.IdleGC.Add(work)
+			d.tracer.Instant("ftl", "gc", "idle-gc", arrival,
+				telemetry.L("page", pageLabel(d.cfg.Pools[pool].PageBytes)))
 			if ns <= budget {
 				budget -= ns
 				d.metrics.IdleGCNs += ns
+				if d.tel != nil {
+					d.tel.idleGCNs.Add(ns)
+				}
 			} else {
 				d.metrics.IdleGCNs += budget
 				over := ns - budget
+				if d.tel != nil {
+					d.tel.idleGCNs.Add(budget)
+					d.tel.gcStallNs.Add(over)
+				}
 				budget = 0
 				overflow += over
 				d.metrics.GCStallNs += over

@@ -112,6 +112,9 @@ func (d *Device) destageIdle(budget int64) int64 {
 		}
 		budget -= ns
 		d.metrics.DestageIdleNs += ns
+		if d.tel != nil {
+			d.tel.destageIdle.Inc()
+		}
 	}
 	return budget
 }
@@ -127,6 +130,9 @@ func (d *Device) destageForSpace(n int64) int64 {
 		}
 		stall += ns
 		d.metrics.DestageStallNs += ns
+		if d.tel != nil {
+			d.tel.destageSpace.Inc()
+		}
 	}
 	return stall
 }

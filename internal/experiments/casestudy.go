@@ -54,7 +54,11 @@ func caseStudyOn(env *Env, names []string) (CaseStudyResult, error) {
 		row := CaseStudyRow{Name: name}
 		for i, s := range core.Schemes {
 			tr := env.Trace(name)
-			m, err := core.Replay(s, opt, tr)
+			dev, err := core.NewDevice(s, opt)
+			if err != nil {
+				return res, err
+			}
+			m, err := core.ReplayObserved(dev, s, tr, env.Telemetry, env.Tracer)
 			if err != nil {
 				return res, err
 			}

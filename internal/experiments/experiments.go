@@ -10,6 +10,7 @@ import (
 	"emmcio/internal/core"
 	"emmcio/internal/emmc"
 	"emmcio/internal/flash"
+	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 	"emmcio/internal/workload"
 )
@@ -21,6 +22,12 @@ type Env struct {
 	Seed uint64
 	// Registry holds the 25 application profiles.
 	Registry *workload.Registry
+
+	// Telemetry and Tracer, when non-nil, are attached to the case-study
+	// replays (metrics registry and span ring buffer). Both default to nil:
+	// experiments run unobserved.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 
 	cache map[string]*trace.Trace
 }

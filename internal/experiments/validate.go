@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"emmcio/internal/core"
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
+	"emmcio/internal/telemetry"
 )
 
 // Check is one validation verdict: a published claim, the measured value,
@@ -144,6 +146,27 @@ func Validate(env *Env) ([]Check, error) {
 	got := oh.Overheads[0].RequestOverhead
 	add("BIOtracer overhead", "~2%",
 		fmt.Sprintf("%.2f%%", got*100), math.Abs(got-0.02) <= 0.006)
+
+	// --- Observability: the trace instrument must see every request ---
+	// Replay one Fig. 8 trace with telemetry attached and require that the
+	// span count and request counters agree exactly with the trace length —
+	// the instrument can neither drop nor invent requests.
+	obsTr := env.Trace(paper.Twitter)
+	obsReg := telemetry.NewRegistry()
+	obsTc := telemetry.NewTracer(8 * len(obsTr.Reqs))
+	obsDev, err := core.NewDevice(core.SchemeHPS, core.CaseStudyOptions())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.ReplayObserved(obsDev, core.SchemeHPS, obsTr, obsReg, obsTc); err != nil {
+		return nil, err
+	}
+	spans := obsTc.CountSpans("core", "request")
+	counted := obsReg.Counter("core_requests_total", telemetry.L("op", "read")).Value() +
+		obsReg.Counter("core_requests_total", telemetry.L("op", "write")).Value()
+	obsOK := spans == int64(len(obsTr.Reqs)) && counted == int64(len(obsTr.Reqs)) && obsTc.Dropped() == 0
+	add("Telemetry: one span per replayed request", fmt.Sprintf("%d requests", len(obsTr.Reqs)),
+		fmt.Sprintf("%d spans, %d counted, %d dropped", spans, counted, obsTc.Dropped()), obsOK)
 
 	// --- The six characteristics ---
 	findings, err := Characteristics(env)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"emmcio/internal/flash"
+	"emmcio/internal/telemetry"
 )
 
 // Loc identifies a physical page.
@@ -161,6 +162,56 @@ type FTL struct {
 	// poolErases counts erases per pool across all planes (O(1) wear query
 	// for the reliability model).
 	poolErases []int64
+	tel        *ftlTel
+}
+
+// ftlTel holds the translation layer's metric handles. GC is rare relative
+// to the program path, so per-pool wear spread is recomputed only when a
+// collection actually erased something.
+type ftlTel struct {
+	gcRuns      *telemetry.Counter
+	gcMoves     *telemetry.Counter
+	gcMoveBytes *telemetry.Counter
+	erases      *telemetry.Counter
+	wearSpread  []*telemetry.Gauge // per pool: max-min erase count
+}
+
+// SetTelemetry attaches (or detaches, with a nil registry) GC and wear
+// observability: ftl_gc_invocations_total, ftl_gc_page_moves_total,
+// ftl_gc_move_bytes_total, ftl_erases_total, and a per-pool
+// ftl_wear_spread_erases gauge.
+func (f *FTL) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		f.tel = nil
+		return
+	}
+	t := &ftlTel{
+		gcRuns:      reg.Counter("ftl_gc_invocations_total"),
+		gcMoves:     reg.Counter("ftl_gc_page_moves_total"),
+		gcMoveBytes: reg.Counter("ftl_gc_move_bytes_total"),
+		erases:      reg.Counter("ftl_erases_total"),
+	}
+	for _, p := range f.cfg.Pools {
+		t.wearSpread = append(t.wearSpread,
+			reg.Gauge("ftl_wear_spread_erases", telemetry.L("pool", fmt.Sprintf("%dK", p.PageBytes/1024))))
+	}
+	f.tel = t
+}
+
+// observeGC records one garbage collection's work against the telemetry
+// counters and refreshes the pool's wear-spread gauge.
+func (f *FTL) observeGC(pool int, gc GCWork) {
+	if f.tel == nil || gc.Zero() {
+		return
+	}
+	f.tel.gcRuns.Inc()
+	f.tel.gcMoves.Add(int64(gc.PageMoves))
+	f.tel.gcMoveBytes.Add(gc.MoveBytes)
+	f.tel.erases.Add(int64(gc.Erases))
+	if gc.Erases > 0 && pool < len(f.tel.wearSpread) {
+		w := f.Wear(pool)
+		f.tel.wearSpread[pool].Set(int64(w.MaxErases - w.MinErases))
+	}
 }
 
 // New builds a fresh (fully erased) FTL.
@@ -242,6 +293,7 @@ func (f *FTL) Write(plane, pool int, lpns []int64) (Loc, GCWork, error) {
 	f.stats.HostPayloadBytes += int64(len(lpns)) * flash.SectorBytes
 	f.stats.HostFootprintBytes += int64(ps.spec.PageBytes)
 	f.stats.GC.Add(gc)
+	f.observeGC(pool, gc)
 	return loc, gc, nil
 }
 
@@ -252,6 +304,7 @@ func (f *FTL) CollectGarbage(plane, pool int) GCWork {
 	var gc GCWork
 	f.ensureFree(int32(plane), int32(pool), &gc)
 	f.stats.GC.Add(gc)
+	f.observeGC(pool, gc)
 	return gc
 }
 

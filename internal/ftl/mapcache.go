@@ -1,5 +1,7 @@
 package ftl
 
+import "emmcio/internal/telemetry"
+
 // MapCache models the DFTL-style cached mapping table a real eMMC
 // controller uses: the full sector map lives in flash (translation pages),
 // and only a small RAM cache of mapping entries is held in the controller —
@@ -24,6 +26,26 @@ type MapCache struct {
 	hits       int64
 	misses     int64
 	dirtyFlush int64
+
+	telHits   *telemetry.Counter
+	telMisses *telemetry.Counter
+	telFlush  *telemetry.Counter
+}
+
+// SetTelemetry attaches hit/miss/write-back counters
+// (ftl_mapcache_{hits,misses,dirty_writebacks}_total). Safe on a nil cache
+// (mapping RAM unlimited) and with a nil registry (detach).
+func (c *MapCache) SetTelemetry(reg *telemetry.Registry) {
+	if c == nil {
+		return
+	}
+	if reg == nil {
+		c.telHits, c.telMisses, c.telFlush = nil, nil, nil
+		return
+	}
+	c.telHits = reg.Counter("ftl_mapcache_hits_total")
+	c.telMisses = reg.Counter("ftl_mapcache_misses_total")
+	c.telFlush = reg.Counter("ftl_mapcache_dirty_writebacks_total")
 }
 
 type mapNode struct {
@@ -103,12 +125,14 @@ func (c *MapCache) Access(lpn int64, dirty bool) (tReads, tWrites int) {
 	group := lpn / c.groupSize
 	if n, ok := c.table[group]; ok {
 		c.hits++
+		c.telHits.Inc()
 		n.dirty = n.dirty || dirty
 		c.detach(n)
 		c.pushFront(n)
 		return 0, 0
 	}
 	c.misses++
+	c.telMisses.Inc()
 	tReads = 1 // fetch the translation page
 	if len(c.table) >= c.capacity {
 		evict := c.tail
@@ -116,6 +140,7 @@ func (c *MapCache) Access(lpn int64, dirty bool) (tReads, tWrites int) {
 		delete(c.table, evict.group)
 		if evict.dirty {
 			c.dirtyFlush++
+			c.telFlush.Inc()
 			tWrites = 1 // write back the dirty translation page
 		}
 	}

@@ -8,7 +8,12 @@
 // (Table IV).
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+
+	"emmcio/internal/telemetry"
+)
 
 // Time is a simulation timestamp in nanoseconds since simulation start.
 type Time = int64
@@ -59,12 +64,37 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// engineTel holds the engine's metric handles, resolved once so the event
+// loop pays a single nil check when telemetry is off.
+type engineTel struct {
+	dispatched *telemetry.Counter
+	depth      *telemetry.Gauge
+	vtime      *telemetry.Gauge
+}
+
 // Engine is a discrete-event simulation loop.
 // The zero value is ready to use.
 type Engine struct {
 	now    Time
 	queue  eventHeap
 	nextSq uint64
+	tel    *engineTel
+}
+
+// SetTelemetry attaches (or, with a nil registry, detaches) observability:
+// sim_events_dispatched_total counts executed events, sim_queue_depth
+// tracks the pending-event count, and sim_virtual_time_ns follows the
+// virtual clock.
+func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		e.tel = nil
+		return
+	}
+	e.tel = &engineTel{
+		dispatched: reg.Counter("sim_events_dispatched_total"),
+		depth:      reg.Gauge("sim_queue_depth"),
+		vtime:      reg.Gauge("sim_virtual_time_ns"),
+	}
 }
 
 // Now returns the current virtual time.
@@ -74,11 +104,19 @@ func (e *Engine) Now() Time { return e.now }
 // programming error and panics, because it would silently reorder causality.
 func (e *Engine) Schedule(at Time, fn func(now Time)) *Event {
 	if at < e.now {
-		panic("sim: scheduling event in the past")
+		head := "queue empty"
+		if len(e.queue) > 0 {
+			head = fmt.Sprintf("queue head at %d", e.queue[0].At)
+		}
+		panic(fmt.Sprintf("sim: scheduling event in the past: at=%d now=%d (%s, %d events pending)",
+			at, e.now, head, len(e.queue)))
 	}
 	ev := &Event{At: at, Fn: fn, seq: e.nextSq}
 	e.nextSq++
 	heap.Push(&e.queue, ev)
+	if e.tel != nil {
+		e.tel.depth.Set(int64(len(e.queue)))
+	}
 	return ev
 }
 
@@ -98,6 +136,11 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.At
+	if e.tel != nil {
+		e.tel.dispatched.Inc()
+		e.tel.depth.Set(int64(len(e.queue)))
+		e.tel.vtime.Set(e.now)
+	}
 	ev.Fn(e.now)
 	return true
 }

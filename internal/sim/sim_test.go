@@ -2,8 +2,11 @@ package sim
 
 import (
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
+
+	"emmcio/internal/telemetry"
 )
 
 func TestEventsRunInTimeOrder(t *testing.T) {
@@ -63,6 +66,60 @@ func TestSchedulePastPanics(t *testing.T) {
 		}
 	}()
 	e.Schedule(5, func(Time) {})
+}
+
+func TestSchedulePastPanicDiagnostics(t *testing.T) {
+	var e Engine
+	e.Schedule(10, func(Time) {})
+	e.Run()
+	// Leave two pending events so the message can report queue state.
+	e.Schedule(40, func(Time) {})
+	e.Schedule(20, func(Time) {})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"at=5", "now=10", "queue head at 20", "2 events pending"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic message missing %q: %s", want, msg)
+			}
+		}
+	}()
+	e.Schedule(5, func(Time) {})
+}
+
+func TestEngineTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var e Engine
+	e.SetTelemetry(reg)
+	for i := 1; i <= 3; i++ {
+		e.Schedule(Time(i*10), func(Time) {})
+	}
+	if got := reg.Gauge("sim_queue_depth").Value(); got != 3 {
+		t.Fatalf("queue depth %d, want 3", got)
+	}
+	e.Run()
+	if got := reg.Counter("sim_events_dispatched_total").Value(); got != 3 {
+		t.Fatalf("dispatched %d, want 3", got)
+	}
+	if got := reg.Gauge("sim_virtual_time_ns").Value(); got != 30 {
+		t.Fatalf("virtual time %d, want 30", got)
+	}
+	if got := reg.Gauge("sim_queue_depth").Value(); got != 0 {
+		t.Fatalf("final queue depth %d, want 0", got)
+	}
+	// Detach: further events must not move the counters.
+	e.SetTelemetry(nil)
+	e.Schedule(40, func(Time) {})
+	e.Run()
+	if got := reg.Counter("sim_events_dispatched_total").Value(); got != 3 {
+		t.Fatalf("detached engine still counted: %d", got)
+	}
 }
 
 func TestRunUntil(t *testing.T) {

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The Chrome trace-event exporter maps the tracer's model onto the
+// trace_event JSON format (the `chrome://tracing` / Perfetto import
+// format): every distinct (layer, track) pair becomes one "thread" under a
+// single process, named by metadata events, so a replay opens as parallel
+// timelines — request lifecycles, per-channel transfers, per-plane
+// programs, GC markers — each attributed to its layer.
+
+type chromeEvent struct {
+	Name  string       `json:"name"`
+	Cat   string       `json:"cat,omitempty"`
+	Phase string       `json:"ph"`
+	TS    jsonMicros   `json:"ts"`
+	Dur   *jsonMicros  `json:"dur,omitempty"`
+	PID   int          `json:"pid"`
+	TID   int          `json:"tid"`
+	Scope string       `json:"s,omitempty"`
+	Args  *orderedArgs `json:"args,omitempty"`
+}
+
+// jsonMicros renders simulation nanoseconds as fractional microseconds,
+// the unit the trace_event format expects.
+type jsonMicros int64
+
+func (m jsonMicros) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.FormatFloat(float64(m)/1e3, 'f', -1, 64)), nil
+}
+
+// orderedArgs marshals labels preserving their order, keeping the exported
+// JSON byte-stable for golden tests (map-backed args would not be).
+type orderedArgs []Label
+
+func (a orderedArgs) MarshalJSON() ([]byte, error) {
+	buf := []byte{'{'}
+	for i, l := range a {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		k, err := json.Marshal(l.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(l.Value)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, k...)
+		buf = append(buf, ':')
+		buf = append(buf, v...)
+	}
+	return append(buf, '}'), nil
+}
+
+const chromePID = 1
+
+// WriteChromeTrace exports the buffered events as a trace_event JSON
+// document. Tracks are assigned thread IDs in order of first appearance,
+// and each gets a thread_name metadata record, so the file is deterministic
+// for a deterministic replay.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events() // nil-safe; empty for a nil tracer
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := func(ev chromeEvent, last bool) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if !last {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type trackKey struct{ layer, track string }
+	tids := map[trackKey]int{}
+	var meta []chromeEvent
+	nextTID := 1
+	meta = append(meta, chromeEvent{
+		Name: "process_name", Phase: "M", PID: chromePID, TID: 0,
+		Args: &orderedArgs{L("name", "emmcio replay")},
+	})
+	body := make([]chromeEvent, 0, len(events))
+	for _, ev := range events {
+		k := trackKey{ev.Layer, ev.Track}
+		tid, ok := tids[k]
+		if !ok {
+			tid = nextTID
+			nextTID++
+			tids[k] = tid
+			name := ev.Track
+			if ev.Layer != "" {
+				name = ev.Layer + "/" + ev.Track
+			}
+			meta = append(meta, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: chromePID, TID: tid,
+				Args: &orderedArgs{L("name", name)},
+			})
+		}
+		ce := chromeEvent{
+			Name: ev.Name, Cat: ev.Layer, PID: chromePID, TID: tid,
+			TS: jsonMicros(ev.Begin),
+		}
+		if ev.Kind == InstantEvent {
+			ce.Phase = "i"
+			ce.Scope = "t" // thread-scoped instant marker
+		} else {
+			ce.Phase = "X"
+			dur := jsonMicros(ev.End - ev.Begin)
+			ce.Dur = &dur
+		}
+		if len(ev.Labels) > 0 {
+			args := orderedArgs(ev.Labels)
+			ce.Args = &args
+		}
+		body = append(body, ce)
+	}
+	for i, ev := range meta {
+		if err := enc(ev, len(body) == 0 && i == len(meta)-1); err != nil {
+			return err
+		}
+	}
+	for i, ev := range body {
+		if err := enc(ev, i == len(body)-1); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKey identifies one metric instance: a family name plus its rendered
+// label set (`op="read"`, possibly empty). Keeping the two separate lets the
+// Prometheus exporter splice the histogram `le` label in cleanly.
+type metricKey struct {
+	family string
+	labels string
+}
+
+func (k metricKey) String() string {
+	if k.labels == "" {
+		return k.family
+	}
+	return k.family + "{" + k.labels + "}"
+}
+
+// renderLabels joins labels in key-sorted order so the same set always maps
+// to the same metric regardless of call-site ordering.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Registry hands out named metric handles and snapshots them for export.
+// It is safe for concurrent use; handle lookups take a mutex, so hot paths
+// should resolve their handles once up front and increment lock-free.
+// A nil *Registry returns nil handles everywhere, which are themselves
+// no-ops — instrumentation is off by default and needs no guards.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[metricKey]*Counter{},
+		gauges:   map[metricKey]*Gauge{},
+		hists:    map[metricKey]*Histogram{},
+	}
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, renderLabels(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, renderLabels(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for name+labels, creating it with the
+// given bucket bounds on first use (later calls reuse the existing buckets;
+// nil bounds select DefaultLatencyBuckets).
+func (r *Registry) Histogram(name string, bounds []int64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, renderLabels(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets()
+		}
+		h = NewHistogram(bounds)
+		r.hists[k] = h
+	}
+	return h
+}
+
+func sortedKeys[M ~map[metricKey]V, V any](m M) []metricKey {
+	keys := make([]metricKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].family != keys[j].family {
+			return keys[i].family < keys[j].family
+		}
+		return keys[i].labels < keys[j].labels
+	})
+	return keys
+}
+
+// EachCounter visits every counter in deterministic (name, labels) order.
+// The name includes the rendered label set.
+func (r *Registry) EachCounter(fn func(name string, value int64)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range sortedKeys(r.counters) {
+		fn(k.String(), r.counters[k].Value())
+	}
+}
+
+// EachGauge visits every gauge in deterministic order.
+func (r *Registry) EachGauge(fn func(name string, value int64)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range sortedKeys(r.gauges) {
+		fn(k.String(), r.gauges[k].Value())
+	}
+}
+
+// EachHistogram visits every histogram in deterministic order.
+func (r *Registry) EachHistogram(fn func(name string, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range sortedKeys(r.hists) {
+		fn(k.String(), r.hists[k])
+	}
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteSummary prints a human-readable digest of a run's telemetry: every
+// histogram with count and p50/p95/p99/max (in milliseconds, since all
+// built-in histograms record nanoseconds), every counter and gauge, and the
+// tracer's occupancy. Both arguments may be nil.
+func WriteSummary(w io.Writer, reg *Registry, tc *Tracer) error {
+	if reg == nil && tc == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "-- telemetry summary --"); err != nil {
+		return err
+	}
+	var err error
+	if reg != nil {
+		wrote := false
+		reg.EachHistogram(func(name string, h *Histogram) {
+			if err != nil {
+				return
+			}
+			if !wrote {
+				_, err = fmt.Fprintln(w, "latency histograms (ms):")
+				wrote = true
+				if err != nil {
+					return
+				}
+			}
+			_, err = fmt.Fprintf(w, "  %-46s count=%-8d p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+				name, h.Count(),
+				float64(h.Quantile(0.50))/1e6, float64(h.Quantile(0.95))/1e6,
+				float64(h.Quantile(0.99))/1e6, float64(h.Max())/1e6)
+		})
+		if err != nil {
+			return err
+		}
+		wrote = false
+		reg.EachCounter(func(name string, value int64) {
+			if err != nil {
+				return
+			}
+			if !wrote {
+				_, err = fmt.Fprintln(w, "counters:")
+				wrote = true
+				if err != nil {
+					return
+				}
+			}
+			_, err = fmt.Fprintf(w, "  %-46s %d\n", name, value)
+		})
+		if err != nil {
+			return err
+		}
+		wrote = false
+		reg.EachGauge(func(name string, value int64) {
+			if err != nil {
+				return
+			}
+			if !wrote {
+				_, err = fmt.Fprintln(w, "gauges:")
+				wrote = true
+				if err != nil {
+					return
+				}
+			}
+			_, err = fmt.Fprintf(w, "  %-46s %d\n", name, value)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if tc != nil {
+		_, err = fmt.Fprintf(w, "tracer: %d events buffered (cap %d, %d dropped)\n",
+			tc.Len(), tc.Cap(), tc.Dropped())
+	}
+	return err
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import "sync"
+
+// EventKind distinguishes span records from instantaneous markers.
+type EventKind uint8
+
+const (
+	// SpanEvent covers a [Begin, End] interval of simulation time.
+	SpanEvent EventKind = iota
+	// InstantEvent marks a single point in time (Begin == End).
+	InstantEvent
+)
+
+// Event is one trace record. Layer attributes the event to a subsystem
+// (core, emmc, ftl, sim); Track is the timeline it renders on in Perfetto
+// (one "thread" per track, e.g. "requests/read" or "channel/0").
+type Event struct {
+	Kind   EventKind
+	Layer  string
+	Track  string
+	Name   string
+	Begin  int64 // simulation ns
+	End    int64 // simulation ns (== Begin for instants)
+	Labels []Label
+}
+
+// DefaultTracerCapacity bounds the ring buffer at 4096 events — the same
+// order of memory as BIOtracer's 32 KB in-RAM record log (§II), and for the
+// same reason: the instrument must not grow without bound under load.
+const DefaultTracerCapacity = 4096
+
+// Tracer records spans and instant events into a bounded ring buffer.
+// When full, the oldest events are overwritten first, exactly like
+// BIOtracer's circular log. A nil Tracer is a no-op.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // live events
+	dropped int64
+}
+
+// NewTracer builds a tracer holding up to capacity events
+// (DefaultTracerCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+func (t *Tracer) record(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < len(t.buf) {
+		t.buf[(t.start+t.n)%len(t.buf)] = ev
+		t.n++
+		return
+	}
+	// Full: overwrite the oldest slot.
+	t.buf[t.start] = ev
+	t.start = (t.start + 1) % len(t.buf)
+	t.dropped++
+}
+
+// Span records a [begin, end] interval on the given layer/track.
+func (t *Tracer) Span(layer, track, name string, begin, end int64, labels ...Label) {
+	if t == nil {
+		return
+	}
+	if end < begin {
+		end = begin
+	}
+	t.record(Event{Kind: SpanEvent, Layer: layer, Track: track, Name: name,
+		Begin: begin, End: end, Labels: labels})
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(layer, track, name string, at int64, labels ...Label) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: InstantEvent, Layer: layer, Track: track, Name: name,
+		Begin: at, End: at, Labels: labels})
+}
+
+// Events returns the buffered events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Dropped returns how many events were overwritten because the ring was
+// full — nonzero means the buffer (-trace-buffer) was too small for the
+// run and the exported trace is a suffix of the replay.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// CountSpans returns how many buffered events match the layer and name
+// (either may be empty to match everything).
+func (t *Tracer) CountSpans(layer, name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for i := 0; i < t.n; i++ {
+		ev := &t.buf[(t.start+i)%len(t.buf)]
+		if ev.Kind != SpanEvent {
+			continue
+		}
+		if (layer == "" || ev.Layer == layer) && (name == "" || ev.Name == name) {
+			n++
+		}
+	}
+	return n
+}

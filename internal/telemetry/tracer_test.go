@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTracerRecordsInOrder(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Span("core", "requests/read", "request", 100, 200, L("lba", "8"))
+	tr.Instant("ftl", "gc", "erase", 150)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Kind != SpanEvent || evs[0].Begin != 100 || evs[0].End != 200 {
+		t.Fatalf("span event %+v", evs[0])
+	}
+	if evs[1].Kind != InstantEvent || evs[1].Begin != 150 || evs[1].End != 150 {
+		t.Fatalf("instant event %+v", evs[1])
+	}
+	if tr.Dropped() != 0 || tr.Len() != 2 || tr.Cap() != 8 {
+		t.Fatalf("dropped=%d len=%d cap=%d", tr.Dropped(), tr.Len(), tr.Cap())
+	}
+}
+
+func TestTracerWraparoundDropsOldestFirst(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Span("core", "t", fmt.Sprintf("ev%d", i), int64(i), int64(i+1))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want capacity 4", len(evs))
+	}
+	// The four newest survive, oldest first.
+	for i, ev := range evs {
+		want := fmt.Sprintf("ev%d", 6+i)
+		if ev.Name != want {
+			t.Fatalf("event %d is %q, want %q", i, ev.Name, want)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTracerCountSpans(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Span("core", "requests/read", "request", 0, 1)
+	tr.Span("core", "requests/write", "request", 1, 2)
+	tr.Span("emmc", "channel/0", "xfer", 0, 1)
+	tr.Instant("core", "requests/read", "request", 5) // instants do not count
+	if n := tr.CountSpans("core", "request"); n != 2 {
+		t.Fatalf("CountSpans(core, request) = %d", n)
+	}
+	if n := tr.CountSpans("", ""); n != 3 {
+		t.Fatalf("CountSpans(all) = %d", n)
+	}
+}
+
+func TestTracerNilAndBackwardSpan(t *testing.T) {
+	var tr *Tracer
+	tr.Span("a", "b", "c", 0, 1) // no panic
+	tr.Instant("a", "b", "c", 0)
+	if tr.Events() != nil || tr.Len() != 0 || tr.Dropped() != 0 || tr.Cap() != 0 {
+		t.Fatal("nil tracer should be inert")
+	}
+	real := NewTracer(2)
+	real.Span("a", "b", "c", 10, 5) // end before begin clamps
+	if ev := real.Events()[0]; ev.End != 10 {
+		t.Fatalf("backward span end = %d, want clamp to 10", ev.End)
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	if NewTracer(0).Cap() != DefaultTracerCapacity {
+		t.Fatal("default capacity not applied")
+	}
+}

@@ -1,0 +1,84 @@
+package emmcio
+
+// The observability acceptance gate: telemetry must be free when disabled.
+// Disabled instrumentation is a nil-handle check on each hot path, so the
+// simulated timing must be bit-identical to an unobserved replay — the
+// mean-response-time overhead is required to be under 5% and is in fact
+// exactly 0. Wall-clock cost is benchmarked separately (and reported here
+// when not -short) because it varies with the host; simulated time is the
+// paper's metric and is deterministic.
+
+import (
+	"math"
+	"testing"
+
+	"emmcio/internal/core"
+	"emmcio/internal/paper"
+	"emmcio/internal/telemetry"
+	"emmcio/internal/workload"
+)
+
+func replayTwitter(t testing.TB, reg *telemetry.Registry, tc *telemetry.Tracer) core.Metrics {
+	t.Helper()
+	tr := workload.DefaultRegistry().Lookup(paper.Twitter).Generate(workload.DefaultSeed)
+	dev, err := core.NewDevice(core.SchemeHPS, core.CaseStudyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.ReplayObserved(dev, core.SchemeHPS, tr, reg, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTelemetryOverheadBudget(t *testing.T) {
+	// Disabled telemetry (nil registry and tracer): the seed configuration.
+	mOff := replayTwitter(t, nil, nil)
+	// Enabled telemetry: full metrics registry plus span tracer.
+	mOn := replayTwitter(t, telemetry.NewRegistry(), telemetry.NewTracer(0))
+
+	if mOff.MeanResponseNs <= 0 {
+		t.Fatal("degenerate replay")
+	}
+	overheadPct := math.Abs(mOn.MeanResponseNs-mOff.MeanResponseNs) / mOff.MeanResponseNs * 100
+	t.Logf("mean response time: disabled=%.3fms enabled=%.3fms overhead=%.2f%% (budget 5%%)",
+		mOff.MeanResponseNs/1e6, mOn.MeanResponseNs/1e6, overheadPct)
+	if overheadPct >= 5 {
+		t.Fatalf("telemetry mean-response-time overhead %.2f%% exceeds the 5%% budget", overheadPct)
+	}
+	if mOn != mOff {
+		t.Fatalf("telemetry perturbed the simulation:\n  on  %+v\n  off %+v", mOn, mOff)
+	}
+
+	if testing.Short() {
+		return
+	}
+	// Wall-clock cost, informational: simulated time is the acceptance
+	// metric, but the host-time ratio shows what enabling telemetry costs.
+	off := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			replayTwitter(b, nil, nil)
+		}
+	})
+	on := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			replayTwitter(b, telemetry.NewRegistry(), telemetry.NewTracer(0))
+		}
+	})
+	wallPct := (float64(on.NsPerOp())/float64(off.NsPerOp()) - 1) * 100
+	t.Logf("wall clock per replay: disabled=%dns enabled=%dns (+%.1f%%)",
+		off.NsPerOp(), on.NsPerOp(), wallPct)
+}
+
+func BenchmarkReplayTelemetryOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		replayTwitter(b, nil, nil)
+	}
+}
+
+func BenchmarkReplayTelemetryOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		replayTwitter(b, telemetry.NewRegistry(), telemetry.NewTracer(0))
+	}
+}
