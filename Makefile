@@ -1,11 +1,12 @@
 GO ?= go
 
 # `make check` is the repository's pre-merge gate: static checks, a full
-# build, the test suite under the race detector, and the telemetry overhead
-# budget (TestTelemetryOverheadBudget fails if disabled telemetry shifts the
+# build, the sweep-runner suite under the race detector, the test suite under
+# the race detector, and the telemetry overhead budget
+# (TestTelemetryOverheadBudget fails if disabled telemetry shifts the
 # mean response time by 5% or more — it must be exactly 0).
 .PHONY: check
-check: vet build race overhead
+check: vet build runner-race race overhead
 
 .PHONY: vet
 vet:
@@ -22,6 +23,12 @@ test:
 .PHONY: race
 race:
 	$(GO) test -race ./...
+
+# The sweep runner is the one deliberately concurrent layer; run its suite
+# twice under the race detector (scheduling varies between runs).
+.PHONY: runner-race
+runner-race:
+	$(GO) test -race -count=2 ./internal/runner
 
 .PHONY: overhead
 overhead:

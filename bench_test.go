@@ -69,7 +69,8 @@ func BenchmarkTableIV(b *testing.B) {
 func BenchmarkFig3Throughput(b *testing.B) {
 	var read4, write16m float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3(4)
+		env := experiments.NewEnv(workload.DefaultSeed)
+		res, err := experiments.Fig3(env, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -248,6 +249,23 @@ func BenchmarkAblationSLCMode(b *testing.B) {
 		speedup = rows[0].MLCMRTMs / rows[0].SLCMRTMs
 	}
 	b.ReportMetric(speedup, "slc_speedup_x")
+}
+
+// BenchmarkSweepRunner times the case study through the sweep runner at
+// width 1 (inline, strict plan order) and at GOMAXPROCS. The results are
+// bit-identical; only the wall clock differs.
+func BenchmarkSweepRunner(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			env := experiments.NewEnv(workload.DefaultSeed)
+			env.Workers = workers
+			if _, err := experiments.CaseStudy(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial-j1", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel-jmax", func(b *testing.B) { run(b, 0) })
 }
 
 // Micro benchmarks of the substrates.

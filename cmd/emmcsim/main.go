@@ -17,6 +17,7 @@ import (
 	"emmcio/internal/emmc"
 	"emmcio/internal/ftl"
 	"emmcio/internal/report"
+	"emmcio/internal/runner"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 	"emmcio/internal/workload"
@@ -41,6 +42,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write Prometheus text-format metrics here (single scheme only)")
 	chromeTrace := flag.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) here (single scheme only)")
 	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultTracerCapacity, "tracer ring-buffer capacity in events")
+	workers := flag.Int("j", 0, "replay the schemes on this many workers (0 = GOMAXPROCS); results are identical at any width")
 	flag.Parse()
 
 	tr, err := loadTrace(*app, *tracePath, *profilePath, *seed)
@@ -110,60 +112,72 @@ func main() {
 		tracer = telemetry.NewTracer(*traceBuffer)
 	}
 
+	// Each scheme replays as one job on the shared worker pool. The
+	// side-effectful flags (-load/-save/-o/-metrics/-trace) are restricted to a
+	// single scheme above, so file writes inside the job cannot race.
+	metrics, err := runner.Map(runner.New(*workers).Observe(reg), "emmcsim", schemes,
+		func(_ int, s core.Scheme) (core.Metrics, error) {
+			run := tr.Clone()
+			run.ClearTimestamps()
+			var dev *emmc.Device
+			if *loadDev != "" {
+				f, err := os.Open(*loadDev)
+				if err != nil {
+					return core.Metrics{}, err
+				}
+				dev, err = emmc.RestoreSnapshot(f)
+				f.Close()
+				if err != nil {
+					return core.Metrics{}, err
+				}
+				// Resume after the archived device's last activity.
+				run = run.Shift(dev.LastActivity() + 1_000_000_000)
+			} else {
+				var err error
+				dev, err = core.NewDevice(s, opt)
+				if err != nil {
+					return core.Metrics{}, err
+				}
+			}
+			m, err := core.ReplayObserved(dev, s, run, reg, tracer)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			if *outTrace != "" {
+				f, err := os.Create(*outTrace)
+				if err != nil {
+					return core.Metrics{}, err
+				}
+				if err := trace.WriteText(f, run); err != nil {
+					return core.Metrics{}, err
+				}
+				if err := f.Close(); err != nil {
+					return core.Metrics{}, err
+				}
+			}
+			if *saveDev != "" {
+				f, err := os.Create(*saveDev)
+				if err != nil {
+					return core.Metrics{}, err
+				}
+				if err := dev.Snapshot(f); err != nil {
+					return core.Metrics{}, err
+				}
+				if err := f.Close(); err != nil {
+					return core.Metrics{}, err
+				}
+				fmt.Fprintf(os.Stderr, "device snapshot written to %s\n", *saveDev)
+			}
+			return m, nil
+		})
+	if err != nil {
+		fatal(err)
+	}
+
 	tab := report.NewTable(fmt.Sprintf("Replay of %s (%d requests)", tr.Name, len(tr.Reqs)),
 		"Scheme", "MRT(ms)", "MeanServ(ms)", "NoWait%", "SpaceUtil", "WA", "GCStall(ms)", "IdleGC(ms)")
-	for _, s := range schemes {
-		run := tr.Clone()
-		run.ClearTimestamps()
-		var dev *emmc.Device
-		if *loadDev != "" {
-			f, err := os.Open(*loadDev)
-			if err != nil {
-				fatal(err)
-			}
-			dev, err = emmc.RestoreSnapshot(f)
-			f.Close()
-			if err != nil {
-				fatal(err)
-			}
-			// Resume after the archived device's last activity.
-			run = run.Shift(dev.LastActivity() + 1_000_000_000)
-		} else {
-			var err error
-			dev, err = core.NewDevice(s, opt)
-			if err != nil {
-				fatal(err)
-			}
-		}
-		m, err := core.ReplayObserved(dev, s, run, reg, tracer)
-		if err != nil {
-			fatal(err)
-		}
-		if *outTrace != "" {
-			f, err := os.Create(*outTrace)
-			if err != nil {
-				fatal(err)
-			}
-			if err := trace.WriteText(f, run); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}
-		if *saveDev != "" {
-			f, err := os.Create(*saveDev)
-			if err != nil {
-				fatal(err)
-			}
-			if err := dev.Snapshot(f); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "device snapshot written to %s\n", *saveDev)
-		}
+	for i, s := range schemes {
+		m := metrics[i]
 		tab.AddRow(s.String(),
 			report.F(m.MeanResponseNs/1e6, 3),
 			report.F(m.MeanServiceNs/1e6, 3),

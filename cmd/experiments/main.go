@@ -2,7 +2,12 @@
 //
 //	experiments -exp all            # everything
 //	experiments -exp fig8           # one experiment
+//	experiments -exp fig8,aging     # several, sharing one worker pool
 //	experiments -exp tableIII -csv  # CSV instead of aligned text
+//	experiments -exp all -j 1       # serial replays (same results, slower)
+//
+// Every sweep runs on a shared bounded worker pool (-j, default GOMAXPROCS);
+// results are bit-identical at any width.
 //
 // Experiments: tableI, tableII, fig3, tableIII, fig4, tableIV, fig5, fig6, fig7,
 // tableV, fig8, fig9, overhead, characteristics, ablations, lifetime,
@@ -30,9 +35,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	md := flag.Bool("md", false, "emit Markdown tables instead of aligned text")
 	fig3Reqs := flag.Int("fig3-reqs", 8, "requests per Fig. 3 sweep point")
+	workers := flag.Int("j", 0, "sweep worker pool width (0 = GOMAXPROCS); results are identical at any width")
 	svgDir := flag.String("svg", "", "also write the figures as SVG files into this directory")
-	metricsPath := flag.String("metrics", "", "write Prometheus metrics from the case-study replays here")
-	chromeTrace := flag.String("trace", "", "write a Chrome trace_event JSON of the case-study replays here")
+	metricsPath := flag.String("metrics", "", "write Prometheus metrics from the replay sweeps here")
+	chromeTrace := flag.String("trace", "", "write a Chrome trace_event JSON of the replay sweeps here")
 	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultTracerCapacity, "tracer ring-buffer capacity in events")
 	flag.Parse()
 
@@ -58,6 +64,7 @@ func main() {
 	_ = writeSVG
 
 	env := experiments.NewEnv(*seed)
+	env.Workers = *workers
 	if *metricsPath != "" {
 		env.Telemetry = telemetry.NewRegistry()
 	}
@@ -66,12 +73,24 @@ func main() {
 	}
 	out := os.Stdout
 
+	known := map[string]bool{}
+	for _, name := range []string{"all", "tablei", "tableii", "utilization", "fig3",
+		"tableiii", "fig4", "tableiv", "fig5", "fig6", "fig7", "tablev", "fig8",
+		"fig9", "overhead", "characteristics", "ablations", "profiles", "gcsweep",
+		"poolratio", "writebuffer", "readahead", "cq", "geometry", "ratesweep",
+		"aging", "lifetime", "ensemble", "validate"} {
+		known[name] = true
+	}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(strings.ToLower(name))] = true
+		name = strings.TrimSpace(strings.ToLower(name))
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; see -h\n", name)
+			os.Exit(2)
+		}
+		want[name] = true
 	}
 	all := want["all"]
-	ran := 0
 
 	emit := func(t *report.Table) {
 		var err error
@@ -88,7 +107,6 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintln(out)
-		ran++
 	}
 
 	if all || want["tablei"] {
@@ -105,7 +123,7 @@ func main() {
 		emit(experiments.RenderUtilization(rows))
 	}
 	if all || want["fig3"] {
-		res, err := experiments.Fig3(*fig3Reqs)
+		res, err := experiments.Fig3(env, *fig3Reqs)
 		if err != nil {
 			fatal(err)
 		}
@@ -261,7 +279,7 @@ func main() {
 		emit(experiments.RenderLifetime(rows))
 	}
 	if want["ensemble"] { // not in "all": runs the case study n times
-		res, err := experiments.Fig8Ensemble(5)
+		res, err := experiments.Fig8Ensemble(env, 5)
 		if err != nil {
 			fatal(err)
 		}
@@ -278,11 +296,6 @@ func main() {
 				os.Exit(1)
 			}
 		}
-	}
-
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; see -h\n", *exp)
-		os.Exit(2)
 	}
 
 	if *metricsPath != "" {

@@ -12,6 +12,7 @@ import (
 	"emmcio/internal/flash"
 	"emmcio/internal/ftl"
 	"emmcio/internal/reliability"
+	"emmcio/internal/runner"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 )
@@ -347,54 +348,57 @@ const MaxReadSize = 256 * 1024
 // ThroughputSweep reproduces Fig. 3 on a scheme: for each request size it
 // issues back-to-back requests on an otherwise idle device (power saving
 // off, as a tight microbenchmark never lets the device sleep) and reports
-// payload moved per unit of service time.
-func ThroughputSweep(s Scheme, sizes []int, reqsPerPoint int) ([]ThroughputPoint, error) {
-	var out []ThroughputPoint
-	for _, size := range sizes {
-		p := ThroughputPoint{SizeBytes: size}
-		for _, op := range []trace.Op{trace.Read, trace.Write} {
-			if op == trace.Read && size > MaxReadSize {
-				continue
-			}
-			dev, err := NewDevice(s, Options{})
-			if err != nil {
-				return nil, err
-			}
-			if op == trace.Read {
-				// Populate the address range so reads hit mapped pages.
-				prep := trace.Request{LBA: 0, Size: uint32(size), Op: trace.Write}
-				if _, err := dev.Submit(prep); err != nil {
-					return nil, err
-				}
-			}
-			var busy int64
-			at := dev.Metrics().Served // placeholder to keep arrivals ordered
-			_ = at
-			arrival := int64(1 << 40) // after the prep write, far in the future
-			var lba uint64
-			if op == trace.Write {
-				lba = 1 << 20 // separate region from the prep write
-			}
-			for i := 0; i < reqsPerPoint; i++ {
-				req := trace.Request{Arrival: arrival, LBA: lba, Size: uint32(size), Op: op}
-				res, err := dev.Submit(req)
-				if err != nil {
-					return nil, err
-				}
-				busy += res.Finish - res.ServiceStart
-				arrival = res.Finish
-				if op == trace.Write {
-					lba += uint64(size) / trace.SectorSize
-				}
-			}
-			mbs := float64(size) * float64(reqsPerPoint) / (float64(busy) / 1e9) / 1e6
-			if op == trace.Read {
-				p.ReadMBs = mbs
-			} else {
-				p.WriteMBs = mbs
+// payload moved per unit of service time. The per-size points are
+// independent (each builds its own devices), so they run as one plan on the
+// given runner; a nil runner uses a default-width pool.
+func ThroughputSweep(r *runner.Runner, s Scheme, opt Options, sizes []int, reqsPerPoint int) ([]ThroughputPoint, error) {
+	return runner.Map(r, "throughput", sizes, func(_ int, size int) (ThroughputPoint, error) {
+		return throughputPoint(s, opt, size, reqsPerPoint)
+	})
+}
+
+// throughputPoint measures one Fig. 3 sweep point on fresh devices.
+func throughputPoint(s Scheme, opt Options, size, reqsPerPoint int) (ThroughputPoint, error) {
+	p := ThroughputPoint{SizeBytes: size}
+	for _, op := range []trace.Op{trace.Read, trace.Write} {
+		if op == trace.Read && size > MaxReadSize {
+			continue
+		}
+		dev, err := NewDevice(s, opt)
+		if err != nil {
+			return p, err
+		}
+		if op == trace.Read {
+			// Populate the address range so reads hit mapped pages.
+			prep := trace.Request{LBA: 0, Size: uint32(size), Op: trace.Write}
+			if _, err := dev.Submit(prep); err != nil {
+				return p, err
 			}
 		}
-		out = append(out, p)
+		var busy int64
+		arrival := int64(1 << 40) // after the prep write, far in the future
+		var lba uint64
+		if op == trace.Write {
+			lba = 1 << 20 // separate region from the prep write
+		}
+		for i := 0; i < reqsPerPoint; i++ {
+			req := trace.Request{Arrival: arrival, LBA: lba, Size: uint32(size), Op: op}
+			res, err := dev.Submit(req)
+			if err != nil {
+				return p, err
+			}
+			busy += res.Finish - res.ServiceStart
+			arrival = res.Finish
+			if op == trace.Write {
+				lba += uint64(size) / trace.SectorSize
+			}
+		}
+		mbs := float64(size) * float64(reqsPerPoint) / (float64(busy) / 1e9) / 1e6
+		if op == trace.Read {
+			p.ReadMBs = mbs
+		} else {
+			p.WriteMBs = mbs
+		}
 	}
-	return out, nil
+	return p, nil
 }

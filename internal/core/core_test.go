@@ -157,7 +157,7 @@ func TestHPSBeats4PSOnAppTrace(t *testing.T) {
 }
 
 func TestThroughputSweepShape(t *testing.T) {
-	pts, err := ThroughputSweep(Scheme4PS, []int{4096, 65536, 1048576}, 4)
+	pts, err := ThroughputSweep(nil, Scheme4PS, Options{}, []int{4096, 65536, 1048576}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

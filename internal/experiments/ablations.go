@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"emmcio/internal/biotracer"
 	"emmcio/internal/core"
 	"emmcio/internal/emmc"
 	"emmcio/internal/flash"
@@ -33,36 +32,32 @@ func Implication1Parallelism(env *Env, names ...string) ([]ParallelismRow, error
 	if len(names) == 0 {
 		names = []string{paper.Messaging, paper.Twitter, paper.Movie, paper.Booting}
 	}
-	var out []ParallelismRow
+	inter := core.DefaultTiming()
+	inter.ChannelInterleave = true
+	var jobs []ReplayJob
 	for _, name := range names {
-		row := ParallelismRow{Name: name}
-
-		tr := env.Trace(name)
-		m, err := core.Replay(core.Scheme4PS, core.CaseStudyOptions(), tr)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs,
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: core.CaseStudyOptions()},
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: core.Options{Timing: &inter}},
+			// Host-side reordering (the "parallel request queues at OS
+			// layer" of Implication 1): strongest simple policy, SJF.
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: core.CaseStudyOptions(), Policy: core.SchedSJF},
+		)
+	}
+	results, err := env.Replays("implication1-parallelism", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ParallelismRow, len(names))
+	for i, name := range names {
+		simple, interleave, sjf := results[3*i].Metrics, results[3*i+1].Metrics, results[3*i+2].Metrics
+		out[i] = ParallelismRow{
+			Name:            name,
+			SimpleMRTMs:     simple.MeanResponseNs / 1e6,
+			InterleaveMRTMs: interleave.MeanResponseNs / 1e6,
+			SJFMRTMs:        sjf.MeanResponseNs / 1e6,
+			NoWaitPct:       simple.NoWaitRatio * 100,
 		}
-		row.SimpleMRTMs = m.MeanResponseNs / 1e6
-		row.NoWaitPct = m.NoWaitRatio * 100
-
-		inter := core.DefaultTiming()
-		inter.ChannelInterleave = true
-		tr2 := env.Trace(name)
-		m2, err := core.Replay(core.Scheme4PS, core.Options{Timing: &inter}, tr2)
-		if err != nil {
-			return nil, err
-		}
-		row.InterleaveMRTMs = m2.MeanResponseNs / 1e6
-
-		// Host-side reordering (the "parallel request queues at OS layer"
-		// of Implication 1): strongest simple policy, SJF.
-		tr3 := env.Trace(name)
-		m3, err := core.ReplayScheduled(core.Scheme4PS, core.CaseStudyOptions(), tr3, core.SchedSJF)
-		if err != nil {
-			return nil, err
-		}
-		row.SJFMRTMs = m3.MeanResponseNs / 1e6
-		out = append(out, row)
 	}
 	return out, nil
 }
@@ -116,26 +111,30 @@ func Implication2IdleGC(env *Env, names ...string) ([]GCPolicyRow, error) {
 	if len(names) == 0 {
 		names = []string{paper.Twitter, paper.GoogleMaps}
 	}
-	var out []GCPolicyRow
+	var jobs []ReplayJob
 	for _, name := range names {
-		row := GCPolicyRow{Name: name}
 		for _, policy := range []emmc.GCPolicy{emmc.GCForeground, emmc.GCIdle} {
-			tr := doubledSession(env.Trace(name))
-			opt := gcPressureOptions(policy)
-			m, err := core.Replay(core.Scheme4PS, opt, tr)
-			if err != nil {
-				return nil, err
-			}
-			if policy == emmc.GCForeground {
-				row.ForegroundMRTMs = m.MeanResponseNs / 1e6
-				row.ForegroundStallMs = float64(m.GCStallNs) / 1e6
-			} else {
-				row.IdleMRTMs = m.MeanResponseNs / 1e6
-				row.IdleStallMs = float64(m.GCStallNs) / 1e6
-				row.IdleAbsorbedMs = float64(m.IdleGCNs) / 1e6
-			}
+			jobs = append(jobs, ReplayJob{
+				Trace: name, Scheme: core.Scheme4PS,
+				Options: gcPressureOptions(policy), Prepare: doubledSession,
+			})
 		}
-		out = append(out, row)
+	}
+	results, err := env.Replays("implication2-idlegc", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GCPolicyRow, len(names))
+	for i, name := range names {
+		fg, idle := results[2*i].Metrics, results[2*i+1].Metrics
+		out[i] = GCPolicyRow{
+			Name:              name,
+			ForegroundMRTMs:   fg.MeanResponseNs / 1e6,
+			ForegroundStallMs: float64(fg.GCStallNs) / 1e6,
+			IdleMRTMs:         idle.MeanResponseNs / 1e6,
+			IdleStallMs:       float64(idle.GCStallNs) / 1e6,
+			IdleAbsorbedMs:    float64(idle.IdleGCNs) / 1e6,
+		}
 	}
 	return out, nil
 }
@@ -157,25 +156,25 @@ func Implication3Buffer(env *Env, sizesMB []int, names ...string) ([]BufferRow, 
 	if len(sizesMB) == 0 {
 		sizesMB = []int{4, 64}
 	}
-	var out []BufferRow
+	var jobs []ReplayJob
+	var rows []BufferRow
 	for _, name := range names {
 		for _, mb := range sizesMB {
-			tr := env.Trace(name)
 			opt := MeasuredDeviceOptions()
 			opt.RAMBufferBytes = int64(mb) << 20
-			m, err := core.Replay(core.Scheme4PS, opt, tr)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, BufferRow{
-				Name:        name,
-				BufferMB:    mb,
-				HitRatePct:  m.BufferHitRate * 100,
-				TemporalPct: stats.TemporalLocality(tr) * 100,
-			})
+			jobs = append(jobs, ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: opt})
+			rows = append(rows, BufferRow{Name: name, BufferMB: mb})
 		}
 	}
-	return out, nil
+	results, err := env.Replays("implication3-buffer", jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].HitRatePct = results[i].Metrics.BufferHitRate * 100
+		rows[i].TemporalPct = stats.TemporalLocality(results[i].Trace) * 100
+	}
+	return rows, nil
 }
 
 // WearRow reports the erase spread and leveling cost of one wear policy —
@@ -197,28 +196,32 @@ func Implication4Wear(env *Env, names ...string) ([]WearRow, error) {
 	if len(names) == 0 {
 		names = []string{paper.Twitter, paper.GoogleMaps}
 	}
-	var out []WearRow
+	var jobs []ReplayJob
+	var rows []WearRow
 	for _, name := range names {
 		for _, policy := range []ftl.WearPolicy{ftl.WearNone, ftl.WearRoundRobin, ftl.WearStatic} {
-			tr := doubledSession(env.Trace(name))
 			opt := gcPressureOptions(emmc.GCForeground)
 			opt.Wear = policy
-			dev, err := core.NewDevice(core.Scheme4PS, opt)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := biotracer.Collect(dev, tr); err != nil {
-				return nil, err
-			}
-			w := dev.Wear(0)
-			out = append(out, WearRow{
-				Name: name, Policy: policy,
-				TotalErases: w.TotalErases, MinErases: w.MinErases, MaxErases: w.MaxErases,
-				LevelMoves: dev.FTLStats().StaticLevelMoves,
+			jobs = append(jobs, ReplayJob{
+				Trace: name, Scheme: core.Scheme4PS, Options: opt,
+				Prepare: doubledSession, Collect: true,
 			})
+			rows = append(rows, WearRow{Name: name, Policy: policy})
 		}
 	}
-	return out, nil
+	results, err := env.Replays("implication4-wear", jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		dev := results[i].Device
+		w := dev.Wear(0)
+		rows[i].TotalErases = w.TotalErases
+		rows[i].MinErases = w.MinErases
+		rows[i].MaxErases = w.MaxErases
+		rows[i].LevelMoves = dev.FTLStats().StaticLevelMoves
+	}
+	return rows, nil
 }
 
 // SLCRow compares the MLC 4PS device against an SLC-mode variant —
@@ -248,25 +251,25 @@ func Implication5SLC(env *Env, names ...string) ([]SLCRow, error) {
 	if len(names) == 0 {
 		names = []string{paper.Messaging, paper.Twitter, paper.Email}
 	}
-	var out []SLCRow
+	slc := SLCModeTiming()
+	var jobs []ReplayJob
 	for _, name := range names {
-		row := SLCRow{Name: name}
-
-		tr := env.Trace(name)
-		m, err := core.Replay(core.Scheme4PS, core.CaseStudyOptions(), tr)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs,
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: core.CaseStudyOptions()},
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: core.Options{Timing: &slc}},
+		)
+	}
+	results, err := env.Replays("implication5-slc", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SLCRow, len(names))
+	for i, name := range names {
+		out[i] = SLCRow{
+			Name:     name,
+			MLCMRTMs: results[2*i].Metrics.MeanResponseNs / 1e6,
+			SLCMRTMs: results[2*i+1].Metrics.MeanResponseNs / 1e6,
 		}
-		row.MLCMRTMs = m.MeanResponseNs / 1e6
-
-		slc := SLCModeTiming()
-		tr2 := env.Trace(name)
-		m2, err := core.Replay(core.Scheme4PS, core.Options{Timing: &slc}, tr2)
-		if err != nil {
-			return nil, err
-		}
-		row.SLCMRTMs = m2.MeanResponseNs / 1e6
-		out = append(out, row)
 	}
 	return out, nil
 }
@@ -308,31 +311,29 @@ func Implication5SLCCache(env *Env, names ...string) ([]SLCCacheRow, error) {
 	}
 	hpsCfg := core.DeviceConfig(core.SchemeHPS, core.CaseStudyOptions())
 	slcCfg := SLCCacheConfig()
-	var out []SLCCacheRow
+	var jobs []ReplayJob
 	for _, name := range names {
-		row := SLCCacheRow{
+		jobs = append(jobs,
+			ReplayJob{Trace: name, Scheme: core.SchemeHPS, Options: core.CaseStudyOptions()},
+			// Each job builds its own device from a fresh config.
+			ReplayJob{Trace: name, Scheme: core.SchemeHPS, Device: func() (*emmc.Device, error) {
+				return emmc.New(SLCCacheConfig())
+			}},
+		)
+	}
+	results, err := env.Replays("implication5-slccache", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SLCCacheRow, len(names))
+	for i, name := range names {
+		out[i] = SLCCacheRow{
 			Name:             name,
 			HPSCapacityGB:    capacity(hpsCfg),
 			HPSSLCCapacityGB: capacity(slcCfg),
+			HPSMRTMs:         results[2*i].Metrics.MeanResponseNs / 1e6,
+			HPSSLCMRTMs:      results[2*i+1].Metrics.MeanResponseNs / 1e6,
 		}
-		tr := env.Trace(name)
-		m, err := core.Replay(core.SchemeHPS, core.CaseStudyOptions(), tr)
-		if err != nil {
-			return nil, err
-		}
-		row.HPSMRTMs = m.MeanResponseNs / 1e6
-
-		dev, err := emmc.New(slcCfg)
-		if err != nil {
-			return nil, err
-		}
-		tr2 := env.Trace(name)
-		m2, err := core.ReplayOn(dev, core.SchemeHPS, tr2)
-		if err != nil {
-			return nil, err
-		}
-		row.HPSSLCMRTMs = m2.MeanResponseNs / 1e6
-		out = append(out, row)
 	}
 	return out, nil
 }
@@ -356,32 +357,27 @@ func Implication3MapCache(env *Env, sizesKB []int, names ...string) ([]MapCacheR
 	if len(sizesKB) == 0 {
 		sizesKB = []int{16, 64, 256}
 	}
-	var out []MapCacheRow
+	var jobs []ReplayJob
+	var rows []MapCacheRow
 	for _, name := range names {
 		for _, kb := range sizesKB {
 			opt := core.CaseStudyOptions()
 			opt.MapCacheBytes = int64(kb) << 10
-			dev, err := core.NewDevice(core.Scheme4PS, opt)
-			if err != nil {
-				return nil, err
-			}
-			tr := env.Trace(name)
-			m, err := core.ReplayOn(dev, core.Scheme4PS, tr)
-			if err != nil {
-				return nil, err
-			}
-			mcs := dev.MapCacheStats()
-			dm := dev.Metrics()
-			out = append(out, MapCacheRow{
-				Name:          name,
-				CacheKB:       kb,
-				HitRatePct:    mcs.HitRate() * 100,
-				MRTMs:         m.MeanResponseNs / 1e6,
-				MapReadsPer1k: float64(dm.MapReads) / float64(len(tr.Reqs)) * 1000,
-			})
+			jobs = append(jobs, ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: opt})
+			rows = append(rows, MapCacheRow{Name: name, CacheKB: kb})
 		}
 	}
-	return out, nil
+	results, err := env.Replays("implication3-mapcache", jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		dev := results[i].Device
+		rows[i].HitRatePct = dev.MapCacheStats().HitRate() * 100
+		rows[i].MRTMs = results[i].Metrics.MeanResponseNs / 1e6
+		rows[i].MapReadsPer1k = float64(dev.Metrics().MapReads) / float64(len(results[i].Trace.Reqs)) * 1000
+	}
+	return rows, nil
 }
 
 // RenderMapCache renders the sweep.
@@ -454,24 +450,28 @@ func RateSweep(env *Env, name string, factors []float64) ([]RatePoint, error) {
 		factors = []float64{1.0, 0.5, 0.25, 0.125}
 	}
 	base := env.Trace(name)
-	var out []RatePoint
-	for _, f := range factors {
-		p := RatePoint{Factor: f}
+	out := make([]RatePoint, len(factors))
+	var jobs []ReplayJob
+	for i, f := range factors {
+		out[i] = RatePoint{Factor: f}
+		// The rate comes from the scaled arrivals before any replay.
 		scaled := base.Scale(f)
 		if d := scaled.Duration(); d > 0 {
-			p.Rate = float64(len(scaled.Reqs)) / (float64(d) / 1e9)
+			out[i].Rate = float64(len(scaled.Reqs)) / (float64(d) / 1e9)
 		}
-		m4, err := core.Replay(core.Scheme4PS, core.CaseStudyOptions(), scaled.Clone())
-		if err != nil {
-			return nil, err
-		}
-		p.MRT4PSMs = m4.MeanResponseNs / 1e6
-		mh, err := core.Replay(core.SchemeHPS, core.CaseStudyOptions(), scaled.Clone())
-		if err != nil {
-			return nil, err
-		}
-		p.MRTHPSMs = mh.MeanResponseNs / 1e6
-		out = append(out, p)
+		prep := func(tr *trace.Trace) *trace.Trace { return tr.Scale(f) }
+		jobs = append(jobs,
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: core.CaseStudyOptions(), Prepare: prep},
+			ReplayJob{Trace: name, Scheme: core.SchemeHPS, Options: core.CaseStudyOptions(), Prepare: prep},
+		)
+	}
+	results, err := env.Replays("ratesweep", jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i].MRT4PSMs = results[2*i].Metrics.MeanResponseNs / 1e6
+		out[i].MRTHPSMs = results[2*i+1].Metrics.MeanResponseNs / 1e6
 	}
 	return out, nil
 }

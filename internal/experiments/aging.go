@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"emmcio/internal/core"
+	"emmcio/internal/emmc"
 	"emmcio/internal/paper"
 	"emmcio/internal/reliability"
 	"emmcio/internal/report"
@@ -30,32 +31,40 @@ func Aging(env *Env, name string, lifeFractions []float64) ([]AgingPoint, error)
 	if len(lifeFractions) == 0 {
 		lifeFractions = []float64{0, 0.5, 1.0, 1.25, 1.5}
 	}
-	model := reliability.Default()
-	var out []AgingPoint
-	for _, lf := range lifeFractions {
-		opt := core.CaseStudyOptions()
-		opt.Reliability = model
-		dev, err := core.NewDevice(core.Scheme4PS, opt)
-		if err != nil {
-			return nil, err
+	model := reliability.Default() // deterministic expected values; safe to share
+	jobs := make([]ReplayJob, len(lifeFractions))
+	for i, lf := range lifeFractions {
+		jobs[i] = ReplayJob{
+			Trace:  name,
+			Scheme: core.Scheme4PS,
+			Device: func() (*emmc.Device, error) {
+				opt := core.CaseStudyOptions()
+				opt.Reliability = model
+				dev, err := core.NewDevice(core.Scheme4PS, opt)
+				if err != nil {
+					return nil, err
+				}
+				// Pre-age pool 0: average PE = lifeFraction × endurance.
+				cfg := dev.Config()
+				blocks := int64(cfg.Pools[0].BlocksPerPlane * cfg.Geometry.Planes())
+				dev.AddArtificialWear(0, int64(lf*model.Endurance*float64(blocks)))
+				return dev, nil
+			},
 		}
-		// Pre-age pool 0: average PE = lifeFraction × endurance.
-		cfg := dev.Config()
-		blocks := int64(cfg.Pools[0].BlocksPerPlane * cfg.Geometry.Planes())
-		dev.AddArtificialWear(0, int64(lf*model.Endurance*float64(blocks)))
-
-		tr := env.Trace(name)
-		m, err := core.ReplayOn(dev, core.Scheme4PS, tr)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := env.Replays("aging", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AgingPoint, len(lifeFractions))
+	for i, lf := range lifeFractions {
 		pe := lf * model.Endurance
-		out = append(out, AgingPoint{
+		out[i] = AgingPoint{
 			LifeFraction: lf,
-			MRTMs:        m.MeanResponseNs / 1e6,
+			MRTMs:        results[i].Metrics.MeanResponseNs / 1e6,
 			RetryFactor:  model.ReadLatencyFactor(pe),
 			FailureProb:  model.FailureProbability(pe),
-		})
+		}
 	}
 	return out, nil
 }

@@ -1,13 +1,9 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
-
 	"emmcio/internal/core"
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
-	"emmcio/internal/trace"
 )
 
 // CaseStudyRow is one trace's Fig. 8 + Fig. 9 outcome.
@@ -42,30 +38,32 @@ type CaseStudyResult struct {
 
 // CaseStudy replays the 18 individual traces on all three Table V schemes
 // (Figs. 8 and 9). Traces are replayed on fresh ("brand new") devices with
-// the RAM buffer disabled, as §V-B specifies.
+// the RAM buffer disabled, as §V-B specifies. The 54 replays run on the
+// env's worker pool; results are identical at any pool width.
 func CaseStudy(env *Env) (CaseStudyResult, error) {
 	return caseStudyOn(env, paper.IndividualApps)
 }
 
 func caseStudyOn(env *Env, names []string) (CaseStudyResult, error) {
 	opt := core.CaseStudyOptions()
-	var res CaseStudyResult
+	jobs := make([]ReplayJob, 0, len(names)*len(core.Schemes))
 	for _, name := range names {
-		row := CaseStudyRow{Name: name}
-		for i, s := range core.Schemes {
-			tr := env.Trace(name)
-			dev, err := core.NewDevice(s, opt)
-			if err != nil {
-				return res, err
-			}
-			m, err := core.ReplayObserved(dev, s, tr, env.Telemetry, env.Tracer)
-			if err != nil {
-				return res, err
-			}
-			row.MRTMs[i] = m.MeanResponseNs / 1e6
-			row.Util[i] = m.SpaceUtilization
+		for _, s := range core.Schemes {
+			jobs = append(jobs, ReplayJob{Trace: name, Scheme: s, Options: opt})
 		}
-		res.Rows = append(res.Rows, row)
+	}
+	results, err := env.Replays("casestudy", jobs)
+	if err != nil {
+		return CaseStudyResult{}, err
+	}
+	res := CaseStudyResult{Rows: make([]CaseStudyRow, len(names))}
+	for i, name := range names {
+		res.Rows[i].Name = name
+		for si := range core.Schemes {
+			m := results[i*len(core.Schemes)+si].Metrics
+			res.Rows[i].MRTMs[si] = m.MeanResponseNs / 1e6
+			res.Rows[i].Util[si] = m.SpaceUtilization
+		}
 	}
 	return res, nil
 }
@@ -175,56 +173,4 @@ func (r CaseStudyResult) Fig9Figure() *report.Figure {
 	}
 	f.Series = series
 	return f
-}
-
-// CaseStudyParallel computes the same result as CaseStudy with the 54
-// replays spread across goroutines — each (trace, scheme) pair runs on its
-// own fresh device, so they are independent. Traces are pre-generated
-// serially (the Env cache is not goroutine-safe).
-func CaseStudyParallel(env *Env) (CaseStudyResult, error) {
-	names := paper.IndividualApps
-	// Pre-generate all traces serially.
-	type job struct {
-		row, scheme int
-		tr          *trace.Trace
-	}
-	var jobs []job
-	for i, name := range names {
-		for si := range core.Schemes {
-			jobs = append(jobs, job{row: i, scheme: si, tr: env.Trace(name)})
-		}
-	}
-
-	res := CaseStudyResult{Rows: make([]CaseStudyRow, len(names))}
-	for i, name := range names {
-		res.Rows[i].Name = name
-	}
-	opt := core.CaseStudyOptions()
-
-	var wg sync.WaitGroup
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for ji := range jobs {
-		wg.Add(1)
-		go func(ji int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			j := jobs[ji]
-			m, err := core.Replay(core.Schemes[j.scheme], opt, j.tr)
-			if err != nil {
-				errs[ji] = err
-				return
-			}
-			res.Rows[j.row].MRTMs[j.scheme] = m.MeanResponseNs / 1e6
-			res.Rows[j.row].Util[j.scheme] = m.SpaceUtilization
-		}(ji)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return res, err
-		}
-	}
-	return res, nil
 }

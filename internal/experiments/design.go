@@ -29,25 +29,25 @@ func GCThresholdSweep(env *Env, name string, thresholds []int) ([]GCThresholdRow
 	if len(thresholds) == 0 {
 		thresholds = []int{1, 2, 8, 32}
 	}
-	var out []GCThresholdRow
-	for _, th := range thresholds {
+	jobs := make([]ReplayJob, len(thresholds))
+	for i, th := range thresholds {
 		opt := gcPressureOptions(emmc.GCForeground)
 		opt.GCFreeBlocks = th
-		dev, err := core.NewDevice(core.Scheme4PS, opt)
-		if err != nil {
-			return nil, err
-		}
-		tr := doubledSession(env.Trace(name))
-		m, err := core.ReplayOn(dev, core.Scheme4PS, tr)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, GCThresholdRow{
+		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: opt, Prepare: doubledSession}
+	}
+	results, err := env.Replays("gc-threshold", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GCThresholdRow, len(thresholds))
+	for i, th := range thresholds {
+		m := results[i].Metrics
+		out[i] = GCThresholdRow{
 			Threshold: th,
 			MRTMs:     m.MeanResponseNs / 1e6,
 			StallMs:   float64(m.GCStallNs) / 1e6,
-			Erases:    dev.FTLStats().GC.Erases,
-		})
+			Erases:    results[i].Device.FTLStats().GC.Erases,
+		}
 	}
 	return out, nil
 }
@@ -86,34 +86,41 @@ func HPSPoolRatioSweep(env *Env, name string, splits [][2]int) ([]PoolRatioRow, 
 		// extreme splits starve one pool outright on the scaled device.
 		splits = [][2]int{{576, 224}, {512, 256}, {384, 320}, {128, 448}}
 	}
-	var out []PoolRatioRow
-	for _, sp := range splits {
+	jobs := make([]ReplayJob, len(splits))
+	for i, sp := range splits {
 		n4, n8 := sp[0], sp[1]
 		if n4*4+n8*8 != 4096 { // MB per plane with 1024-page blocks
 			return nil, fmt.Errorf("split %d+%d violates the 4 GB/plane budget", n4, n8)
 		}
-		cfg := core.DeviceConfig(core.SchemeHPS, gcPressureOptions(emmc.GCForeground))
-		// Rebuild pools at the requested split, preserving the GC-pressure
-		// scaling (divide both counts like scalePool would).
-		cfg.Pools = []flash.PoolSpec{
-			{PageBytes: 8192, BlocksPerPlane: max(4, n8/gcPressureScaleBlocks), PagesPerBlock: cfg.Pools[0].PagesPerBlock},
-			{PageBytes: 4096, BlocksPerPlane: max(4, n4/gcPressureScaleBlocks), PagesPerBlock: cfg.Pools[1].PagesPerBlock},
+		jobs[i] = ReplayJob{
+			Trace:   name,
+			Scheme:  core.SchemeHPS,
+			Prepare: doubledSession,
+			Device: func() (*emmc.Device, error) {
+				cfg := core.DeviceConfig(core.SchemeHPS, gcPressureOptions(emmc.GCForeground))
+				// Rebuild pools at the requested split, preserving the
+				// GC-pressure scaling (divide both counts like scalePool would).
+				cfg.Pools = []flash.PoolSpec{
+					{PageBytes: 8192, BlocksPerPlane: max(4, n8/gcPressureScaleBlocks), PagesPerBlock: cfg.Pools[0].PagesPerBlock},
+					{PageBytes: 4096, BlocksPerPlane: max(4, n4/gcPressureScaleBlocks), PagesPerBlock: cfg.Pools[1].PagesPerBlock},
+				}
+				return emmc.New(cfg)
+			},
 		}
-		dev, err := emmc.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		tr := doubledSession(env.Trace(name))
-		m, err := core.ReplayOn(dev, core.SchemeHPS, tr)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, PoolRatioRow{
-			Blocks4K:  n4,
-			Blocks8K:  n8,
+	}
+	results, err := env.Replays("hps-pool-ratio", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PoolRatioRow, len(splits))
+	for i, sp := range splits {
+		m := results[i].Metrics
+		out[i] = PoolRatioRow{
+			Blocks4K:  sp[0],
+			Blocks8K:  sp[1],
 			MRTMs:     m.MeanResponseNs / 1e6,
 			GCStallMs: float64(m.GCStallNs) / 1e6,
-		})
+		}
 	}
 	return out, nil
 }
@@ -167,26 +174,27 @@ func CommandQueueStudy(env *Env, names ...string) ([]CQRow, error) {
 	if len(names) == 0 {
 		names = []string{paper.Messaging, paper.Twitter, paper.Movie, paper.Booting}
 	}
-	var out []CQRow
+	cqOpt := core.CaseStudyOptions()
+	cqOpt.CommandQueue = true
+	jobs := make([]ReplayJob, 0, 2*len(names))
 	for _, name := range names {
-		row := CQRow{Name: name}
-		tr := env.Trace(name)
-		m, err := core.Replay(core.Scheme4PS, core.CaseStudyOptions(), tr)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs,
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: core.CaseStudyOptions()},
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: cqOpt})
+	}
+	results, err := env.Replays("command-queue", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CQRow, len(names))
+	for i, name := range names {
+		fifo, cq := results[2*i].Metrics, results[2*i+1].Metrics
+		out[i] = CQRow{
+			Name:      name,
+			FIFOMRTMs: fifo.MeanResponseNs / 1e6,
+			CQMRTMs:   cq.MeanResponseNs / 1e6,
+			NoWaitPct: fifo.NoWaitRatio * 100,
 		}
-		row.FIFOMRTMs = m.MeanResponseNs / 1e6
-		row.NoWaitPct = m.NoWaitRatio * 100
-
-		opt := core.CaseStudyOptions()
-		opt.CommandQueue = true
-		tr2 := env.Trace(name)
-		m2, err := core.Replay(core.Scheme4PS, opt, tr2)
-		if err != nil {
-			return nil, err
-		}
-		row.CQMRTMs = m2.MeanResponseNs / 1e6
-		out = append(out, row)
 	}
 	return out, nil
 }
@@ -218,24 +226,34 @@ func GeometrySweep(env *Env, name string, channels []int) ([]GeometryRow, error)
 	if len(channels) == 0 {
 		channels = []int{1, 2, 4}
 	}
-	var out []GeometryRow
-	for _, ch := range channels {
+	planesFor := func(ch int) int {
 		cfg := core.DeviceConfig(core.Scheme4PS, core.CaseStudyOptions())
 		cfg.Geometry.Channels = ch
-		// Hold total capacity at 32 GB: blocks per plane scales inversely
-		// with the plane count.
-		planes := cfg.Geometry.Planes()
-		cfg.Pools[0].BlocksPerPlane = int(32 << 30 / int64(planes) / int64(cfg.Pools[0].PagesPerBlock) / int64(cfg.Pools[0].PageBytes))
-		dev, err := emmc.New(cfg)
-		if err != nil {
-			return nil, err
+		return cfg.Geometry.Planes()
+	}
+	jobs := make([]ReplayJob, len(channels))
+	for i, ch := range channels {
+		jobs[i] = ReplayJob{
+			Trace:  name,
+			Scheme: core.Scheme4PS,
+			Device: func() (*emmc.Device, error) {
+				cfg := core.DeviceConfig(core.Scheme4PS, core.CaseStudyOptions())
+				cfg.Geometry.Channels = ch
+				// Hold total capacity at 32 GB: blocks per plane scales
+				// inversely with the plane count.
+				planes := cfg.Geometry.Planes()
+				cfg.Pools[0].BlocksPerPlane = int(32 << 30 / int64(planes) / int64(cfg.Pools[0].PagesPerBlock) / int64(cfg.Pools[0].PageBytes))
+				return emmc.New(cfg)
+			},
 		}
-		tr := env.Trace(name)
-		m, err := core.ReplayOn(dev, core.Scheme4PS, tr)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, GeometryRow{Channels: ch, PlanesPer: planes, MRTMs: m.MeanResponseNs / 1e6})
+	}
+	results, err := env.Replays("geometry", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GeometryRow, len(channels))
+	for i, ch := range channels {
+		out[i] = GeometryRow{Channels: ch, PlanesPer: planesFor(ch), MRTMs: results[i].Metrics.MeanResponseNs / 1e6}
 	}
 	return out, nil
 }
@@ -266,26 +284,31 @@ func WriteBufferStudy(env *Env, names ...string) ([]WriteBufferRow, error) {
 	if len(names) == 0 {
 		names = []string{paper.Messaging, paper.Twitter}
 	}
-	var out []WriteBufferRow
+	bufOpt := core.CaseStudyOptions()
+	bufOpt.WriteBufferBytes = 4 << 20
+	schemes := []core.Scheme{core.Scheme4PS, core.SchemeHPS}
+	var jobs []ReplayJob
 	for _, name := range names {
-		for _, s := range []core.Scheme{core.Scheme4PS, core.SchemeHPS} {
-			row := WriteBufferRow{Name: name, Scheme: s}
-			tr := env.Trace(name)
-			m, err := core.Replay(s, core.CaseStudyOptions(), tr)
-			if err != nil {
-				return nil, err
-			}
-			row.PlainMRTMs = m.MeanResponseNs / 1e6
-
-			opt := core.CaseStudyOptions()
-			opt.WriteBufferBytes = 4 << 20
-			tr2 := env.Trace(name)
-			m2, err := core.Replay(s, opt, tr2)
-			if err != nil {
-				return nil, err
-			}
-			row.BufferedMRTMs = m2.MeanResponseNs / 1e6
-			out = append(out, row)
+		for _, s := range schemes {
+			jobs = append(jobs,
+				ReplayJob{Trace: name, Scheme: s, Options: core.CaseStudyOptions()},
+				ReplayJob{Trace: name, Scheme: s, Options: bufOpt})
+		}
+	}
+	results, err := env.Replays("write-buffer", jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []WriteBufferRow
+	for i, name := range names {
+		for si, s := range schemes {
+			base := 2 * (i*len(schemes) + si)
+			out = append(out, WriteBufferRow{
+				Name:          name,
+				Scheme:        s,
+				PlainMRTMs:    results[base].Metrics.MeanResponseNs / 1e6,
+				BufferedMRTMs: results[base+1].Metrics.MeanResponseNs / 1e6,
+			})
 		}
 	}
 	return out, nil
@@ -318,36 +341,36 @@ func ReadAheadStudy(env *Env, names ...string) ([]ReadAheadRow, error) {
 	if len(names) == 0 {
 		names = []string{paper.Movie, paper.Music, paper.Twitter}
 	}
-	var out []ReadAheadRow
-	for _, name := range names {
-		row := ReadAheadRow{Name: name, SpatialPct: paper.TableIV[name].SpatialPct}
-
-		tr := env.Trace(name)
-		m, err := core.Replay(core.Scheme4PS, MeasuredDeviceOptions(), tr)
-		if err != nil {
-			return nil, err
-		}
-		row.PlainMRTMs = m.MeanResponseNs / 1e6
-
-		opt := MeasuredDeviceOptions()
-		cfg := core.DeviceConfig(core.Scheme4PS, opt)
+	readAheadDevice := func() (*emmc.Device, error) {
+		cfg := core.DeviceConfig(core.Scheme4PS, MeasuredDeviceOptions())
 		cfg.RAMBufferBytes = 4 << 20
 		cfg.ReadAheadPages = 8
-		dev, err := emmc.New(cfg)
-		if err != nil {
-			return nil, err
+		return emmc.New(cfg)
+	}
+	jobs := make([]ReplayJob, 0, 2*len(names))
+	for _, name := range names {
+		jobs = append(jobs,
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions()},
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Device: readAheadDevice})
+	}
+	results, err := env.Replays("read-ahead", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReadAheadRow, len(names))
+	for i, name := range names {
+		plain, ra := results[2*i], results[2*i+1]
+		row := ReadAheadRow{
+			Name:       name,
+			SpatialPct: paper.TableIV[name].SpatialPct,
+			PlainMRTMs: plain.Metrics.MeanResponseNs / 1e6,
+			RAMRTMs:    ra.Metrics.MeanResponseNs / 1e6,
 		}
-		tr2 := env.Trace(name)
-		m2, err := core.ReplayOn(dev, core.Scheme4PS, tr2)
-		if err != nil {
-			return nil, err
-		}
-		row.RAMRTMs = m2.MeanResponseNs / 1e6
-		prefetched, hits := dev.PrefetchStats()
+		prefetched, hits := ra.Device.PrefetchStats()
 		if prefetched > 0 {
 			row.AccuracyPct = float64(hits) / float64(prefetched) * 100
 		}
-		out = append(out, row)
+		out[i] = row
 	}
 	return out, nil
 }
@@ -400,16 +423,20 @@ func mathSqrt(v float64) float64 {
 	return x
 }
 
-// Fig8Ensemble runs the case study across n seeds.
-func Fig8Ensemble(n int) (EnsembleResult, error) {
+// Fig8Ensemble runs the case study across n seeds. Each seed gets its own
+// trace cache but inherits the caller's worker pool and observability.
+func Fig8Ensemble(env *Env, n int) (EnsembleResult, error) {
 	if n <= 0 {
 		n = 5
 	}
 	var res EnsembleResult
 	for i := 0; i < n; i++ {
 		seed := uint64(1000 + i*7919)
-		env := NewEnv(seed)
-		cs, err := CaseStudyParallel(env)
+		inner := NewEnv(seed)
+		inner.Workers = env.Workers
+		inner.Telemetry = env.Telemetry
+		inner.Tracer = env.Tracer
+		cs, err := CaseStudy(inner)
 		if err != nil {
 			return res, err
 		}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"emmcio/internal/paper"
+	"emmcio/internal/telemetry"
+)
+
+// Env.Trace is hammered from many goroutines (the worker pool does exactly
+// this): each name must be generated once, and every caller must get a
+// private copy. Run under -race (make check does).
+func TestEnvTraceConcurrent(t *testing.T) {
+	env := DefaultEnv()
+	names := []string{paper.Idle, paper.CallIn, paper.Music, paper.Twitter}
+	const callers = 8
+
+	var wg sync.WaitGroup
+	traces := make([][]interface{}, len(names))
+	for ni := range names {
+		traces[ni] = make([]interface{}, callers)
+	}
+	for ni, name := range names {
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(ni, c int, name string) {
+				defer wg.Done()
+				tr := env.Trace(name)
+				// Touch the requests so -race sees any shared backing array.
+				for i := range tr.Reqs {
+					tr.Reqs[i].ServiceStart = int64(c)
+				}
+				traces[ni][c] = tr
+			}(ni, c, name)
+		}
+	}
+	wg.Wait()
+
+	if got := env.generated.Load(); got != int64(len(names)) {
+		t.Fatalf("generated %d traces for %d names; cache dedup broken", got, len(names))
+	}
+	for ni := range names {
+		for c := 1; c < callers; c++ {
+			if traces[ni][c] == traces[ni][0] {
+				t.Fatalf("%s: callers share a trace pointer", names[ni])
+			}
+		}
+	}
+}
+
+// A second Trace call must not regenerate: the cache hands out clones.
+func TestEnvTraceCached(t *testing.T) {
+	env := DefaultEnv()
+	a := env.Trace(paper.Idle)
+	b := env.Trace(paper.Idle)
+	if env.generated.Load() != 1 {
+		t.Fatalf("generated %d, want 1", env.generated.Load())
+	}
+	if a == b {
+		t.Fatal("Trace returned the same pointer twice")
+	}
+	if len(a.Reqs) != len(b.Reqs) {
+		t.Fatal("clone lengths differ")
+	}
+}
+
+// The runner attaches telemetry uniformly: a case study on an observed Env
+// records both the sweep counters and the replay metrics (the old parallel
+// path silently dropped them).
+func TestSweepTelemetryUniform(t *testing.T) {
+	env := DefaultEnv()
+	env.Telemetry = telemetry.NewRegistry()
+	if _, err := Implication2IdleGC(env, paper.Twitter); err != nil {
+		t.Fatal(err)
+	}
+	started := env.Telemetry.Counter("runner_jobs_started_total", telemetry.L("sweep", "implication2-idlegc"))
+	finished := env.Telemetry.Counter("runner_jobs_finished_total", telemetry.L("sweep", "implication2-idlegc"))
+	if started.Value() != 2 || finished.Value() != 2 {
+		t.Fatalf("sweep counters started=%d finished=%d, want 2/2", started.Value(), finished.Value())
+	}
+	hist := env.Telemetry.Histogram("runner_job_wall_ns", nil, telemetry.L("sweep", "implication2-idlegc"))
+	if hist.Count() != 2 {
+		t.Fatalf("job latency histogram has %d samples, want 2", hist.Count())
+	}
+}

@@ -7,6 +7,9 @@
 package experiments
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"emmcio/internal/core"
 	"emmcio/internal/emmc"
 	"emmcio/internal/flash"
@@ -15,26 +18,41 @@ import (
 	"emmcio/internal/workload"
 )
 
-// Env carries the shared inputs of all experiments.
+// Env carries the shared inputs of all experiments. It is safe for
+// concurrent use: the sweep runner's workers call Trace from many
+// goroutines.
 type Env struct {
 	// Seed drives trace generation; DefaultSeed reproduces the repository's
 	// published numbers exactly.
 	Seed uint64
 	// Registry holds the 25 application profiles.
 	Registry *workload.Registry
+	// Workers bounds the sweep runner's worker pool (the CLIs' -j flag).
+	// Zero means GOMAXPROCS. Results are identical at any width.
+	Workers int
 
-	// Telemetry and Tracer, when non-nil, are attached to the case-study
-	// replays (metrics registry and span ring buffer). Both default to nil:
-	// experiments run unobserved.
+	// Telemetry and Tracer, when non-nil, are attached to every replay the
+	// sweep runner executes (metrics registry and span ring buffer). Both
+	// default to nil: experiments run unobserved.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
 
-	cache map[string]*trace.Trace
+	mu        sync.Mutex
+	cache     map[string]*traceEntry
+	generated atomic.Int64 // traces actually generated (tests assert dedup)
+}
+
+// traceEntry dedups generation per name: the mutex only guards the map, so
+// two workers asking for different traces generate concurrently, while two
+// asking for the same one block on its Once and generate it exactly once.
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
 }
 
 // NewEnv builds an environment with the default profile registry.
 func NewEnv(seed uint64) *Env {
-	return &Env{Seed: seed, Registry: workload.DefaultRegistry(), cache: map[string]*trace.Trace{}}
+	return &Env{Seed: seed, Registry: workload.DefaultRegistry(), cache: map[string]*traceEntry{}}
 }
 
 // DefaultEnv uses the repository's canonical seed.
@@ -42,17 +60,25 @@ func DefaultEnv() *Env { return NewEnv(workload.DefaultSeed) }
 
 // Trace returns the named generated trace with clean (unreplayed)
 // timestamps. Generation results are cached; callers get a fresh copy.
+// Safe for concurrent use.
 func (e *Env) Trace(name string) *trace.Trace {
-	tr, ok := e.cache[name]
+	e.mu.Lock()
+	ent, ok := e.cache[name]
 	if !ok {
+		ent = &traceEntry{}
+		e.cache[name] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
 		prof := e.Registry.Lookup(name)
 		if prof == nil {
 			panic("experiments: unknown trace " + name)
 		}
-		tr = prof.Generate(e.Seed)
-		e.cache[name] = tr
-	}
-	out := tr.Clone()
+		ent.tr = prof.Generate(e.Seed)
+		e.generated.Add(1)
+	})
+	// The cached trace is immutable after generation; Clone only reads it.
+	out := ent.tr.Clone()
 	out.ClearTimestamps()
 	return out
 }

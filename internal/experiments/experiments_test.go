@@ -41,7 +41,7 @@ func TestTableIIICloseToPaper(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
-	res, err := Fig3(3)
+	res, err := Fig3(DefaultEnv(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -665,26 +665,56 @@ func TestProfilesTable(t *testing.T) {
 	}
 }
 
-// The parallel case-study runner produces exactly the serial results.
-func TestCaseStudyParallelMatchesSerial(t *testing.T) {
+// The sweep runner is deterministic: any worker-pool width produces exactly
+// the width-1 (strict plan order, inline execution) results, row for row.
+func TestSweepDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs 108 replays")
 	}
-	serial, err := CaseStudy(DefaultEnv())
+	serialEnv := DefaultEnv()
+	serialEnv.Workers = 1
+	serial, err := CaseStudy(serialEnv)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := CaseStudyParallel(DefaultEnv())
+	wideEnv := DefaultEnv()
+	wideEnv.Workers = 8
+	wide, err := CaseStudy(wideEnv)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(serial.Rows) != len(parallel.Rows) {
+	if len(serial.Rows) != len(wide.Rows) {
 		t.Fatal("row count mismatch")
 	}
 	for i := range serial.Rows {
-		if serial.Rows[i] != parallel.Rows[i] {
-			t.Fatalf("row %d differs:\nserial   %+v\nparallel %+v",
-				i, serial.Rows[i], parallel.Rows[i])
+		if serial.Rows[i] != wide.Rows[i] {
+			t.Fatalf("row %d differs:\n-j 1 %+v\n-j 8 %+v",
+				i, serial.Rows[i], wide.Rows[i])
+		}
+	}
+}
+
+// Same determinism check on an ablation that mixes GC policies and a
+// Prepare hook — ordering must match the plan, not completion order.
+func TestSweepDeterminismAblation(t *testing.T) {
+	serialEnv := DefaultEnv()
+	serialEnv.Workers = 1
+	serial, err := Implication2IdleGC(serialEnv, paper.Twitter, paper.Messaging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wideEnv := DefaultEnv()
+	wideEnv.Workers = 8
+	wide, err := Implication2IdleGC(wideEnv, paper.Twitter, paper.Messaging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(wide) {
+		t.Fatal("row count mismatch")
+	}
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("row %d differs:\n-j 1 %+v\n-j 8 %+v", i, serial[i], wide[i])
 		}
 	}
 }
@@ -742,7 +772,7 @@ func TestAllRenderers(t *testing.T) {
 	if t4.Render().Rows() != 25 {
 		t.Error("Table IV render")
 	}
-	f3, err := Fig3(2)
+	f3, err := Fig3(env, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -901,7 +931,7 @@ func TestFig8EnsembleStable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the case study three times")
 	}
-	res, err := Fig8Ensemble(3)
+	res, err := Fig8Ensemble(DefaultEnv(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,12 +4,11 @@ import (
 	"fmt"
 
 	"emmcio/internal/analysis"
-	"emmcio/internal/biotracer"
 	"emmcio/internal/core"
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
+	"emmcio/internal/runner"
 	"emmcio/internal/stats"
-	"emmcio/internal/trace"
 )
 
 // Fig3Result is the throughput-vs-request-size sweep on the measured device.
@@ -20,61 +19,15 @@ type Fig3Result struct {
 // Fig3 reproduces the Fig. 3 microbenchmark: sweep request sizes from 4 KB
 // to 16 MB on the measured-device model (reads stop at 256 KB, the largest
 // read in any trace), issuing reqsPerPoint back-to-back requests per point.
-func Fig3(reqsPerPoint int) (Fig3Result, error) {
-	pts, err := throughputSweep(reqsPerPoint)
+// The per-size points run on the env's worker pool.
+func Fig3(env *Env, reqsPerPoint int) (Fig3Result, error) {
+	timing := MeasuredDeviceTiming()
+	pts, err := core.ThroughputSweep(env.Runner(), core.Scheme4PS,
+		core.Options{Timing: &timing}, core.Fig3Sizes(), reqsPerPoint)
 	if err != nil {
 		return Fig3Result{}, err
 	}
 	return Fig3Result{Points: pts}, nil
-}
-
-func throughputSweep(reqsPerPoint int) ([]core.ThroughputPoint, error) {
-	timing := MeasuredDeviceTiming()
-	var out []core.ThroughputPoint
-	for _, size := range core.Fig3Sizes() {
-		p := core.ThroughputPoint{SizeBytes: size}
-		for _, op := range []trace.Op{trace.Read, trace.Write} {
-			if op == trace.Read && size > core.MaxReadSize {
-				continue
-			}
-			dev, err := core.NewDevice(core.Scheme4PS, core.Options{Timing: &timing})
-			if err != nil {
-				return nil, err
-			}
-			if op == trace.Read {
-				prep := trace.Request{LBA: 0, Size: uint32(size), Op: trace.Write}
-				if _, err := dev.Submit(prep); err != nil {
-					return nil, err
-				}
-			}
-			var busy int64
-			arrival := int64(1 << 40)
-			var lba uint64
-			if op == trace.Write {
-				lba = 1 << 20
-			}
-			for i := 0; i < reqsPerPoint; i++ {
-				req := trace.Request{Arrival: arrival, LBA: lba, Size: uint32(size), Op: op}
-				res, err := dev.Submit(req)
-				if err != nil {
-					return nil, err
-				}
-				busy += res.Finish - res.ServiceStart
-				arrival = res.Finish
-				if op == trace.Write {
-					lba += uint64(size) / trace.SectorSize
-				}
-			}
-			mbs := float64(size) * float64(reqsPerPoint) / (float64(busy) / 1e9) / 1e6
-			if op == trace.Read {
-				p.ReadMBs = mbs
-			} else {
-				p.WriteMBs = mbs
-			}
-		}
-		out = append(out, p)
-	}
-	return out, nil
 }
 
 // Render returns the Fig. 3 series table.
@@ -109,7 +62,7 @@ type DistResult struct {
 
 // Fig4 builds the request-size distributions of the 18 individual traces.
 func Fig4(env *Env) DistResult {
-	return distributions(env, paper.IndividualApps, false)
+	return distributions(env, paper.IndividualApps)
 }
 
 // Fig5 builds the response-time distributions of the 18 individual traces
@@ -120,7 +73,7 @@ func Fig5(env *Env) (DistResult, error) {
 
 // Fig6 builds the inter-arrival distributions of the 18 individual traces.
 func Fig6(env *Env) DistResult {
-	return distributions(env, paper.IndividualApps, false)
+	return distributions(env, paper.IndividualApps)
 }
 
 // Fig7 builds all three distributions for the 7 combo traces.
@@ -128,29 +81,31 @@ func Fig7(env *Env) (DistResult, error) {
 	return replayedDistributions(env, paper.ComboApps)
 }
 
-func distributions(env *Env, names []string, replay bool) DistResult {
-	var res DistResult
-	for _, name := range names {
-		tr := env.Trace(name)
-		res.Names = append(res.Names, name)
-		res.Dists = append(res.Dists, analysis.DistributionsOf(tr))
-	}
-	return res
+// distributions computes per-trace histograms without replay. The per-name
+// analyses still run on the env's worker pool (generation dominates).
+func distributions(env *Env, names []string) DistResult {
+	// The job function cannot fail, so the aggregated error is always nil.
+	dists, _ := runner.Map(env.Runner(), "distributions", names,
+		func(_ int, name string) (analysis.Distributions, error) {
+			return analysis.DistributionsOf(env.Trace(name)), nil
+		})
+	return DistResult{Names: names, Dists: dists}
 }
 
+// replayedDistributions replays each trace through the §II-C collection
+// path on the measured device first, so response times are populated.
 func replayedDistributions(env *Env, names []string) (DistResult, error) {
-	var res DistResult
-	for _, name := range names {
-		tr := env.Trace(name)
-		dev, err := NewMeasuredDevice()
-		if err != nil {
-			return res, err
-		}
-		if _, err := biotracer.Collect(dev, tr); err != nil {
-			return res, err
-		}
-		res.Names = append(res.Names, name)
-		res.Dists = append(res.Dists, analysis.DistributionsOf(tr))
+	jobs := make([]ReplayJob, len(names))
+	for i, name := range names {
+		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(), Collect: true}
+	}
+	results, err := env.Replays("distributions-replayed", jobs)
+	if err != nil {
+		return DistResult{}, err
+	}
+	res := DistResult{Names: names, Dists: make([]analysis.Distributions, len(names))}
+	for i := range results {
+		res.Dists[i] = analysis.DistributionsOf(results[i].Trace)
 	}
 	return res, nil
 }

@@ -30,30 +30,33 @@ func Lifetime(env *Env, names ...string) ([]LifetimeRow, error) {
 	if len(names) == 0 {
 		names = []string{paper.Twitter, paper.Messaging, paper.GoogleMaps}
 	}
-	var out []LifetimeRow
+	var jobs []ReplayJob
 	for _, name := range names {
-		durationDays := paper.TableIV[name].DurationSec / 86400
 		for _, s := range core.Schemes {
-			dev, err := core.NewDevice(s, gcPressureOptions(0))
-			if err != nil {
-				return nil, err
-			}
-			tr := doubledSession(env.Trace(name))
-			m, err := core.ReplayOn(dev, s, tr)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, ReplayJob{Trace: name, Scheme: s, Options: gcPressureOptions(0), Prepare: doubledSession})
+		}
+	}
+	results, err := env.Replays("lifetime", jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []LifetimeRow
+	for i, name := range names {
+		durationDays := paper.TableIV[name].DurationSec / 86400
+		for si, s := range core.Schemes {
+			res := results[i*len(core.Schemes)+si]
 			// Physical bytes programmed: host footprint (padding included)
 			// times write amplification (GC relocation).
-			fs := dev.FTLStats()
-			flashBytes := float64(fs.HostFootprintBytes) * m.WriteAmplification
+			fs := res.Device.FTLStats()
+			flashBytes := float64(fs.HostFootprintBytes) * res.Metrics.WriteAmplification
 			// The replay covered two sessions.
 			perDay := flashBytes / (2 * durationDays)
 
 			// Device capacity at this (scaled) size.
+			cfg := res.Device.Config()
 			var capBytes float64
-			for _, p := range dev.Config().Pools {
-				capBytes += float64(p.BytesPerPlane()) * float64(dev.Config().Geometry.Planes())
+			for _, p := range cfg.Pools {
+				capBytes += float64(p.BytesPerPlane()) * float64(cfg.Geometry.Planes())
 			}
 			days := capBytes * EnduranceCycles / perDay
 			out = append(out, LifetimeRow{

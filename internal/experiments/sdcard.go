@@ -50,46 +50,47 @@ func Implication1SDCard(env *Env, names ...string) ([]SDCardRow, error) {
 	if len(names) == 0 {
 		names = []string{paper.Music, paper.CameraVideo, paper.Facebook}
 	}
-	var out []SDCardRow
-	for _, name := range names {
-		row := SDCardRow{Name: name}
-
-		whole := env.Trace(name)
-		total := len(whole.Reqs)
-		mAll, err := core.Replay(core.Scheme4PS, MeasuredDeviceOptions(), whole)
-		if err != nil {
-			return nil, err
-		}
-		row.EMMCOnlyMRTMs = mAll.MeanResponseNs / 1e6
-
-		// Split: big requests to the card, the rest stays internal.
-		src := env.Trace(name)
-		intern := &trace.Trace{Name: name + "-emmc"}
-		card := &trace.Trace{Name: name + "-sdcard"}
-		for _, r := range src.Reqs {
-			if r.Size >= 64*1024 {
-				card.Reqs = append(card.Reqs, r)
-			} else {
-				intern.Reqs = append(intern.Reqs, r)
+	// Split policy: big requests to the card, the rest stays internal.
+	splitBy := func(suffix string, keep func(r trace.Request) bool) func(tr *trace.Trace) *trace.Trace {
+		return func(tr *trace.Trace) *trace.Trace {
+			split := &trace.Trace{Name: tr.Name + suffix}
+			for _, r := range tr.Reqs {
+				if keep(r) {
+					split.Reqs = append(split.Reqs, r)
+				}
 			}
+			return split
 		}
-		row.SDSharePct = float64(len(card.Reqs)) / float64(total) * 100
-
-		mIn, err := core.Replay(core.Scheme4PS, MeasuredDeviceOptions(), intern)
-		if err != nil {
-			return nil, err
-		}
-		sdTiming := SDCardTiming()
-		sdOpt := MeasuredDeviceOptions()
-		sdOpt.Timing = &sdTiming
-		mSD, err := core.Replay(core.Scheme4PS, sdOpt, card)
-		if err != nil {
-			return nil, err
-		}
+	}
+	sdTiming := SDCardTiming()
+	sdOpt := MeasuredDeviceOptions()
+	sdOpt.Timing = &sdTiming
+	jobs := make([]ReplayJob, 0, 3*len(names))
+	for _, name := range names {
+		jobs = append(jobs,
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions()},
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(),
+				Prepare: splitBy("-emmc", func(r trace.Request) bool { return r.Size < 64*1024 })},
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: sdOpt,
+				Prepare: splitBy("-sdcard", func(r trace.Request) bool { return r.Size >= 64*1024 })})
+	}
+	results, err := env.Replays("sdcard", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SDCardRow, len(names))
+	for i, name := range names {
+		whole, intern, card := results[3*i], results[3*i+1], results[3*i+2]
+		total := len(whole.Trace.Reqs)
 		// Combined mean response across both streams.
-		sum := mIn.MeanResponseNs*float64(len(intern.Reqs)) + mSD.MeanResponseNs*float64(len(card.Reqs))
-		row.SplitMRTMs = sum / float64(total) / 1e6
-		out = append(out, row)
+		sum := intern.Metrics.MeanResponseNs*float64(len(intern.Trace.Reqs)) +
+			card.Metrics.MeanResponseNs*float64(len(card.Trace.Reqs))
+		out[i] = SDCardRow{
+			Name:          name,
+			EMMCOnlyMRTMs: whole.Metrics.MeanResponseNs / 1e6,
+			SplitMRTMs:    sum / float64(total) / 1e6,
+			SDSharePct:    float64(len(card.Trace.Reqs)) / float64(total) * 100,
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"emmcio/internal/biotracer"
+	"emmcio/internal/core"
+	"emmcio/internal/emmc"
+	"emmcio/internal/runner"
+	"emmcio/internal/trace"
+)
+
+// ReplayJob is one entry of a declarative sweep plan: a named trace
+// replayed once on its own fresh device. Every experiment in this package
+// builds a []ReplayJob and hands it to Env.Replays; nothing replays through
+// bespoke loops anymore.
+type ReplayJob struct {
+	// Trace names the workload (resolved through Env.Trace, so generation
+	// is cached and deduplicated across concurrent jobs).
+	Trace string
+	// Scheme and Options configure the device (core.NewDevice) unless
+	// Device overrides construction.
+	Scheme  core.Scheme
+	Options core.Options
+	// Prepare, when non-nil, transforms the job's private trace copy before
+	// the replay (session doubling, arrival scaling, request filtering).
+	Prepare func(*trace.Trace) *trace.Trace
+	// Device, when non-nil, builds the device instead of core.NewDevice —
+	// for custom emmc.Configs or pre-aged devices. It must return a fresh
+	// device on every call.
+	Device func() (*emmc.Device, error)
+	// Policy selects host-side scheduling (core.ReplayScheduled) when not
+	// SchedFIFO. Scheduled replays build their own device: Device and
+	// Collect are ignored.
+	Policy core.SchedPolicy
+	// Collect routes the replay through biotracer.Collect (the §II-C
+	// trace-collection path) instead of core.ReplayObserved. The result
+	// carries the Overhead instead of Metrics.
+	Collect bool
+}
+
+// ReplayResult is one job's outcome. Metrics is set for plain and scheduled
+// replays, Overhead for Collect jobs. Trace is the job's private copy with
+// replayed timestamps filled in; Device is the device the job ran on (nil
+// for scheduled replays), so callers can read wear, FTL, or cache state.
+type ReplayResult struct {
+	Metrics  core.Metrics
+	Overhead biotracer.Overhead
+	Trace    *trace.Trace
+	Device   *emmc.Device
+}
+
+// Runner returns the env's sweep runner: Workers wide, observing the env's
+// telemetry registry.
+func (e *Env) Runner() *runner.Runner {
+	return runner.New(e.Workers).Observe(e.Telemetry)
+}
+
+// Replays executes the plan on the env's worker pool and returns results in
+// plan order — bit-identical at any pool width, since each job replays a
+// private trace copy on its own fresh device. The env's Telemetry and
+// Tracer are attached to every device-backed replay, observed and
+// collection paths alike.
+func (e *Env) Replays(sweep string, jobs []ReplayJob) ([]ReplayResult, error) {
+	return runner.Map(e.Runner(), sweep, jobs, func(_ int, j ReplayJob) (ReplayResult, error) {
+		return e.replay(j)
+	})
+}
+
+func (e *Env) replay(j ReplayJob) (ReplayResult, error) {
+	tr := e.Trace(j.Trace)
+	if j.Prepare != nil {
+		tr = j.Prepare(tr)
+	}
+	if j.Policy != core.SchedFIFO {
+		m, err := core.ReplayScheduled(j.Scheme, j.Options, tr, j.Policy)
+		return ReplayResult{Metrics: m, Trace: tr}, err
+	}
+	var dev *emmc.Device
+	var err error
+	if j.Device != nil {
+		dev, err = j.Device()
+	} else {
+		dev, err = core.NewDevice(j.Scheme, j.Options)
+	}
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	res := ReplayResult{Trace: tr, Device: dev}
+	if j.Collect {
+		if e.Telemetry != nil || e.Tracer != nil {
+			dev.SetTelemetry(e.Telemetry, e.Tracer)
+		}
+		res.Overhead, err = biotracer.Collect(dev, tr)
+		return res, err
+	}
+	res.Metrics, err = core.ReplayObserved(dev, j.Scheme, tr, e.Telemetry, e.Tracer)
+	return res, err
+}

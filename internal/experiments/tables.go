@@ -8,6 +8,7 @@ import (
 	"emmcio/internal/core"
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
+	"emmcio/internal/runner"
 	"emmcio/internal/trace"
 )
 
@@ -76,25 +77,24 @@ func DeviceUtilization(env *Env, names ...string) ([]UtilizationRow, error) {
 	if len(names) == 0 {
 		names = paper.IndividualApps
 	}
-	var out []UtilizationRow
-	for _, name := range names {
-		dev, err := NewMeasuredDevice()
-		if err != nil {
-			return nil, err
-		}
-		tr := env.Trace(name)
-		m, err := core.ReplayOn(dev, core.Scheme4PS, tr)
-		if err != nil {
-			return nil, err
-		}
-		u := dev.Utilization()
-		row := UtilizationRow{Name: name, DevicePct: u.Device * 100, NoWaitPct: m.NoWaitRatio * 100}
+	jobs := make([]ReplayJob, len(names))
+	for i, name := range names {
+		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions()}
+	}
+	results, err := env.Replays("utilization", jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]UtilizationRow, len(names))
+	for i, name := range names {
+		u := results[i].Device.Utilization()
+		row := UtilizationRow{Name: name, DevicePct: u.Device * 100, NoWaitPct: results[i].Metrics.NoWaitRatio * 100}
 		for _, c := range u.Channels {
 			if c*100 > row.MaxChannelPct {
 				row.MaxChannelPct = c * 100
 			}
 		}
-		out = append(out, row)
+		out[i] = row
 	}
 	return out, nil
 }
@@ -117,12 +117,17 @@ type TableIIIResult struct {
 }
 
 // TableIII measures the size-related statistics of all 25 generated traces
-// (Table III of the paper).
+// (Table III of the paper). No replay is involved, but generating 25 traces
+// is the cost, so the per-trace analyses run on the env's worker pool.
 func TableIII(env *Env) TableIIIResult {
-	var res TableIIIResult
-	for _, name := range paper.AllTraces {
-		res.Names = append(res.Names, name)
-		res.Measured = append(res.Measured, analysis.SizeStatsOf(env.Trace(name)))
+	names := paper.AllTraces
+	// The job function cannot fail, so the aggregated error is always nil.
+	measured, _ := runner.Map(env.Runner(), "tableIII", names,
+		func(_ int, name string) (analysis.SizeStats, error) {
+			return analysis.SizeStatsOf(env.Trace(name)), nil
+		})
+	res := TableIIIResult{Names: names, Measured: measured}
+	for _, name := range names {
 		res.Published = append(res.Published, paper.TableIII[name])
 	}
 	return res
@@ -161,21 +166,20 @@ type TableIVResult struct {
 // TableIV replays every generated trace through BIOtracer on the
 // measured-device model and computes the timing statistics of Table IV.
 func TableIV(env *Env) (TableIVResult, error) {
-	var res TableIVResult
-	for _, name := range paper.AllTraces {
-		tr := env.Trace(name)
-		dev, err := NewMeasuredDevice()
-		if err != nil {
-			return res, err
-		}
-		o, err := biotracer.Collect(dev, tr)
-		if err != nil {
-			return res, fmt.Errorf("collecting %s: %w", name, err)
-		}
-		res.Names = append(res.Names, name)
-		res.Measured = append(res.Measured, analysis.TimingStatsOf(tr))
+	names := paper.AllTraces
+	jobs := make([]ReplayJob, len(names))
+	for i, name := range names {
+		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(), Collect: true}
+	}
+	results, err := env.Replays("tableIV", jobs)
+	if err != nil {
+		return TableIVResult{}, err
+	}
+	res := TableIVResult{Names: names}
+	for i, name := range names {
+		res.Measured = append(res.Measured, analysis.TimingStatsOf(results[i].Trace))
 		res.Published = append(res.Published, paper.TableIV[name])
-		res.Overheads = append(res.Overheads, o)
+		res.Overheads = append(res.Overheads, results[i].Overhead)
 	}
 	return res, nil
 }
@@ -244,19 +248,17 @@ func TracerOverhead(env *Env, names ...string) (OverheadResult, error) {
 	if len(names) == 0 {
 		names = []string{paper.Twitter, paper.GoogleMaps, paper.Installing}
 	}
-	var res OverheadResult
-	for _, name := range names {
-		dev, err := NewMeasuredDevice()
-		if err != nil {
-			return res, err
-		}
-		tr := env.Trace(name)
-		o, err := biotracer.Collect(dev, tr)
-		if err != nil {
-			return res, err
-		}
-		res.Names = append(res.Names, name)
-		res.Overheads = append(res.Overheads, o)
+	jobs := make([]ReplayJob, len(names))
+	for i, name := range names {
+		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(), Collect: true}
+	}
+	results, err := env.Replays("tracer-overhead", jobs)
+	if err != nil {
+		return OverheadResult{}, err
+	}
+	res := OverheadResult{Names: names}
+	for i := range results {
+		res.Overheads = append(res.Overheads, results[i].Overhead)
 	}
 	return res, nil
 }
@@ -276,17 +278,18 @@ func (r OverheadResult) Render() *report.Table {
 // Characteristics replays the 18 individual traces on the measured device
 // and evaluates the paper's six characteristics on the results.
 func Characteristics(env *Env) ([]analysis.Finding, error) {
-	var traces []*trace.Trace
-	for _, name := range paper.IndividualApps {
-		tr := env.Trace(name)
-		dev, err := NewMeasuredDevice()
-		if err != nil {
-			return nil, err
-		}
-		if _, err := biotracer.Collect(dev, tr); err != nil {
-			return nil, err
-		}
-		traces = append(traces, tr)
+	names := paper.IndividualApps
+	jobs := make([]ReplayJob, len(names))
+	for i, name := range names {
+		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(), Collect: true}
+	}
+	results, err := env.Replays("characteristics", jobs)
+	if err != nil {
+		return nil, err
+	}
+	traces := make([]*trace.Trace, len(results))
+	for i := range results {
+		traces[i] = results[i].Trace
 	}
 	return analysis.EvaluateCharacteristics(traces), nil
 }

@@ -94,7 +94,7 @@ func Validate(env *Env) ([]Check, error) {
 		fmt.Sprintf("%d/18 traces", fatTail), fatTail >= 9 && fatTail <= 11)
 
 	// --- Fig. 3 ---
-	f3, err := Fig3(4)
+	f3, err := Fig3(env, 4)
 	if err != nil {
 		return nil, err
 	}

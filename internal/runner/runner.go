@@ -1,0 +1,132 @@
+// Package runner is the sweep engine every experiment replays through.
+//
+// A sweep is a declarative plan: a slice of independent jobs (typically
+// trace × scheme × device-option combinations) plus a function that runs
+// one job. Map executes the plan on a bounded worker pool and returns the
+// results in plan order, regardless of completion order, so a parallel run
+// is bit-identical to a serial one as long as each job is self-contained
+// (fresh device, private trace copy). Errors do not abort the sweep: every
+// job runs, and the failures come back joined, each wrapped with its sweep
+// name and plan index.
+//
+// The engine is deliberately generic — it knows nothing about traces or
+// devices — so internal/core can use it for the Fig. 3 microbenchmark
+// sweep without an import cycle; the replay-specific plan layer lives in
+// internal/experiments. See docs/RUNNER.md.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"emmcio/internal/telemetry"
+)
+
+// Runner executes sweep plans on a bounded worker pool.
+type Runner struct {
+	workers int
+	reg     *telemetry.Registry
+}
+
+// New returns a runner with the given pool width. Zero or negative means
+// GOMAXPROCS — the CLIs' -j flag passes its value straight through.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers}
+}
+
+// Observe attaches a metrics registry: every Map call then feeds the
+// runner_jobs_{started,finished,failed}_total counters and the
+// runner_job_wall_ns latency histogram, labeled by sweep name. A nil
+// registry leaves the runner unobserved. Returns the runner for chaining.
+func (r *Runner) Observe(reg *telemetry.Registry) *Runner {
+	r.reg = reg
+	return r
+}
+
+// Workers reports the pool width.
+func (r *Runner) Workers() int { return r.workers }
+
+// sweepTel holds one Map call's metric handles. All fields are nil-safe.
+type sweepTel struct {
+	started, finished, failed *telemetry.Counter
+	wallNs                    *telemetry.Histogram
+}
+
+func newSweepTel(reg *telemetry.Registry, sweep string) sweepTel {
+	if reg == nil {
+		return sweepTel{}
+	}
+	l := telemetry.L("sweep", sweep)
+	return sweepTel{
+		started:  reg.Counter("runner_jobs_started_total", l),
+		finished: reg.Counter("runner_jobs_finished_total", l),
+		failed:   reg.Counter("runner_jobs_failed_total", l),
+		wallNs:   reg.Histogram("runner_job_wall_ns", nil, l),
+	}
+}
+
+// Map runs fn over every job on the runner's worker pool and returns the
+// results indexed exactly like jobs. fn must be safe to call concurrently
+// and must not depend on execution order. On failure the job's result slot
+// keeps R's zero value and the error is collected; the returned error joins
+// every per-job failure (nil when all jobs succeed). A nil runner uses a
+// default-width pool.
+func Map[J, R any](r *Runner, sweep string, jobs []J, fn func(i int, job J) (R, error)) ([]R, error) {
+	if r == nil {
+		r = New(0)
+	}
+	out := make([]R, len(jobs))
+	if len(jobs) == 0 {
+		return out, nil
+	}
+	errs := make([]error, len(jobs))
+	tel := newSweepTel(r.reg, sweep)
+	run := func(i int) {
+		tel.started.Inc()
+		begin := time.Now()
+		res, err := fn(i, jobs[i])
+		tel.wallNs.Observe(time.Since(begin).Nanoseconds())
+		tel.finished.Inc()
+		if err != nil {
+			tel.failed.Inc()
+			errs[i] = fmt.Errorf("runner: %s job %d: %w", sweep, i, err)
+			return
+		}
+		out[i] = res
+	}
+
+	workers := r.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers == 1 {
+		for i := range jobs {
+			run(i)
+		}
+		return out, errors.Join(errs...)
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run(i)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, errors.Join(errs...)
+}

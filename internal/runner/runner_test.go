@@ -1,0 +1,156 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"emmcio/internal/telemetry"
+)
+
+// Results come back in plan order even when later jobs finish first.
+func TestMapPlanOrder(t *testing.T) {
+	jobs := make([]int, 40)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	out, err := Map(New(8), "order", jobs, func(i, j int) (int, error) {
+		// Stagger completion so execution order differs from plan order.
+		time.Sleep(time.Duration((len(jobs)-i)%5) * time.Millisecond)
+		return j * 3, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(jobs) {
+		t.Fatalf("%d results, want %d", len(out), len(jobs))
+	}
+	for i, v := range out {
+		if v != i*3 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+}
+
+// The pool never runs more than the configured number of jobs at once.
+func TestMapWorkerBound(t *testing.T) {
+	const width = 3
+	var cur, peak atomic.Int64
+	jobs := make([]struct{}, 48)
+	_, err := Map(New(width), "bound", jobs, func(i int, _ struct{}) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > width {
+		t.Fatalf("observed %d concurrent jobs, pool width is %d", p, width)
+	}
+}
+
+// Every job runs; failures come back joined and indexed, successes keep
+// their result slots.
+func TestMapAggregatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []int{0, 1, 2, 3, 4}
+	out, err := Map(New(2), "errs", jobs, func(i, j int) (string, error) {
+		if j%2 == 0 {
+			return "", fmt.Errorf("job-%d: %w", j, boom)
+		}
+		return fmt.Sprintf("ok-%d", j), nil
+	})
+	if err == nil {
+		t.Fatal("want aggregated error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("joined error lost the cause: %v", err)
+	}
+	for _, frag := range []string{"errs job 0", "errs job 2", "errs job 4"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
+	}
+	if out[1] != "ok-1" || out[3] != "ok-3" {
+		t.Errorf("successful slots clobbered: %q", out)
+	}
+	if out[0] != "" || out[2] != "" || out[4] != "" {
+		t.Errorf("failed slots not zero: %q", out)
+	}
+}
+
+// An observed runner counts starts, finishes, failures, and latencies.
+func TestMapTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	jobs := []int{0, 1, 2, 3, 4, 5}
+	_, err := Map(New(2).Observe(reg), "tel", jobs, func(i, j int) (int, error) {
+		if j == 4 {
+			return 0, errors.New("nope")
+		}
+		return j, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	l := telemetry.L("sweep", "tel")
+	if got := reg.Counter("runner_jobs_started_total", l).Value(); got != 6 {
+		t.Errorf("started = %d, want 6", got)
+	}
+	if got := reg.Counter("runner_jobs_finished_total", l).Value(); got != 6 {
+		t.Errorf("finished = %d, want 6", got)
+	}
+	if got := reg.Counter("runner_jobs_failed_total", l).Value(); got != 1 {
+		t.Errorf("failed = %d, want 1", got)
+	}
+	if got := reg.Histogram("runner_job_wall_ns", nil, l).Count(); got != 6 {
+		t.Errorf("latency observations = %d, want 6", got)
+	}
+}
+
+func TestDefaultsAndEdges(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0) width %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3) width %d, want GOMAXPROCS", got)
+	}
+	// Empty plans and nil runners are fine.
+	out, err := Map(nil, "empty", nil, func(i int, _ struct{}) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty plan: out=%v err=%v", out, err)
+	}
+	out2, err := Map(nil, "nilrunner", []int{7}, func(i, j int) (int, error) { return j, nil })
+	if err != nil || len(out2) != 1 || out2[0] != 7 {
+		t.Fatalf("nil runner: out=%v err=%v", out2, err)
+	}
+}
+
+// A single-worker pool runs jobs strictly in plan order.
+func TestSerialExecutionOrder(t *testing.T) {
+	var seen []int
+	jobs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	_, err := Map(New(1), "serial", jobs, func(i, j int) (int, error) {
+		seen = append(seen, i) // no locking needed: one worker
+		return j, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("serial execution order %v not the plan order", seen)
+		}
+	}
+}
