@@ -6,7 +6,7 @@ GO ?= go
 # (TestTelemetryOverheadBudget fails if disabled telemetry shifts the
 # mean response time by 5% or more — it must be exactly 0).
 .PHONY: check
-check: vet build runner-race race overhead
+check: vet build runner-race faults-race race overhead
 
 .PHONY: vet
 vet:
@@ -29,6 +29,12 @@ race:
 .PHONY: runner-race
 runner-race:
 	$(GO) test -race -count=2 ./internal/runner
+
+# The fault-injection plane under the race detector: injector determinism,
+# FTL retirement paths, device recovery, and the fault-ramp sweep at -j 8.
+.PHONY: faults-race
+faults-race:
+	$(GO) test -race -run 'Fault|Retire|DeepAged|Uncorrectable' ./internal/faults ./internal/ftl ./internal/emmc ./internal/experiments
 
 .PHONY: overhead
 overhead:

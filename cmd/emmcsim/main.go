@@ -15,6 +15,7 @@ import (
 
 	"emmcio/internal/core"
 	"emmcio/internal/emmc"
+	"emmcio/internal/faults"
 	"emmcio/internal/ftl"
 	"emmcio/internal/report"
 	"emmcio/internal/runner"
@@ -43,7 +44,14 @@ func main() {
 	chromeTrace := flag.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) here (single scheme only)")
 	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultTracerCapacity, "tracer ring-buffer capacity in events")
 	workers := flag.Int("j", 0, "replay the schemes on this many workers (0 = GOMAXPROCS); results are identical at any width")
+	faultRate := flag.Float64("faults", 0, "fault-injection rate multiplier (0 = perfect hardware)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection decision seed (requires -faults > 0)")
 	flag.Parse()
+
+	faultCfg, err := faultConfig(*faultRate, *faultSeed)
+	if err != nil {
+		fatal(err)
+	}
 
 	tr, err := loadTrace(*app, *tracePath, *profilePath, *seed)
 	if err != nil {
@@ -68,6 +76,7 @@ func main() {
 	opt.PowerSaving = *power
 	opt.RAMBufferBytes = int64(*bufferMB) << 20
 	opt.ScaleBlocks = *shrink
+	opt.Faults = faultCfg
 	switch *gc {
 	case "foreground":
 		opt.GCPolicy = emmc.GCForeground
@@ -274,7 +283,39 @@ func loadTrace(app, path, profilePath string, seed uint64) (*trace.Trace, error)
 	}
 }
 
+// faultConfig validates the fault flags up front, before any trace is
+// loaded or device built, so a bad value is a one-line usage error instead
+// of a mid-replay failure. A -fault-seed without fault injection enabled is
+// almost certainly a typo'd invocation, so it is rejected too.
+func faultConfig(rate float64, seed uint64) (*faults.Config, error) {
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fault-seed" {
+			seedSet = true
+		}
+	})
+	if rate == 0 {
+		if seedSet {
+			return nil, fmt.Errorf("-fault-seed set but fault injection is off; pass -faults > 0")
+		}
+		return nil, nil
+	}
+	cfg := &faults.Config{Seed: seed, Rate: rate}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// fatal prints a one-line diagnosis and exits 1. Replay errors can be
+// multi-line aggregates (errors.Join across sweep jobs); the first line
+// names the failure and the rest is noise at the CLI, so it is folded into
+// a count.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "emmcsim:", err)
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = fmt.Sprintf("%s (+%d more lines)", msg[:i], strings.Count(msg[i:], "\n"))
+	}
+	fmt.Fprintln(os.Stderr, "emmcsim:", msg)
 	os.Exit(1)
 }

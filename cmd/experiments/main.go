@@ -12,7 +12,7 @@
 // Experiments: tableI, tableII, fig3, tableIII, fig4, tableIV, fig5, fig6, fig7,
 // tableV, fig8, fig9, overhead, characteristics, ablations, lifetime,
 // ratesweep, aging, utilization, profiles, gcsweep, poolratio, cq,
-// geometry, writebuffer, readahead, ensemble, validate, all.
+// geometry, writebuffer, readahead, faultsweep, ensemble, validate, all.
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"emmcio/internal/experiments"
+	"emmcio/internal/faults"
 	"emmcio/internal/report"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/workload"
@@ -40,7 +41,14 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write Prometheus metrics from the replay sweeps here")
 	chromeTrace := flag.String("trace", "", "write a Chrome trace_event JSON of the replay sweeps here")
 	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultTracerCapacity, "tracer ring-buffer capacity in events")
+	faultRate := flag.Float64("faults", 0, "inject hardware faults at this rate multiplier into every replay (0 = perfect hardware)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection decision seed (requires -faults > 0)")
 	flag.Parse()
+
+	faultCfg, err := faultConfig(*faultRate, *faultSeed)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
@@ -65,6 +73,7 @@ func main() {
 
 	env := experiments.NewEnv(*seed)
 	env.Workers = *workers
+	env.Faults = faultCfg
 	if *metricsPath != "" {
 		env.Telemetry = telemetry.NewRegistry()
 	}
@@ -78,7 +87,7 @@ func main() {
 		"tableiii", "fig4", "tableiv", "fig5", "fig6", "fig7", "tablev", "fig8",
 		"fig9", "overhead", "characteristics", "ablations", "profiles", "gcsweep",
 		"poolratio", "writebuffer", "readahead", "cq", "geometry", "ratesweep",
-		"aging", "lifetime", "ensemble", "validate"} {
+		"aging", "lifetime", "ensemble", "validate", "faultsweep"} {
 		known[name] = true
 	}
 	want := map[string]bool{}
@@ -271,6 +280,13 @@ func main() {
 		}
 		emit(experiments.RenderAging("Movie", pts))
 	}
+	if all || want["faultsweep"] {
+		pts, err := experiments.FaultSweep(env, "", *seed, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.RenderFaultSweep("Twitter", pts))
+	}
 	if all || want["lifetime"] {
 		rows, err := experiments.Lifetime(env)
 		if err != nil {
@@ -379,7 +395,35 @@ func runAblations(env *experiments.Env, emit func(*report.Table)) error {
 	return nil
 }
 
+// faultConfig validates the fault flags before any experiment starts, so a
+// bad value is a usage error, not a mid-sweep failure.
+func faultConfig(rate float64, seed uint64) (*faults.Config, error) {
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fault-seed" {
+			seedSet = true
+		}
+	})
+	if rate == 0 {
+		if seedSet {
+			return nil, fmt.Errorf("-fault-seed set but fault injection is off; pass -faults > 0")
+		}
+		return nil, nil
+	}
+	cfg := &faults.Config{Seed: seed, Rate: rate}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// fatal prints a one-line diagnosis and exits 1, folding multi-line
+// aggregates (errors.Join across sweep jobs) into a first-line-plus-count.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = fmt.Sprintf("%s (+%d more lines)", msg[:i], strings.Count(msg[i:], "\n"))
+	}
+	fmt.Fprintln(os.Stderr, "experiments:", msg)
 	os.Exit(1)
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"emmcio/internal/emmc"
+	"emmcio/internal/faults"
 	"emmcio/internal/flash"
 	"emmcio/internal/ftl"
 	"emmcio/internal/reliability"
@@ -115,6 +116,9 @@ type Options struct {
 	// WriteBufferBytes enables SSDsim's RAM write-buffer layer, which the
 	// paper disables for the §V case study (0 = disabled, the §V setting).
 	WriteBufferBytes int64
+	// Faults enables deterministic fault injection (nil = perfect hardware,
+	// the §V setting).
+	Faults *faults.Config
 }
 
 // scalePool shrinks a pool for GC-pressure ablations.
@@ -177,6 +181,7 @@ func DeviceConfig(s Scheme, opt Options) emmc.Config {
 		WriteBufferBytes: opt.WriteBufferBytes,
 		MapCacheBytes:    opt.MapCacheBytes,
 		Reliability:      opt.Reliability,
+		Faults:           opt.Faults,
 	}
 	if opt.PowerSaving {
 		cfg.PowerSaving = true
@@ -211,6 +216,13 @@ type Metrics struct {
 	BufferHitRate      float64
 	LightWakes         int64
 	DeepWakes          int64
+
+	// Fault-injection outcomes (all zero with faults off).
+	ProgramFaults int64
+	EraseFaults   int64
+	ReadFaults    int64
+	RetiredBlocks int64
+	RecoveryNs    int64
 }
 
 // Replay runs every request of the trace through a fresh device of the
@@ -310,6 +322,11 @@ func ReplayObserved(dev *emmc.Device, s Scheme, tr *trace.Trace, reg *telemetry.
 		BufferHitRate:    dev.BufferHitRate(),
 		LightWakes:       dm.LightWakes,
 		DeepWakes:        dm.DeepWakes,
+		ProgramFaults:    fs.ProgramFaults,
+		EraseFaults:      fs.EraseFaults,
+		ReadFaults:       dm.ReadFaults,
+		RetiredBlocks:    fs.RetiredBlocks,
+		RecoveryNs:       dm.RecoveryNs,
 	}
 	if fs.HostProgrammedPages > 0 {
 		m.WriteAmplification = 1 + float64(fs.GC.PageMoves)/float64(fs.HostProgrammedPages)

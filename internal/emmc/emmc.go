@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 
+	"emmcio/internal/faults"
 	"emmcio/internal/flash"
 	"emmcio/internal/ftl"
 	"emmcio/internal/reliability"
@@ -102,6 +103,11 @@ type Config struct {
 	// acknowledged from RAM and destaged to flash during idle gaps (or
 	// synchronously when the buffer fills / a flush barrier arrives).
 	WriteBufferBytes int64
+
+	// Faults enables deterministic fault injection (program/erase failures
+	// and uncorrectable reads, wear-dependent). Nil or rate-zero models
+	// perfect hardware at zero simulated-time overhead.
+	Faults *faults.Config
 }
 
 // Validate reports unusable configurations.
@@ -128,6 +134,9 @@ func (c Config) Validate() error {
 	}
 	if c.GCFreeBlocks < 1 {
 		return fmt.Errorf("emmc: GC threshold below 1")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -166,6 +175,12 @@ type Metrics struct {
 	// Flush barriers served (fsync-driven cache flushes).
 	Flushes int64
 	FlushNs int64
+
+	// Fault recovery accounting. ReadFaults counts uncorrectable reads; each
+	// one pays the retry ladder plus a read-scrub block retirement, totalled
+	// in RecoveryNs. Program/erase fault totals live in the FTL stats.
+	ReadFaults int64
+	RecoveryNs int64
 
 	// Write-buffer accounting (SSDsim's RAM buffer layer).
 	BufferedWrites int64 // writes acknowledged from RAM
@@ -210,6 +225,9 @@ type Device struct {
 	mapCache *ftl.MapCache
 	writeBuf *writeBuffer
 	metrics  Metrics
+	// inj is the device's fault injector (shared with the FTL so the
+	// decision stream stays one deterministic sequence). Nil when off.
+	inj *faults.Injector
 
 	// Cached read-retry factors per pool, refreshed when wear changes.
 	relFactor []float64
@@ -240,6 +258,9 @@ type devTel struct {
 	destageIdle           *telemetry.Counter
 	destageSpace          *telemetry.Counter
 	destageBarrier        *telemetry.Counter
+	readFaults            *telemetry.Counter
+	recoveryNs            *telemetry.Counter
+	recoveryHist          *telemetry.Histogram
 	wbBytes               *telemetry.Gauge
 	chanBusy              []*telemetry.Gauge
 }
@@ -255,6 +276,7 @@ func (d *Device) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	d.tracer = tr
 	d.ftl.SetTelemetry(reg)
 	d.mapCache.SetTelemetry(reg)
+	d.inj.SetTelemetry(reg)
 	if reg == nil {
 		d.tel = nil
 		return
@@ -275,6 +297,9 @@ func (d *Device) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		destageIdle:    reg.Counter("emmc_destages_total", telemetry.L("cause", "idle")),
 		destageSpace:   reg.Counter("emmc_destages_total", telemetry.L("cause", "space")),
 		destageBarrier: reg.Counter("emmc_destages_total", telemetry.L("cause", "barrier")),
+		readFaults:     reg.Counter("emmc_read_faults_total"),
+		recoveryNs:     reg.Counter("emmc_fault_recovery_ns_total"),
+		recoveryHist:   reg.Histogram("emmc_fault_recovery_ns", nil),
 		wbBytes:        reg.Gauge("emmc_write_buffer_bytes"),
 	}
 	for i := 0; i < d.cfg.Geometry.Channels; i++ {
@@ -323,6 +348,11 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	inj, err := faults.New(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	f.SetFaults(inj)
 	return &Device{
 		cfg:       cfg,
 		ftl:       f,
@@ -333,8 +363,13 @@ func New(cfg Config) (*Device, error) {
 		writeBuf:  newWriteBuffer(cfg.WriteBufferBytes),
 		relFactor: make([]float64, len(cfg.Pools)),
 		relPE:     make([]float64, len(cfg.Pools)),
+		inj:       inj,
 	}, nil
 }
+
+// FaultCounts exposes the injector's per-kind fault totals (all zero when
+// injection is off).
+func (d *Device) FaultCounts() faults.Counts { return d.inj.Counts() }
 
 // AddArtificialWear pre-ages a pool (aging studies).
 func (d *Device) AddArtificialWear(pool int, erases int64) {
@@ -569,7 +604,10 @@ func (d *Device) gcTime(w ftl.GCWork, pageBytes int) int64 {
 	if w.PageMoves > 0 {
 		moveNs = int64(w.PageMoves) * (t.Read(pageBytes) + t.Program(pageBytes))
 	}
-	return moveNs + int64(w.Erases)*t.EraseNs
+	// Failed operations still occupy the plane until the status fail: a full
+	// program per rejected program, a full erase per rejected erase.
+	faultNs := int64(w.ProgramFaults)*t.Program(pageBytes) + int64(w.EraseFaults)*t.EraseNs
+	return moveNs + faultNs + int64(w.Erases)*t.EraseNs
 }
 
 // Submit services one request and returns its timing. Requests must arrive
@@ -634,7 +672,11 @@ func (d *Device) SubmitPacked(dispatchAt int64, reqs []trace.Request) ([]Result,
 	// Idle-policy GC: clean pools that hit the threshold, absorbing the cost
 	// into the gap the device just sat idle.
 	if d.cfg.GCPolicy == GCIdle {
-		opsStart += d.runIdleGC(dispatchAt)
+		over, err := d.runIdleGC(dispatchAt)
+		if err != nil {
+			return nil, err
+		}
+		opsStart += over
 	}
 	// Idle destage: the write buffer drains into the same gaps.
 	if d.writeBuf != nil {
@@ -808,6 +850,10 @@ func (d *Device) serveRead(opsStart int64, lpns []int64) (int64, error) {
 		plane   int
 		pool    int
 		payload int
+		// loc/mapped identify the physical page for mapped reads — the
+		// fault-recovery path needs it to retire the failing block.
+		loc    ftl.Loc
+		mapped bool
 	}
 	for _, lpn := range lpns {
 		opsStart += d.mapAccess(lpn, false)
@@ -854,7 +900,8 @@ func (d *Device) serveRead(opsStart int64, lpns []int64) (int64, error) {
 			continue
 		}
 		flushPending()
-		ops = append(ops, readOp{plane: int(loc.Plane), pool: int(loc.Pool), payload: flash.SectorBytes})
+		ops = append(ops, readOp{plane: int(loc.Plane), pool: int(loc.Pool), payload: flash.SectorBytes,
+			loc: loc, mapped: true})
 		lastLoc, haveLast = loc, true
 	}
 	flushPending()
@@ -883,6 +930,26 @@ func (d *Device) serveRead(opsStart int64, lpns []int64) (int64, error) {
 			rd = int64(float64(rd) * f)
 		}
 		perPlaneOps[unit]++
+		// Uncorrectable read: the page stays unreadable after the retry
+		// ladder, so the plane burns the extra attempts and the controller
+		// read-scrubs the block into retirement — all charged to this read.
+		if op.mapped && d.inj.ReadUncorrectable(d.ftl.PoolAvgPE(op.pool)) {
+			rec, rerr := d.ftl.RetireBlockAt(op.loc)
+			extra := int64(d.inj.RecoveryReads())*d.cfg.Timing.ReadPool(d.cfg.Pools[op.pool]) +
+				d.gcTime(rec, d.cfg.Pools[op.pool].PageBytes)
+			rd += extra
+			d.metrics.ReadFaults++
+			d.metrics.RecoveryNs += extra
+			if d.tel != nil {
+				d.tel.readFaults.Inc()
+				d.tel.recoveryNs.Add(extra)
+				d.tel.recoveryHist.Observe(extra)
+			}
+			d.tracer.Instant("emmc", "device", "read-recovery", opsStart)
+			if rerr != nil {
+				return 0, fmt.Errorf("emmc: read-scrub recovery: %w (after %w)", rerr, flash.ErrUncorrectable)
+			}
+		}
 		end := d.scheduleRead(opsStart, op.plane, rd, d.cfg.Timing.Transfer(op.payload),
 			d.cfg.Pools[op.pool].PageBytes)
 		if end > finish {
@@ -946,7 +1013,7 @@ func (d *Device) Flush(dispatchAt int64) (Result, error) {
 // runIdleGC cleans threshold pools, absorbing cost into the idle gap the
 // device accumulated before this request. It returns the overflow charged
 // to the request.
-func (d *Device) runIdleGC(arrival int64) int64 {
+func (d *Device) runIdleGC(arrival int64) (int64, error) {
 	budget := arrival - d.lastEnd
 	if budget < 0 {
 		budget = 0
@@ -957,7 +1024,10 @@ func (d *Device) runIdleGC(arrival int64) int64 {
 			if !d.ftl.NeedsGC(plane, pool) {
 				continue
 			}
-			work := d.ftl.CollectGarbage(plane, pool)
+			work, err := d.ftl.CollectGarbage(plane, pool)
+			if err != nil {
+				return overflow, fmt.Errorf("emmc: idle GC: %w", err)
+			}
 			if work.Zero() {
 				continue
 			}
@@ -984,7 +1054,7 @@ func (d *Device) runIdleGC(arrival int64) int64 {
 			}
 		}
 	}
-	return overflow
+	return overflow, nil
 }
 
 // deviceSnapshot is the gob layout of a device's dynamic state. The RAM
@@ -1001,6 +1071,9 @@ type deviceSnapshot struct {
 	ChannelBusy []int64
 	PlaneFree   []int64
 	PlaneBusy   []int64
+	// FaultDraws archives the injector's decision-stream position so a
+	// restored device resumes the exact fault sequence (Skip fast-forward).
+	FaultDraws int64
 }
 
 // Snapshot archives the device (configuration, FTL state, timing cursors,
@@ -1008,12 +1081,13 @@ type deviceSnapshot struct {
 // its history.
 func (d *Device) Snapshot(w io.Writer) error {
 	snap := deviceSnapshot{
-		Config:  d.cfg,
-		FTL:     d.ftl.SnapshotData(),
-		FreeAt:  d.freeAt,
-		LastEnd: d.lastEnd,
-		RRPlane: d.rrPlane,
-		Metrics: d.metrics,
+		Config:     d.cfg,
+		FTL:        d.ftl.SnapshotData(),
+		FreeAt:     d.freeAt,
+		LastEnd:    d.lastEnd,
+		RRPlane:    d.rrPlane,
+		Metrics:    d.metrics,
+		FaultDraws: d.inj.Draws(),
 	}
 	for i := range d.channels {
 		f, b := d.channels[i].State()
@@ -1047,9 +1121,16 @@ func RestoreSnapshot(r io.Reader) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	inj, err := faults.New(snap.Config.Faults)
+	if err != nil {
+		return nil, err
+	}
+	inj.Skip(snap.FaultDraws)
+	f.SetFaults(inj)
 	d := &Device{
 		cfg:       snap.Config,
 		ftl:       f,
+		inj:       inj,
 		channels:  make([]sim.Resource, snap.Config.Geometry.Channels),
 		planes:    make([]sim.Resource, snap.Config.Geometry.Planes()),
 		buffer:    newRAMBuffer(snap.Config.RAMBufferBytes),

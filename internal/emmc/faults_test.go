@@ -1,0 +1,130 @@
+package emmc
+
+import (
+	"bytes"
+	"testing"
+
+	"emmcio/internal/faults"
+	"emmcio/internal/reliability"
+)
+
+// Snapshot equivalence must hold under fault injection: the snapshot
+// archives the injector's draw count and restore fast-forwards a fresh
+// stream to that position, so the interrupted run's fault sequence — and
+// with it every result and metric — matches the uninterrupted run exactly.
+func TestSnapshotResumesFaultStream(t *testing.T) {
+	mkDev := func() *Device {
+		c := cfg4K()
+		c.Pools[0].BlocksPerPlane = 8
+		c.Pools[0].PagesPerBlock = 16
+		// Wear-flat bases in (0,1): every program and erase draws from the
+		// decision stream, so stream-position bugs cannot hide.
+		c.Faults = &faults.Config{Seed: 21, Rate: 1, ProgramFailBase: 0.01, EraseFailBase: 0.05}
+		dev, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dev
+	}
+	submit := func(dev *Device, i int) Result {
+		res, err := dev.Submit(wr(int64(i+1)*1_000_000, uint64(i%16)*8, 4096))
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		return res
+	}
+
+	const total, half = 1200, 600
+	ref := mkDev()
+	var refResults []Result
+	for i := 0; i < total; i++ {
+		refResults = append(refResults, submit(ref, i))
+	}
+	if ref.FaultCounts().Total() == 0 {
+		t.Fatal("reference run injected nothing; the test exercises no fault state")
+	}
+
+	dev := mkDev()
+	var gotResults []Result
+	for i := 0; i < half; i++ {
+		gotResults = append(gotResults, submit(dev, i))
+	}
+	var buf bytes.Buffer
+	if err := dev.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < total; i++ {
+		gotResults = append(gotResults, submit(restored, i))
+	}
+
+	for i := range refResults {
+		if refResults[i] != gotResults[i] {
+			t.Fatalf("request %d diverged after restore:\nref %+v\ngot %+v",
+				i, refResults[i], gotResults[i])
+		}
+	}
+	if rm, gm := ref.Metrics(), restored.Metrics(); rm != gm {
+		t.Fatalf("metrics diverged:\nref %+v\ngot %+v", rm, gm)
+	}
+	if rs, gs := ref.FTLStats(), restored.FTLStats(); rs != gs {
+		t.Fatalf("FTL stats diverged:\nref %+v\ngot %+v", rs, gs)
+	}
+}
+
+// An uncorrectable read charges the retry ladder plus relocation on the
+// timeline, retires the failing block, and counts in the device metrics —
+// while the data stays readable afterwards (read scrubbing, not data loss).
+func TestUncorrectableReadRecovery(t *testing.T) {
+	model := reliability.Default()
+	c := cfg4K()
+	c.Reliability = model
+	// Only the read path can fire: program/erase are suppressed with
+	// denormal-small bases (zero would select the defaults).
+	c.Faults = &faults.Config{
+		Seed: 2, Rate: 1, ProgramFailBase: 1e-300, EraseFailBase: 1e-300, Model: model,
+	}
+	dev, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := dev.Submit(wr(int64(i+1)*1_000_000, uint64(i)*8, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Age past the point where the reliability model's read-failure curve
+	// saturates; the configured scale then fails 2% of mapped reads.
+	pools := dev.Config().Pools
+	for pool, spec := range pools {
+		blocks := int64(spec.BlocksPerPlane * dev.Config().Geometry.Planes())
+		dev.AddArtificialWear(pool, int64(1.5*model.Endurance*float64(blocks)))
+	}
+	at := int64(1_000_000_000)
+	for i := 0; i < 1000; i++ {
+		at += 10_000_000
+		if _, err := dev.Submit(rd(at, uint64(i%64)*8, 4096)); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	m := dev.Metrics()
+	if m.ReadFaults == 0 {
+		t.Fatal("no uncorrectable reads at 1.5x endurance")
+	}
+	if m.RecoveryNs == 0 {
+		t.Fatal("read faults charged no recovery time")
+	}
+	if dev.FTLStats().RetiredBlocks == 0 {
+		t.Fatal("read scrubbing retired no blocks")
+	}
+	// Every LBA must still read back: recovery relocates, never loses.
+	for i := 0; i < 64; i++ {
+		at += 10_000_000
+		if _, err := dev.Submit(rd(at, uint64(i)*8, 4096)); err != nil {
+			t.Fatalf("post-recovery read %d: %v", i, err)
+		}
+	}
+}

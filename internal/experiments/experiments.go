@@ -12,6 +12,7 @@ import (
 
 	"emmcio/internal/core"
 	"emmcio/internal/emmc"
+	"emmcio/internal/faults"
 	"emmcio/internal/flash"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
@@ -36,6 +37,11 @@ type Env struct {
 	// default to nil: experiments run unobserved.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
+
+	// Faults, when non-nil, is applied to every replay job that does not set
+	// its own fault config (the CLIs' -faults/-fault-seed flags). Jobs with a
+	// custom Device builder construct their own config and are not touched.
+	Faults *faults.Config
 
 	mu        sync.Mutex
 	cache     map[string]*traceEntry

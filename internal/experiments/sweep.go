@@ -66,6 +66,9 @@ func (e *Env) Replays(sweep string, jobs []ReplayJob) ([]ReplayResult, error) {
 }
 
 func (e *Env) replay(j ReplayJob) (ReplayResult, error) {
+	if e.Faults != nil && j.Options.Faults == nil && j.Device == nil {
+		j.Options.Faults = e.Faults
+	}
 	tr := e.Trace(j.Trace)
 	if j.Prepare != nil {
 		tr = j.Prepare(tr)

@@ -13,7 +13,22 @@
 // 4 KB pool plus one 8 KB pool per plane (Fig. 10).
 package flash
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed fault causes. The FTL and device wrap these into richer errors;
+// callers classify with errors.Is.
+var (
+	// ErrProgramFail marks a page program the NAND rejected (status fail).
+	ErrProgramFail = errors.New("flash: program failed")
+	// ErrEraseFail marks a block erase the NAND rejected.
+	ErrEraseFail = errors.New("flash: erase failed")
+	// ErrUncorrectable marks a page read that stayed unreadable after the
+	// full read-retry ladder.
+	ErrUncorrectable = errors.New("flash: uncorrectable read")
+)
 
 // SectorBytes is the FTL's mapping granularity: 4 KB, the file-system block
 // size. A 4 KB physical page holds one sector; an 8 KB page holds two.
@@ -230,6 +245,9 @@ type Block struct {
 	// liveSectors is the block total, kept for O(1) GC victim scoring.
 	liveSectors int
 	erases      int
+	// retired marks a grown bad block: a program or erase failure made the
+	// FTL withdraw it from allocation permanently.
+	retired bool
 }
 
 // NewBlock returns an erased block with the given page count.
@@ -260,6 +278,9 @@ func (b *Block) NextFreeCount() int { return b.writePtr }
 // sectors and returns its index. It panics on a full block or an impossible
 // sector count — both indicate allocator bugs, not recoverable conditions.
 func (b *Block) Program(liveSectors int) int {
+	if b.retired {
+		panic("flash: programming a retired block")
+	}
 	if b.Full() {
 		panic("flash: programming a full block")
 	}
@@ -310,6 +331,9 @@ func (b *Block) Programmed(i int) bool { return b.live[i] != pageFree }
 // Erase resets the block to the free state and bumps its wear counter.
 // Erasing a block with live sectors is a data-loss bug and panics.
 func (b *Block) Erase() {
+	if b.retired {
+		panic("flash: erasing a retired block")
+	}
 	if b.liveSectors != 0 {
 		panic("flash: erasing a block that still holds live data")
 	}
@@ -319,6 +343,37 @@ func (b *Block) Erase() {
 	b.writePtr = 0
 	b.erases++
 }
+
+// Burn consumes the next page as a failed program: the page is marked
+// programmed but carries no live data (its cells are in an undefined
+// state), so the write pointer advances past it. The FTL calls this when
+// the NAND reports a program-status failure, then re-programs the payload
+// elsewhere.
+func (b *Block) Burn() int {
+	if b.retired {
+		panic("flash: burning a page of a retired block")
+	}
+	if b.Full() {
+		panic("flash: burning a page of a full block")
+	}
+	i := b.writePtr
+	b.live[i] = 0
+	b.writePtr++
+	return i
+}
+
+// Retire withdraws the block from service as a grown bad block. Its live
+// data must have been relocated first; retiring live data is a bug and
+// panics.
+func (b *Block) Retire() {
+	if b.liveSectors != 0 {
+		panic("flash: retiring a block that still holds live data")
+	}
+	b.retired = true
+}
+
+// Retired reports whether the block has been withdrawn from service.
+func (b *Block) Retired() bool { return b.retired }
 
 // EraseCount returns how many times the block has been erased.
 func (b *Block) EraseCount() int { return b.erases }

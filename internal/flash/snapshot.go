@@ -7,18 +7,21 @@ type BlockState struct {
 	WritePtr int
 	LiveSecs int
 	Erases   int
+	// Retired marks a grown bad block. Absent in pre-fault snapshots, which
+	// gob decodes as false — exactly the pre-fault semantics.
+	Retired bool
 }
 
 // Dump exports the block's state.
 func (b *Block) Dump() BlockState {
 	live := make([]int8, len(b.live))
 	copy(live, b.live)
-	return BlockState{Live: live, WritePtr: b.writePtr, LiveSecs: b.liveSectors, Erases: b.erases}
+	return BlockState{Live: live, WritePtr: b.writePtr, LiveSecs: b.liveSectors, Erases: b.erases, Retired: b.retired}
 }
 
 // RestoreBlock builds a block from a dumped state.
 func RestoreBlock(s BlockState) *Block {
 	live := make([]int8, len(s.Live))
 	copy(live, s.Live)
-	return &Block{live: live, writePtr: s.WritePtr, liveSectors: s.LiveSecs, erases: s.Erases}
+	return &Block{live: live, writePtr: s.WritePtr, liveSectors: s.LiveSecs, erases: s.Erases, retired: s.Retired}
 }

@@ -12,11 +12,18 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
+	"emmcio/internal/faults"
 	"emmcio/internal/flash"
 	"emmcio/internal/telemetry"
 )
+
+// ErrNoSpace marks a write or relocation that found no destination page:
+// the pool's free blocks (shrunk by any retirements) are exhausted. Callers
+// classify with errors.Is and degrade gracefully instead of panicking.
+var ErrNoSpace = errors.New("ftl: out of space")
 
 // Loc identifies a physical page.
 type Loc struct {
@@ -30,7 +37,9 @@ func (l Loc) pack() uint64 {
 	return uint64(l.Plane)<<48 | uint64(l.Pool)<<40 | uint64(l.Block)<<16 | uint64(l.Page)
 }
 
-// GCWork summarizes the garbage collection a write triggered.
+// GCWork summarizes the garbage collection a write triggered, including
+// any fault handling folded into it — the device charges timeline latency
+// for every field.
 type GCWork struct {
 	// PageMoves counts valid pages copied to a new block.
 	PageMoves int
@@ -38,6 +47,13 @@ type GCWork struct {
 	MoveBytes int64
 	// Erases counts blocks erased.
 	Erases int
+	// ProgramFaults counts page programs the NAND rejected (each one still
+	// occupies the plane for a full program before the status fail).
+	ProgramFaults int
+	// EraseFaults counts block erases the NAND rejected.
+	EraseFaults int
+	// Retired counts blocks withdrawn as grown bad blocks.
+	Retired int
 }
 
 // Add accumulates other into w.
@@ -45,6 +61,9 @@ func (w *GCWork) Add(other GCWork) {
 	w.PageMoves += other.PageMoves
 	w.MoveBytes += other.MoveBytes
 	w.Erases += other.Erases
+	w.ProgramFaults += other.ProgramFaults
+	w.EraseFaults += other.EraseFaults
+	w.Retired += other.Retired
 }
 
 // Zero reports whether no GC happened.
@@ -59,6 +78,11 @@ type Stats struct {
 	// StaticLevelMoves counts page copies made purely for wear leveling
 	// (WearStatic only).
 	StaticLevelMoves int64
+	// ProgramFaults, EraseFaults and RetiredBlocks total the injected fault
+	// outcomes over the replay (GC also carries the per-write breakdown).
+	ProgramFaults int64
+	EraseFaults   int64
+	RetiredBlocks int64
 }
 
 // SpaceUtilization is the paper's §V metric: written payload over flash
@@ -78,6 +102,9 @@ type poolState struct {
 	// across blocks (the "simple wear-leveling" of Implication 4).
 	free   []int32
 	active int32 // index of the block currently accepting programs, or -1
+	// retired counts grown bad blocks withdrawn from this plane-pool; the
+	// usable pool is BlocksPerPlane - retired.
+	retired int32
 }
 
 type planeState struct {
@@ -162,34 +189,45 @@ type FTL struct {
 	// poolErases counts erases per pool across all planes (O(1) wear query
 	// for the reliability model).
 	poolErases []int64
-	tel        *ftlTel
+	// inj injects program/erase faults on the allocation and GC paths. Nil
+	// (the default) means perfect hardware; the owning device shares its
+	// injector here via SetFaults.
+	inj *faults.Injector
+	tel *ftlTel
 }
 
 // ftlTel holds the translation layer's metric handles. GC is rare relative
 // to the program path, so per-pool wear spread is recomputed only when a
 // collection actually erased something.
 type ftlTel struct {
-	gcRuns      *telemetry.Counter
-	gcMoves     *telemetry.Counter
-	gcMoveBytes *telemetry.Counter
-	erases      *telemetry.Counter
-	wearSpread  []*telemetry.Gauge // per pool: max-min erase count
+	gcRuns        *telemetry.Counter
+	gcMoves       *telemetry.Counter
+	gcMoveBytes   *telemetry.Counter
+	erases        *telemetry.Counter
+	programFaults *telemetry.Counter
+	eraseFaults   *telemetry.Counter
+	retired       *telemetry.Counter
+	wearSpread    []*telemetry.Gauge // per pool: max-min erase count
 }
 
 // SetTelemetry attaches (or detaches, with a nil registry) GC and wear
 // observability: ftl_gc_invocations_total, ftl_gc_page_moves_total,
-// ftl_gc_move_bytes_total, ftl_erases_total, and a per-pool
-// ftl_wear_spread_erases gauge.
+// ftl_gc_move_bytes_total, ftl_erases_total, the fault counters
+// ftl_program_faults_total / ftl_erase_faults_total /
+// ftl_blocks_retired_total, and a per-pool ftl_wear_spread_erases gauge.
 func (f *FTL) SetTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		f.tel = nil
 		return
 	}
 	t := &ftlTel{
-		gcRuns:      reg.Counter("ftl_gc_invocations_total"),
-		gcMoves:     reg.Counter("ftl_gc_page_moves_total"),
-		gcMoveBytes: reg.Counter("ftl_gc_move_bytes_total"),
-		erases:      reg.Counter("ftl_erases_total"),
+		gcRuns:        reg.Counter("ftl_gc_invocations_total"),
+		gcMoves:       reg.Counter("ftl_gc_page_moves_total"),
+		gcMoveBytes:   reg.Counter("ftl_gc_move_bytes_total"),
+		erases:        reg.Counter("ftl_erases_total"),
+		programFaults: reg.Counter("ftl_program_faults_total"),
+		eraseFaults:   reg.Counter("ftl_erase_faults_total"),
+		retired:       reg.Counter("ftl_blocks_retired_total"),
 	}
 	for _, p := range f.cfg.Pools {
 		t.wearSpread = append(t.wearSpread,
@@ -208,6 +246,9 @@ func (f *FTL) observeGC(pool int, gc GCWork) {
 	f.tel.gcMoves.Add(int64(gc.PageMoves))
 	f.tel.gcMoveBytes.Add(gc.MoveBytes)
 	f.tel.erases.Add(int64(gc.Erases))
+	f.tel.programFaults.Add(int64(gc.ProgramFaults))
+	f.tel.eraseFaults.Add(int64(gc.EraseFaults))
+	f.tel.retired.Add(int64(gc.Retired))
 	if gc.Erases > 0 && pool < len(f.tel.wearSpread) {
 		w := f.Wear(pool)
 		f.tel.wearSpread[pool].Set(int64(w.MaxErases - w.MinErases))
@@ -242,6 +283,12 @@ func New(cfg Config) (*FTL, error) {
 	}
 	return f, nil
 }
+
+// SetFaults shares the owning device's fault injector with the FTL. A nil
+// injector (the default) models perfect hardware. The device and FTL must
+// share one injector so the decision stream stays a single deterministic
+// sequence.
+func (f *FTL) SetFaults(inj *faults.Injector) { f.inj = inj }
 
 // Pools returns the configured pool specs.
 func (f *FTL) Pools() []flash.PoolSpec { return f.cfg.Pools }
@@ -299,13 +346,30 @@ func (f *FTL) Write(plane, pool int, lpns []int64) (Loc, GCWork, error) {
 
 // CollectGarbage runs GC in the plane-pool until it is above the threshold,
 // regardless of pending writes. It is the hook the idle-GC policy
-// (Implication 2) uses to clean during inter-arrival gaps.
-func (f *FTL) CollectGarbage(plane, pool int) GCWork {
+// (Implication 2) uses to clean during inter-arrival gaps. The returned
+// work includes any fault handling; a non-nil error means a relocation ran
+// out of destination space (ErrNoSpace).
+func (f *FTL) CollectGarbage(plane, pool int) (GCWork, error) {
 	var gc GCWork
-	f.ensureFree(int32(plane), int32(pool), &gc)
+	err := f.ensureFree(int32(plane), int32(pool), &gc)
 	f.stats.GC.Add(gc)
 	f.observeGC(pool, gc)
-	return gc
+	return gc, err
+}
+
+// RetireBlockAt withdraws the block holding the given page as a grown bad
+// block, relocating its live data first — the read-scrub recovery path the
+// device takes after an uncorrectable read. The returned work carries the
+// relocation cost for timeline charging.
+func (f *FTL) RetireBlockAt(loc Loc) (GCWork, error) {
+	var gc GCWork
+	if f.blockAt(loc).Retired() {
+		return gc, nil // already withdrawn by an earlier recovery
+	}
+	err := f.retireBlock(loc.Plane, loc.Pool, loc.Block, &gc)
+	f.stats.GC.Add(gc)
+	f.observeGC(int(loc.Pool), gc)
+	return gc, err
 }
 
 // invalidate removes the LPN's current mapping, if any.
@@ -340,52 +404,106 @@ func (f *FTL) blockAt(loc Loc) *flash.Block {
 // program writes lpns to the next page of the plane-pool's active block,
 // running GC first when free blocks run low. GC-initiated relocations pass
 // inGC to avoid re-entering the collector.
+//
+// A program-status failure burns the attempted page, retires the block as
+// grown-bad (relocating whatever it already held), and retries on a fresh
+// block — each failure permanently shrinks the pool, so the loop terminates
+// in ErrNoSpace at the latest.
 func (f *FTL) program(plane, pool int32, lpns []int64, gc *GCWork, inGC bool) (Loc, error) {
 	ps := &f.planes[plane].pools[pool]
-	if ps.active < 0 || ps.blocks[ps.active].Full() {
-		if !inGC && len(ps.free) <= f.cfg.GCFreeBlocks {
-			f.ensureFree(plane, pool, gc)
-		}
-		// Re-check: GC relocations may have rotated in a fresh active block
-		// already; replacing it here would orphan a partially written block.
+	for {
 		if ps.active < 0 || ps.blocks[ps.active].Full() {
-			if len(ps.free) == 0 {
-				return Loc{}, fmt.Errorf("ftl: plane %d pool %d out of space", plane, pool)
+			if !inGC && len(ps.free) <= f.cfg.GCFreeBlocks {
+				if err := f.ensureFree(plane, pool, gc); err != nil {
+					return Loc{}, err
+				}
 			}
-			if f.cfg.Wear == WearNone {
-				// LIFO: recycle the most recently erased block.
-				ps.active = ps.free[len(ps.free)-1]
-				ps.free = ps.free[:len(ps.free)-1]
-			} else {
-				ps.active = ps.free[0]
-				ps.free = ps.free[1:]
+			// Re-check: GC relocations may have rotated in a fresh active block
+			// already; replacing it here would orphan a partially written block.
+			if ps.active < 0 || ps.blocks[ps.active].Full() {
+				if len(ps.free) == 0 {
+					return Loc{}, fmt.Errorf("ftl: plane %d pool %d: %w", plane, pool, ErrNoSpace)
+				}
+				if f.cfg.Wear == WearNone {
+					// LIFO: recycle the most recently erased block.
+					ps.active = ps.free[len(ps.free)-1]
+					ps.free = ps.free[:len(ps.free)-1]
+				} else {
+					ps.active = ps.free[0]
+					ps.free = ps.free[1:]
+				}
 			}
 		}
+		blk := ps.blocks[ps.active]
+		if f.inj.ProgramFails(f.PoolAvgPE(int(pool))) {
+			blk.Burn()
+			gc.ProgramFaults++
+			f.stats.ProgramFaults++
+			victim := ps.active
+			ps.active = -1
+			if err := f.retireBlock(plane, pool, victim, gc); err != nil {
+				return Loc{}, fmt.Errorf("%w (after %w)", err, flash.ErrProgramFail)
+			}
+			continue
+		}
+		page := blk.Program(len(lpns))
+		loc := Loc{Plane: plane, Pool: pool, Block: ps.active, Page: int32(page)}
+		key := loc.pack()
+		for _, lpn := range lpns {
+			f.fwd[lpn] = loc
+		}
+		f.rev[key] = append([]int64(nil), lpns...)
+		return loc, nil
 	}
-	blk := ps.blocks[ps.active]
-	page := blk.Program(len(lpns))
-	loc := Loc{Plane: plane, Pool: pool, Block: ps.active, Page: int32(page)}
-	key := loc.pack()
-	for _, lpn := range lpns {
-		f.fwd[lpn] = loc
+}
+
+// retireBlock withdraws one block as grown-bad: it is pulled out of the
+// active slot and free list, its surviving live data is relocated, and the
+// retired flag makes the shrink permanent. The caller has already accounted
+// for the fault that caused the retirement.
+func (f *FTL) retireBlock(plane, pool, victim int32, gc *GCWork) error {
+	ps := &f.planes[plane].pools[pool]
+	if ps.active == victim {
+		ps.active = -1
 	}
-	f.rev[key] = append([]int64(nil), lpns...)
-	return loc, nil
+	for i, b := range ps.free {
+		if b == victim {
+			ps.free = append(ps.free[:i], ps.free[i+1:]...)
+			break
+		}
+	}
+	blk := ps.blocks[victim]
+	if blk.LiveSectors() > 0 {
+		if err := f.moveLive(plane, pool, victim, gc); err != nil {
+			// No destination space for the survivors: the block cannot be
+			// retired without data loss, so it is left in place (with its
+			// burned page) and the error surfaces to the host.
+			return fmt.Errorf("ftl: retiring plane %d pool %d block %d: %w", plane, pool, victim, err)
+		}
+	}
+	blk.Retire()
+	ps.retired++
+	gc.Retired++
+	f.stats.RetiredBlocks++
+	return nil
 }
 
 // ensureFree reclaims blocks until the pool is above the GC threshold.
 // It stops early when no victim would make progress (all remaining blocks
 // fully live, or no destination space for the relocation) — callers then see
-// an out-of-space error instead of a livelock.
-func (f *FTL) ensureFree(plane, pool int32, gc *GCWork) {
+// an out-of-space error instead of a livelock. An erase-status failure
+// retires the victim instead of freeing it, shrinking the pool.
+func (f *FTL) ensureFree(plane, pool int32, gc *GCWork) error {
 	ps := &f.planes[plane].pools[pool]
 	if f.cfg.Wear == WearStatic {
-		f.staticLevel(plane, pool, gc)
+		if err := f.staticLevel(plane, pool, gc); err != nil {
+			return err
+		}
 	}
 	for len(ps.free) <= f.cfg.GCFreeBlocks {
 		victim := f.pickVictim(ps)
 		if victim < 0 {
-			return // nothing reclaimable
+			return nil // nothing reclaimable
 		}
 		// Destination headroom: remaining pages in the active block plus all
 		// free blocks must cover the victim's repacked live sectors, or the
@@ -397,14 +515,28 @@ func (f *FTL) ensureFree(plane, pool int32, gc *GCWork) {
 		spp := ps.spec.SectorsPerPage()
 		needed := (ps.blocks[victim].LiveSectors() + spp - 1) / spp
 		if avail < needed {
-			return
+			return nil
 		}
-		f.moveLive(plane, pool, victim, gc)
+		if err := f.moveLive(plane, pool, victim, gc); err != nil {
+			return err
+		}
+		if f.inj.EraseFails(f.PoolAvgPE(int(pool))) {
+			gc.EraseFaults++
+			f.stats.EraseFaults++
+			// The victim is already empty (survivors moved above), so
+			// retirement cannot fail here; it just never rejoins the free
+			// list. No poolErases bump — the erase did not complete.
+			if err := f.retireBlock(plane, pool, victim, gc); err != nil {
+				return fmt.Errorf("%w (after %w)", err, flash.ErrEraseFail)
+			}
+			continue
+		}
 		ps.blocks[victim].Erase()
 		ps.free = append(ps.free, victim)
 		gc.Erases++
 		f.poolErases[pool]++
 	}
+	return nil
 }
 
 // pickVictim greedily selects the full block with the fewest live sectors
@@ -418,7 +550,7 @@ func (f *FTL) pickVictim(ps *poolState) int32 {
 	bestErases := int(^uint(0) >> 1)
 	spp := ps.spec.SectorsPerPage()
 	for i, blk := range ps.blocks {
-		if int32(i) == ps.active || !blk.Full() {
+		if int32(i) == ps.active || blk.Retired() || !blk.Full() {
 			continue
 		}
 		live := blk.LiveSectors()
@@ -440,8 +572,8 @@ func (f *FTL) pickVictim(ps *poolState) int32 {
 
 // staticLevel relocates the coldest full block when the pool's erase spread
 // exceeds the configured delta, so cold data stops pinning low-wear blocks.
-// Returns true when it erased a block (progress for ensureFree).
-func (f *FTL) staticLevel(plane, pool int32, gc *GCWork) bool {
+// Retired blocks are out of the rotation and excluded from the spread.
+func (f *FTL) staticLevel(plane, pool int32, gc *GCWork) error {
 	ps := &f.planes[plane].pools[pool]
 	delta := f.cfg.StaticDelta
 	if delta <= 0 {
@@ -450,6 +582,9 @@ func (f *FTL) staticLevel(plane, pool int32, gc *GCWork) bool {
 	minE, maxE := int(^uint(0)>>1), 0
 	coldest := int32(-1)
 	for i, blk := range ps.blocks {
+		if blk.Retired() {
+			continue
+		}
 		e := blk.EraseCount()
 		if e > maxE {
 			maxE = e
@@ -464,7 +599,7 @@ func (f *FTL) staticLevel(plane, pool int32, gc *GCWork) bool {
 		}
 	}
 	if coldest < 0 || maxE-minE < delta {
-		return false
+		return nil
 	}
 	spp := ps.spec.SectorsPerPage()
 	needed := (ps.blocks[coldest].LiveSectors() + spp - 1) / spp
@@ -473,22 +608,39 @@ func (f *FTL) staticLevel(plane, pool int32, gc *GCWork) bool {
 		avail += ps.spec.PagesPerBlock - ps.blocks[ps.active].NextFreeCount()
 	}
 	if avail < needed {
-		return false
+		return nil
 	}
 	before := gc.PageMoves
-	f.moveLive(plane, pool, coldest, gc)
+	if err := f.moveLive(plane, pool, coldest, gc); err != nil {
+		return err
+	}
+	if f.inj.EraseFails(f.PoolAvgPE(int(pool))) {
+		gc.EraseFaults++
+		f.stats.EraseFaults++
+		if err := f.retireBlock(plane, pool, coldest, gc); err != nil {
+			return fmt.Errorf("%w (after %w)", err, flash.ErrEraseFail)
+		}
+		f.stats.StaticLevelMoves += int64(gc.PageMoves - before)
+		return nil
+	}
 	ps.blocks[coldest].Erase()
 	ps.free = append(ps.free, coldest)
 	gc.Erases++
 	f.poolErases[pool]++
 	f.stats.StaticLevelMoves += int64(gc.PageMoves - before)
-	return true
+	return nil
 }
 
 // moveLive relocates the victim block's live sectors, repacking them densely
 // into destination pages: half-dead large pages (a 4 KB overwrite on an 8 KB
 // page) are compacted during GC, as SSDsim-style collectors do.
-func (f *FTL) moveLive(plane, pool, victim int32, gc *GCWork) {
+//
+// Callers precheck destination headroom, but with fault injection a
+// relocation program can itself fail and retire the destination, so
+// exhaustion mid-move is a reachable condition — it surfaces as ErrNoSpace
+// rather than a panic. The already-moved survivors stay mapped; the
+// unmoved remainder is what the error reports lost.
+func (f *FTL) moveLive(plane, pool, victim int32, gc *GCWork) error {
 	ps := &f.planes[plane].pools[pool]
 	blk := ps.blocks[victim]
 	// Gather every live sector first, then detach the source pages.
@@ -514,13 +666,12 @@ func (f *FTL) moveLive(plane, pool, victim int32, gc *GCWork) {
 			end = len(survivors)
 		}
 		if _, err := f.program(plane, pool, survivors[off:end], gc, true); err != nil {
-			// ensureFree prechecks destination headroom, so this is an
-			// internal invariant violation, not a recoverable condition.
-			panic("ftl: GC destination exhausted: " + err.Error())
+			return fmt.Errorf("ftl: GC relocation stranded %d sectors: %w", len(survivors)-off, err)
 		}
 		gc.PageMoves++
 		gc.MoveBytes += int64(ps.spec.PageBytes)
 	}
+	return nil
 }
 
 // PoolAvgPE returns the pool's average program/erase cycles per block —
@@ -540,33 +691,46 @@ func (f *FTL) AddArtificialWear(pool int, erases int64) {
 }
 
 // WearSummary reports erase-count statistics for one pool across all planes.
+// Min/Max cover only in-service blocks (retired blocks are frozen and out of
+// the leveling rotation); Total and Blocks cover everything.
 type WearSummary struct {
 	MinErases, MaxErases int
 	TotalErases          int
 	Blocks               int
+	// Retired counts grown bad blocks withdrawn from the pool.
+	Retired int
 }
 
 // Wear returns the erase distribution of pool index pool.
 func (f *FTL) Wear(pool int) WearSummary {
 	w := WearSummary{MinErases: int(^uint(0) >> 1)}
+	inService := 0
 	for pi := range f.planes {
 		for _, blk := range f.planes[pi].pools[pool].blocks {
 			e := blk.EraseCount()
+			w.TotalErases += e
+			w.Blocks++
+			if blk.Retired() {
+				w.Retired++
+				continue
+			}
+			inService++
 			if e < w.MinErases {
 				w.MinErases = e
 			}
 			if e > w.MaxErases {
 				w.MaxErases = e
 			}
-			w.TotalErases += e
-			w.Blocks++
 		}
 	}
-	if w.Blocks == 0 {
+	if inService == 0 {
 		w.MinErases = 0
 	}
 	return w
 }
+
+// RetiredBlocks returns the total grown-bad-block count across the device.
+func (f *FTL) RetiredBlocks() int64 { return f.stats.RetiredBlocks }
 
 // CheckConsistency verifies internal invariants: every forward mapping's
 // page is live and listed in the reverse map, and live-sector counts agree.
@@ -597,6 +761,37 @@ func (f *FTL) CheckConsistency() error {
 		if blk.PageLive(int(loc.Page)) != len(lpns) {
 			return fmt.Errorf("ftl: page %+v live=%d but reverse map lists %d LPNs",
 				loc, blk.PageLive(int(loc.Page)), len(lpns))
+		}
+		if blk.Retired() {
+			return fmt.Errorf("ftl: page %+v maps live data on a retired block", loc)
+		}
+	}
+	// Retired blocks must be empty, inactive, off the free list, and agree
+	// with the pool's retired counter.
+	for pi := range f.planes {
+		for qi := range f.planes[pi].pools {
+			ps := &f.planes[pi].pools[qi]
+			n := int32(0)
+			for bi, blk := range ps.blocks {
+				if !blk.Retired() {
+					continue
+				}
+				n++
+				if blk.LiveSectors() != 0 {
+					return fmt.Errorf("ftl: retired block %d/%d/%d holds %d live sectors", pi, qi, bi, blk.LiveSectors())
+				}
+				if ps.active == int32(bi) {
+					return fmt.Errorf("ftl: retired block %d/%d/%d is the active block", pi, qi, bi)
+				}
+				for _, fb := range ps.free {
+					if fb == int32(bi) {
+						return fmt.Errorf("ftl: retired block %d/%d/%d is on the free list", pi, qi, bi)
+					}
+				}
+			}
+			if n != ps.retired {
+				return fmt.Errorf("ftl: plane %d pool %d retired counter %d, flags say %d", pi, qi, ps.retired, n)
+			}
 		}
 	}
 	return nil

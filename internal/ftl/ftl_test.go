@@ -169,7 +169,10 @@ func TestCollectGarbageHook(t *testing.T) {
 	if !f.NeedsGC(0, 0) {
 		t.Skip("pool not yet at threshold; adjust fill count")
 	}
-	gc := f.CollectGarbage(0, 0)
+	gc, err := f.CollectGarbage(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if gc.Erases == 0 {
 		t.Fatal("CollectGarbage reclaimed nothing at threshold")
 	}

@@ -117,7 +117,13 @@ func RestoreFromData(snap *SnapshotData) (*FTL, error) {
 				if len(bs.Live) != spec.PagesPerBlock {
 					return nil, fmt.Errorf("ftl: snapshot block page count mismatch")
 				}
-				pool.blocks = append(pool.blocks, flash.RestoreBlock(bs))
+				blk := flash.RestoreBlock(bs)
+				// The per-pool retired counter is derived state; recompute it
+				// from the block flags so pre-fault snapshots restore cleanly.
+				if blk.Retired() {
+					pool.retired++
+				}
+				pool.blocks = append(pool.blocks, blk)
 			}
 			pools[qi] = pool
 		}

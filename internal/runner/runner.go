@@ -7,7 +7,9 @@
 // is bit-identical to a serial one as long as each job is self-contained
 // (fresh device, private trace copy). Errors do not abort the sweep: every
 // job runs, and the failures come back joined, each wrapped with its sweep
-// name and plan index.
+// name and plan index. A panicking job is recovered and reported the same
+// way, stack attached, so one crash cannot take down the process and lose
+// every other job's result.
 //
 // The engine is deliberately generic — it knows nothing about traces or
 // devices — so internal/core can use it for the Fig. 3 microbenchmark
@@ -54,8 +56,8 @@ func (r *Runner) Workers() int { return r.workers }
 
 // sweepTel holds one Map call's metric handles. All fields are nil-safe.
 type sweepTel struct {
-	started, finished, failed *telemetry.Counter
-	wallNs                    *telemetry.Histogram
+	started, finished, failed, panicked *telemetry.Counter
+	wallNs                              *telemetry.Histogram
 }
 
 func newSweepTel(reg *telemetry.Registry, sweep string) sweepTel {
@@ -67,6 +69,7 @@ func newSweepTel(reg *telemetry.Registry, sweep string) sweepTel {
 		started:  reg.Counter("runner_jobs_started_total", l),
 		finished: reg.Counter("runner_jobs_finished_total", l),
 		failed:   reg.Counter("runner_jobs_failed_total", l),
+		panicked: reg.Counter("runner_jobs_panicked_total", l),
 		wallNs:   reg.Histogram("runner_job_wall_ns", nil, l),
 	}
 }
@@ -87,10 +90,25 @@ func Map[J, R any](r *Runner, sweep string, jobs []J, fn func(i int, job J) (R, 
 	}
 	errs := make([]error, len(jobs))
 	tel := newSweepTel(r.reg, sweep)
+	// call runs one job, converting a panic into that job's error: on a
+	// worker goroutine an escaped panic kills the whole process, losing every
+	// other job's result. The recovery stack rides in the error so the crash
+	// site is still diagnosable.
+	call := func(i int) (res R, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				tel.panicked.Inc()
+				buf := make([]byte, 16<<10)
+				buf = buf[:runtime.Stack(buf, false)]
+				err = fmt.Errorf("job panicked: %v\n%s", p, buf)
+			}
+		}()
+		return fn(i, jobs[i])
+	}
 	run := func(i int) {
 		tel.started.Inc()
 		begin := time.Now()
-		res, err := fn(i, jobs[i])
+		res, err := call(i)
 		tel.wallNs.Observe(time.Since(begin).Nanoseconds())
 		tel.finished.Inc()
 		if err != nil {

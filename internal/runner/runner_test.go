@@ -154,3 +154,61 @@ func TestSerialExecutionOrder(t *testing.T) {
 		}
 	}
 }
+
+// A panicking job must become that job's error, not kill the process; the
+// other jobs still run and return results.
+func TestPanickingJobIsRecovered(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	jobs := []int{0, 1, 2, 3, 4, 5}
+	out, err := Map(New(3).Observe(reg), "boom", jobs, func(i, j int) (int, error) {
+		if j == 2 {
+			panic("job blew up")
+		}
+		return j * 10, nil
+	})
+	if err == nil {
+		t.Fatal("want error from the panicked job")
+	}
+	if !strings.Contains(err.Error(), "boom job 2") || !strings.Contains(err.Error(), "job blew up") {
+		t.Fatalf("error does not name the panicked job: %v", err)
+	}
+	if !strings.Contains(err.Error(), "runner_test.go") {
+		t.Fatalf("error carries no stack trace: %v", err)
+	}
+	for i, j := range jobs {
+		want := j * 10
+		if j == 2 {
+			want = 0 // zero value for the failed slot
+		}
+		if out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	l := telemetry.L("sweep", "boom")
+	if got := reg.Counter("runner_jobs_panicked_total", l).Value(); got != 1 {
+		t.Errorf("panicked = %d, want 1", got)
+	}
+	if got := reg.Counter("runner_jobs_failed_total", l).Value(); got != 1 {
+		t.Errorf("failed = %d, want 1", got)
+	}
+	if got := reg.Counter("runner_jobs_finished_total", l).Value(); got != 6 {
+		t.Errorf("finished = %d, want 6", got)
+	}
+}
+
+// Serial pools (workers == 1) take a different code path; the recovery must
+// hold there too.
+func TestPanicRecoveredOnSerialPath(t *testing.T) {
+	out, err := Map(New(1), "serialboom", []int{1, 2}, func(i, j int) (int, error) {
+		if i == 0 {
+			panic(i)
+		}
+		return j, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if out[1] != 2 {
+		t.Fatalf("job after the panic did not run: out=%v", out)
+	}
+}

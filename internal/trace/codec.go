@@ -138,38 +138,52 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the binary format produced by WriteBinary.
+// ReadBinary parses the binary format produced by WriteBinary. Errors name
+// the failing record index and its byte offset in the stream, so a
+// truncated or corrupted capture file is diagnosable with dd/xxd rather
+// than guesswork.
 func ReadBinary(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
+	var off int64 // bytes consumed so far; the position each error reports
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, fmt.Errorf("trace: reading magic at offset %d: %w", off, err)
 	}
 	if magic != binMagic {
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
+	off += int64(len(magic))
 	nameLen, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading name length at offset %d: %w", off, err)
 	}
+	off++
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading %d-byte name at offset %d: %w", nameLen, off, err)
 	}
+	off += int64(nameLen)
 	var count [8]byte
 	if _, err := io.ReadFull(br, count[:]); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading record count at offset %d: %w", off, err)
 	}
+	off += int64(len(count))
 	n := binary.LittleEndian.Uint64(count[:])
 	const maxReasonable = 1 << 28
 	if n > maxReasonable {
 		return nil, fmt.Errorf("trace: implausible record count %d", n)
 	}
-	t := &Trace{Name: string(name), Reqs: make([]Request, 0, n)}
+	// The count is attacker-controlled until the records back it up: cap the
+	// preallocation so a short hostile header cannot demand gigabytes.
+	prealloc := n
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	t := &Trace{Name: string(name), Reqs: make([]Request, 0, prealloc)}
 	var rec [recordSize]byte
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			return nil, fmt.Errorf("trace: record %d of %d at offset %d: %w", i, n, off, err)
 		}
 		req := Request{
 			Arrival:      int64(binary.LittleEndian.Uint64(rec[0:])),
@@ -180,8 +194,9 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 			Finish:       int64(binary.LittleEndian.Uint64(rec[29:])),
 		}
 		if req.Op != Read && req.Op != Write {
-			return nil, fmt.Errorf("trace: record %d: bad op %d", i, req.Op)
+			return nil, fmt.Errorf("trace: record %d at offset %d: bad op %d", i, off, req.Op)
 		}
+		off += recordSize
 		t.Reqs = append(t.Reqs, req)
 	}
 	return t, nil

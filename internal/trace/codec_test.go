@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -214,5 +215,65 @@ func (errStop) Error() string { return "stop" }
 func TestStreamTextBadLine(t *testing.T) {
 	if _, _, err := StreamText(strings.NewReader("1 2 3\n"), func(Request) error { return nil }); err == nil {
 		t.Fatal("bad line accepted")
+	}
+}
+
+// Truncated or corrupt binary streams must produce errors that name the
+// failing record and its byte offset — the difference between "file is bad"
+// and knowing where to point xxd.
+func TestReadBinaryDescriptiveErrors(t *testing.T) {
+	full := func() []byte {
+		var buf bytes.Buffer
+		tr := &Trace{Name: "AB", Reqs: []Request{
+			{Arrival: 1, LBA: 8, Size: 4096, Op: Write},
+			{Arrival: 2, LBA: 16, Size: 4096, Op: Read},
+			{Arrival: 3, LBA: 24, Size: 4096, Op: Write},
+		}}
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	headerLen := 4 + 1 + 2 + 8 // magic, name length, "AB", count
+
+	cases := []struct {
+		name string
+		in   []byte
+		want []string
+	}{
+		{"cut mid-name", full[:6], []string{"name", "offset 5"}},
+		{"cut mid-count", full[:headerLen-3], []string{"record count", "offset 7"}},
+		{"cut mid-record", full[:headerLen+2*recordSize+10],
+			[]string{"record 2 of 3", fmt.Sprintf("offset %d", headerLen+2*recordSize)}},
+		{"bad op", func() []byte {
+			b := append([]byte(nil), full...)
+			b[headerLen+recordSize+20] = 9 // second record's op byte
+			return b
+		}(), []string{"record 1", fmt.Sprintf("offset %d", headerLen+recordSize), "bad op 9"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadBinary(bytes.NewReader(c.in))
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			for _, w := range c.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Fatalf("error %q does not mention %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+// A header claiming 2^28 records backed by zero bytes of data must fail
+// fast without preallocating the claimed size.
+func TestReadBinaryCapsPreallocation(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("BIO1")
+	buf.WriteByte(0)                                              // empty name
+	buf.Write([]byte{0, 0, 0, 0x10, 0, 0, 0, 0})                  // count = 1<<28, no records
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("truncated stream accepted")
 	}
 }

@@ -39,6 +39,13 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte("BIO1"))
 	f.Add([]byte{})
+	// Truncation seeds: a valid stream cut inside the header, inside the
+	// count, and inside a record body.
+	f.Add(seed.Bytes()[:3])
+	f.Add(seed.Bytes()[:seed.Len()-recordSize+5])
+	// A hostile count with no records behind it: must error cheaply, not
+	// allocate gigabytes.
+	f.Add(append([]byte("BIO1\x00"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f))
 	f.Fuzz(func(t *testing.T, in []byte) {
 		tr, err := ReadBinary(bytes.NewReader(in))
 		if err != nil || tr == nil {
