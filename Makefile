@@ -6,7 +6,7 @@ GO ?= go
 # (TestTelemetryOverheadBudget fails if disabled telemetry shifts the
 # mean response time by 5% or more — it must be exactly 0).
 .PHONY: check
-check: vet build runner-race faults-race race overhead
+check: vet build runner-race faults-race stream-race race overhead
 
 .PHONY: vet
 vet:
@@ -35,6 +35,13 @@ runner-race:
 .PHONY: faults-race
 faults-race:
 	$(GO) test -race -run 'Fault|Retire|DeepAged|Uncorrectable' ./internal/faults ./internal/ftl ./internal/emmc ./internal/experiments
+
+# The streaming pipeline under the race detector: stream primitives and
+# codecs, the streaming replay loops, online statistics, and the
+# stream-vs-slice equivalence sweep at full worker width.
+.PHONY: stream-race
+stream-race:
+	$(GO) test -race -run 'Stream|Online|Accumulator|Repeat|Merge' ./internal/trace ./internal/core ./internal/stats ./internal/analysis ./internal/experiments
 
 .PHONY: overhead
 overhead:

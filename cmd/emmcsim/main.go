@@ -5,6 +5,10 @@
 //	emmcsim -in twitter.trace -scheme HPS
 //	emmcsim -app Twitter -gc idle -buffer 16
 //	emmcsim -app Twitter -scheme HPS -metrics out.prom -trace out.json
+//
+// Each scheme job builds its own request stream — file traces are decoded
+// incrementally (text, BIO1, BIOZ) and -o output is written as requests
+// complete — so replay memory is O(in-flight), not O(trace length).
 package main
 
 import (
@@ -53,7 +57,7 @@ func main() {
 		fatal(err)
 	}
 
-	tr, err := loadTrace(*app, *tracePath, *profilePath, *seed)
+	name, source, err := traceSource(*app, *tracePath, *profilePath, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -96,17 +100,6 @@ func main() {
 		fatal(fmt.Errorf("unknown wear policy %q", *wear))
 	}
 
-	if *scale != 1.0 {
-		tr = tr.Scale(*scale)
-	}
-	if *sessions > 1 {
-		copies := make([]*trace.Trace, *sessions)
-		for i := range copies {
-			copies[i] = tr
-		}
-		tr = trace.Concat(tr.Name, 1_000_000_000, copies...)
-	}
-
 	if (*loadDev != "" || *saveDev != "" || *outTrace != "" || *metricsPath != "" || *chromeTrace != "") && len(schemes) != 1 {
 		fatal(fmt.Errorf("-load/-save/-o/-metrics/-trace require a single -scheme"))
 	}
@@ -121,13 +114,24 @@ func main() {
 		tracer = telemetry.NewTracer(*traceBuffer)
 	}
 
-	// Each scheme replays as one job on the shared worker pool. The
-	// side-effectful flags (-load/-save/-o/-metrics/-trace) are restricted to a
-	// single scheme above, so file writes inside the job cannot race.
+	// Each scheme replays as one job on the shared worker pool, pulling its
+	// own private stream (streams are single-goroutine). The side-effectful
+	// flags (-load/-save/-o/-metrics/-trace) are restricted to a single scheme
+	// above, so file writes inside the job cannot race.
 	metrics, err := runner.Map(runner.New(*workers).Observe(reg), "emmcsim", schemes,
 		func(_ int, s core.Scheme) (core.Metrics, error) {
-			run := tr.Clone()
-			run.ClearTimestamps()
+			st, done, err := source()
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			defer done()
+			if *scale != 1.0 {
+				st = trace.ScaleStream(st, *scale)
+			}
+			if *sessions > 1 {
+				st = trace.Repeat(st, *sessions, 1_000_000_000)
+			}
+			st = trace.ClearStream(st)
 			var dev *emmc.Device
 			if *loadDev != "" {
 				f, err := os.Open(*loadDev)
@@ -140,7 +144,7 @@ func main() {
 					return core.Metrics{}, err
 				}
 				// Resume after the archived device's last activity.
-				run = run.Shift(dev.LastActivity() + 1_000_000_000)
+				st = trace.ShiftStream(st, dev.LastActivity()+1_000_000_000)
 			} else {
 				var err error
 				dev, err = core.NewDevice(s, opt)
@@ -148,19 +152,35 @@ func main() {
 					return core.Metrics{}, err
 				}
 			}
-			m, err := core.ReplayObserved(dev, s, run, reg, tracer)
-			if err != nil {
-				return core.Metrics{}, err
-			}
+			// -o streams the timestamped trace out as requests complete
+			// instead of materializing the replay.
+			var sink func(trace.Request) error
+			var finishOut func() error
 			if *outTrace != "" {
 				f, err := os.Create(*outTrace)
 				if err != nil {
 					return core.Metrics{}, err
 				}
-				if err := trace.WriteText(f, run); err != nil {
+				enc, err := trace.NewTextEncoder(f, name)
+				if err != nil {
+					f.Close()
 					return core.Metrics{}, err
 				}
-				if err := f.Close(); err != nil {
+				sink = enc.Write
+				finishOut = func() error {
+					if err := enc.Close(); err != nil {
+						f.Close()
+						return err
+					}
+					return f.Close()
+				}
+			}
+			m, err := core.ReplayStreamSink(dev, s, st, reg, tracer, sink)
+			if err != nil {
+				return core.Metrics{}, err
+			}
+			if finishOut != nil {
+				if err := finishOut(); err != nil {
 					return core.Metrics{}, err
 				}
 			}
@@ -183,7 +203,7 @@ func main() {
 		fatal(err)
 	}
 
-	tab := report.NewTable(fmt.Sprintf("Replay of %s (%d requests)", tr.Name, len(tr.Reqs)),
+	tab := report.NewTable(fmt.Sprintf("Replay of %s (%d requests)", name, metrics[0].Served),
 		"Scheme", "MRT(ms)", "MeanServ(ms)", "NoWait%", "SpaceUtil", "WA", "GCStall(ms)", "IdleGC(ms)")
 	for i, s := range schemes {
 		m := metrics[i]
@@ -233,7 +253,12 @@ func main() {
 	}
 }
 
-func loadTrace(app, path, profilePath string, seed uint64) (*trace.Trace, error) {
+// traceSource resolves the workload flags into a display name and a factory
+// that opens a fresh stream per replay job. Generated workloads materialize
+// lazily inside each job; file traces get a private decoder over their own
+// file handle. The second return of the factory releases the job's handle.
+func traceSource(app, path, profilePath string, seed uint64) (string, func() (trace.Stream, func() error, error), error) {
+	noop := func() error { return nil }
 	set := 0
 	for _, v := range []string{app, path, profilePath} {
 		if v != "" {
@@ -241,46 +266,69 @@ func loadTrace(app, path, profilePath string, seed uint64) (*trace.Trace, error)
 		}
 	}
 	if set > 1 {
-		return nil, fmt.Errorf("pass exactly one of -app, -in, -profile")
+		return "", nil, fmt.Errorf("pass exactly one of -app, -in, -profile")
 	}
 	switch {
 	case profilePath != "":
 		f, err := os.Open(profilePath)
 		if err != nil {
-			return nil, err
+			return "", nil, err
 		}
 		defer f.Close()
 		p, err := workload.ReadProfileJSON(f)
 		if err != nil {
-			return nil, err
+			return "", nil, err
 		}
-		return p.Generate(seed), nil
+		return p.Name, func() (trace.Stream, func() error, error) {
+			return p.Stream(seed), noop, nil
+		}, nil
 	case app != "":
 		p := workload.DefaultRegistry().Lookup(app)
 		if p == nil {
-			return nil, fmt.Errorf("unknown application %q", app)
+			return "", nil, fmt.Errorf("unknown application %q", app)
 		}
-		return p.Generate(seed), nil
+		return p.Name, func() (trace.Stream, func() error, error) {
+			return p.Stream(seed), noop, nil
+		}, nil
 	case path != "":
-		f, err := os.Open(path)
+		// Probe once for the header name so the report can be titled before
+		// any replay runs; each job then opens its own decoder.
+		name, err := probeName(path)
 		if err != nil {
-			return nil, err
+			return "", nil, err
 		}
-		defer f.Close()
-		var magic [4]byte
-		if _, err := f.Read(magic[:]); err == nil && string(magic[:]) == "BIO1" {
-			if _, err := f.Seek(0, 0); err != nil {
-				return nil, err
+		return name, func() (trace.Stream, func() error, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, nil, err
 			}
-			return trace.ReadBinary(f)
-		}
-		if _, err := f.Seek(0, 0); err != nil {
-			return nil, err
-		}
-		return trace.ReadText(f)
+			st, err := trace.NewDecoder(f)
+			if err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			return st, f.Close, nil
+		}, nil
 	default:
-		return nil, fmt.Errorf("pass -app <name>, -in <file>, or -profile <file>")
+		return "", nil, fmt.Errorf("pass -app <name>, -in <file>, or -profile <file>")
 	}
+}
+
+// probeName reads just the trace header for the report title.
+func probeName(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	st, err := trace.NewDecoder(f)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	if n := st.Name(); n != "" {
+		return n, nil
+	}
+	return path, nil
 }
 
 // faultConfig validates the fault flags up front, before any trace is

@@ -7,13 +7,16 @@
 //
 // It reports the response-time deltas (mean, percentiles, win/loss counts)
 // and flags any structural mismatch (different request streams).
+//
+// Both traces are decoded as streams in lockstep, so memory stays bounded
+// no matter how long the replays are: summaries are exact up to 64 Ki
+// requests per trace and histogram-sketch estimates beyond that.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"emmcio/internal/report"
 	"emmcio/internal/stats"
@@ -26,31 +29,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: tracediff <traceA> <traceB>")
 		os.Exit(2)
 	}
-	a, err := load(flag.Arg(0))
+	fa, sta, err := open(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	b, err := load(flag.Arg(1))
+	defer fa.Close()
+	fb, stb, err := open(flag.Arg(1))
 	if err != nil {
 		fatal(err)
 	}
-	if len(a.Reqs) != len(b.Reqs) {
-		fatal(fmt.Errorf("request counts differ: %d vs %d — not the same workload",
-			len(a.Reqs), len(b.Reqs)))
-	}
+	defer fb.Close()
 
-	var deltas []int64
-	var aResp, bResp []int64
-	wins, losses, ties := 0, 0, 0
-	for i := range a.Reqs {
-		ra, rb := a.Reqs[i], b.Reqs[i]
+	aResp := stats.NewOnlineSummary(0)
+	bResp := stats.NewOnlineSummary(0)
+	deltas := stats.NewOnlineSummary(0)
+	wins, losses, ties, n := 0, 0, 0, 0
+	for {
+		ra, okA, err := sta.Next()
+		if err != nil {
+			fatal(fmt.Errorf("%s: request %d: %w", flag.Arg(0), n, err))
+		}
+		rb, okB, err := stb.Next()
+		if err != nil {
+			fatal(fmt.Errorf("%s: request %d: %w", flag.Arg(1), n, err))
+		}
+		if okA != okB {
+			// One stream ended early: drain the other so the error reports
+			// both totals, as the materialized comparison used to.
+			na, nb := n, n
+			if okA {
+				na += 1 + drain(sta)
+			} else {
+				nb += 1 + drain(stb)
+			}
+			fatal(fmt.Errorf("request counts differ: %d vs %d — not the same workload", na, nb))
+		}
+		if !okA {
+			break
+		}
 		if ra.LBA != rb.LBA || ra.Size != rb.Size || ra.Op != rb.Op || ra.Arrival != rb.Arrival {
-			fatal(fmt.Errorf("request %d differs structurally — not the same workload", i))
+			fatal(fmt.Errorf("request %d differs structurally — not the same workload", n))
 		}
 		da, db := ra.ResponseTime(), rb.ResponseTime()
-		deltas = append(deltas, db-da)
-		aResp = append(aResp, da)
-		bResp = append(bResp, db)
+		aResp.Add(da)
+		bResp.Add(db)
+		deltas.Add(db - da)
 		switch {
 		case db < da:
 			wins++
@@ -59,11 +82,15 @@ func main() {
 		default:
 			ties++
 		}
+		n++
+	}
+	if n == 0 {
+		fatal(fmt.Errorf("no requests to compare"))
 	}
 
-	sa, sb, sd := stats.Summarize(aResp), stats.Summarize(bResp), stats.Summarize(deltas)
+	sa, sb, sd := aResp.Summary(), bResp.Summary(), deltas.Summary()
 	t := report.NewTable(fmt.Sprintf("Replay comparison: %s vs %s (%d requests)",
-		flag.Arg(0), flag.Arg(1), len(a.Reqs)),
+		flag.Arg(0), flag.Arg(1), n),
 		"Metric", "A", "B", "B - A")
 	t.AddRow("mean response (ms)",
 		report.F(sa.Mean/1e6, 3), report.F(sb.Mean/1e6, 3), report.F(sd.Mean/1e6, 3))
@@ -75,7 +102,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("\nB faster on %d requests, slower on %d, tied on %d (%.1f%% faster)\n",
-		wins, losses, ties, float64(wins)/float64(len(a.Reqs))*100)
+		wins, losses, ties, float64(wins)/float64(n)*100)
 	if sa.Mean > 0 {
 		fmt.Printf("mean response change: %+.1f%%\n", (sb.Mean/sa.Mean-1)*100)
 	}
@@ -83,28 +110,32 @@ func main() {
 
 func msI(ns int64) string { return report.F(float64(ns)/1e6, 3) }
 
-func load(path string) (*trace.Trace, error) {
+// open returns a streaming decoder over path; the caller closes the file
+// after draining the stream.
+func open(path string) (*os.File, trace.Stream, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".bin") {
-		return trace.ReadBinary(f)
+	st, err := trace.NewDecoder(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	var magic [4]byte
-	if _, err := f.Read(magic[:]); err == nil {
-		if _, err := f.Seek(0, 0); err != nil {
-			return nil, err
+	return f, st, nil
+}
+
+// drain counts the remaining requests in a stream, ignoring decode errors —
+// it only runs on the way to a count-mismatch fatal.
+func drain(st trace.Stream) int {
+	n := 0
+	for {
+		_, ok, err := st.Next()
+		if err != nil || !ok {
+			return n
 		}
-		switch string(magic[:]) {
-		case "BIO1":
-			return trace.ReadBinary(f)
-		case "BIOZ":
-			return trace.ReadCompressed(f)
-		}
+		n++
 	}
-	return trace.ReadText(f)
 }
 
 func fatal(err error) {

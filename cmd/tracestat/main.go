@@ -3,6 +3,12 @@
 // the Fig. 4–6 distributions, and — when given the whole individual-app
 // set — the six Characteristics.
 //
+// Every input is consumed as a stream in a single pass: file traces go
+// through the streaming decoders (text, BIO1 binary, BIOZ compressed) and
+// generated traces through the streaming collection path, so memory stays
+// bounded regardless of trace length (blkparse conversions are the one
+// format still materialized).
+//
 //	tracestat twitter.trace movie.trace real.blkparse
 //	tracestat -generated             # analyze the 25 built-in traces
 package main
@@ -34,55 +40,24 @@ func main() {
 	flag.Parse()
 
 	if *stream {
-		if flag.NArg() == 0 {
-			fmt.Fprintln(os.Stderr, "usage: tracestat -stream <text trace>...")
-			os.Exit(2)
-		}
-		sizeTab := report.NewTable("Size-related statistics (streamed)",
-			"Trace", "DataKB", "Reqs", "MaxKB", "AveKB", "Wr%")
-		timeTab := report.NewTable("Timing-related statistics (streamed)",
-			"Trace", "Dur(s)", "Arr(/s)", "NoWait%", "Resp(ms)", "Spat%", "Temp%")
-		for _, path := range flag.Args() {
-			f, err := os.Open(path)
-			if err != nil {
-				fatal(err)
-			}
-			acc := analysis.NewAccumulator(path)
-			if _, _, err := trace.StreamText(f, func(r trace.Request) error {
-				acc.Add(r)
-				return nil
-			}); err != nil {
-				f.Close()
-				fatal(err)
-			}
-			f.Close()
-			s := acc.Size()
-			sizeTab.AddRow(path, report.I(s.DataKB), report.I(s.Requests), report.I(int64(s.MaxKB)),
-				report.F(s.AveKB, 1), report.F(s.WriteReqPct, 2))
-			tm := acc.Timing()
-			timeTab.AddRow(path, report.F(tm.DurationSec, 0), report.F(tm.ArrivalRate, 2),
-				report.F(tm.NoWaitPct, 0), report.F(tm.MeanRespMs, 2),
-				report.F(tm.SpatialPct, 2), report.F(tm.TemporalPct, 2))
-		}
-		must(sizeTab.WriteText(os.Stdout))
-		fmt.Println()
-		must(timeTab.WriteText(os.Stdout))
+		streamMode(flag.Args())
 		return
 	}
 
-	var traces []*trace.Trace
+	var all []*traceStats
 	if *generated {
 		reg := workload.DefaultRegistry()
 		for _, name := range paper.AllTraces {
-			tr := reg.Lookup(name).Generate(*seed)
 			dev, err := experiments.NewMeasuredDevice()
 			if err != nil {
 				fatal(err)
 			}
-			if _, err := biotracer.Collect(dev, tr); err != nil {
+			ts := newTraceStats(name)
+			if _, err := biotracer.CollectStream(dev, reg.Lookup(name).Stream(*seed),
+				func(r trace.Request) error { ts.add(r); return nil }); err != nil {
 				fatal(err)
 			}
-			traces = append(traces, tr)
+			all = append(all, ts)
 		}
 	} else {
 		if flag.NArg() == 0 {
@@ -90,18 +65,18 @@ func main() {
 			os.Exit(2)
 		}
 		for _, path := range flag.Args() {
-			tr, err := readTrace(path)
+			ts, err := analyzeFile(path)
 			if err != nil {
 				fatal(err)
 			}
-			traces = append(traces, tr)
+			all = append(all, ts)
 		}
 	}
 
 	if *asJSON {
 		out := map[string]analysis.FullReport{}
-		for _, tr := range traces {
-			out[tr.Name] = analysis.Report(tr)
+		for _, ts := range all {
+			out[ts.name] = ts.acc.Report()
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -115,13 +90,13 @@ func main() {
 		"Trace", "DataKB", "Reqs", "MaxKB", "AveKB", "AveR", "AveW", "Wr%", "WrSz%")
 	timeTab := report.NewTable("Timing-related statistics (Table IV columns)",
 		"Trace", "Dur(s)", "Arr(/s)", "Acc(KB/s)", "NoWait%", "Serv(ms)", "Resp(ms)", "Spat%", "Temp%")
-	for _, tr := range traces {
-		s := analysis.SizeStatsOf(tr)
-		sizeTab.AddRow(tr.Name, report.I(s.DataKB), report.I(s.Requests), report.I(int64(s.MaxKB)),
+	for _, ts := range all {
+		s := ts.acc.Size()
+		sizeTab.AddRow(ts.name, report.I(s.DataKB), report.I(s.Requests), report.I(int64(s.MaxKB)),
 			report.F(s.AveKB, 1), report.F(s.AveReadKB, 1), report.F(s.AveWriteKB, 1),
 			report.F(s.WriteReqPct, 2), report.F(s.WriteSizePct, 2))
-		t := analysis.TimingStatsOf(tr)
-		timeTab.AddRow(tr.Name, report.F(t.DurationSec, 0), report.F(t.ArrivalRate, 2),
+		t := ts.acc.Timing()
+		timeTab.AddRow(ts.name, report.F(t.DurationSec, 0), report.F(t.ArrivalRate, 2),
 			report.F(t.AccessRate, 2), report.F(t.NoWaitPct, 0),
 			report.F(t.MeanServMs, 2), report.F(t.MeanRespMs, 2),
 			report.F(t.SpatialPct, 2), report.F(t.TemporalPct, 2))
@@ -134,18 +109,9 @@ func main() {
 	if *percentiles {
 		tab := report.NewTable("Service-time percentiles by request type",
 			"Trace", "Op", "Count", "p50(ms)", "p95(ms)", "p99(ms)", "Max(ms)")
-		for _, tr := range traces {
-			hists := map[trace.Op]*telemetry.Histogram{
-				trace.Read:  telemetry.NewHistogram(telemetry.DefaultLatencyBuckets()),
-				trace.Write: telemetry.NewHistogram(telemetry.DefaultLatencyBuckets()),
-			}
-			for _, r := range tr.Reqs {
-				if r.Finish > r.ServiceStart {
-					hists[r.Op].Observe(r.Finish - r.ServiceStart)
-				}
-			}
+		for _, ts := range all {
 			for _, op := range []trace.Op{trace.Read, trace.Write} {
-				h := hists[op]
+				h := ts.serv[op]
 				if h.Count() == 0 {
 					continue
 				}
@@ -153,7 +119,7 @@ func main() {
 				if op == trace.Write {
 					name = "write"
 				}
-				tab.AddRow(tr.Name, name, report.I(h.Count()),
+				tab.AddRow(ts.name, name, report.I(h.Count()),
 					report.F(float64(h.Quantile(0.50))/1e6, 3),
 					report.F(float64(h.Quantile(0.95))/1e6, 3),
 					report.F(float64(h.Quantile(0.99))/1e6, 3),
@@ -165,11 +131,11 @@ func main() {
 	}
 
 	if *dists {
-		for _, tr := range traces {
-			d := analysis.DistributionsOf(tr)
+		for _, ts := range all {
+			d := ts.acc.Dists()
 			fmt.Printf("%s:\n  size:         %s\n  response:     %s\n  interarrival: %s\n",
-				tr.Name, d.Size, d.Response, d.Interarrival)
-			if rs := analysis.ResponseSummary(tr); rs.Count > 0 {
+				ts.name, d.Size, d.Response, d.Interarrival)
+			if rs := ts.acc.Response(); rs.Count > 0 {
 				fmt.Printf("  response percentiles: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 					float64(rs.P50)/1e6, float64(rs.P95)/1e6, float64(rs.P99)/1e6, float64(rs.Max)/1e6)
 			}
@@ -179,40 +145,123 @@ func main() {
 
 	// With the full individual set (or any 6+ traces), evaluate the six
 	// characteristics.
-	if len(traces) >= 6 {
-		individual := traces
+	if len(all) >= 6 {
+		individual := all
 		if *generated {
-			individual = traces[:18]
+			individual = all[:18]
 		}
-		findings := analysis.EvaluateCharacteristics(individual)
+		rows := make([]analysis.TraceSummary, len(individual))
+		for i, ts := range individual {
+			rows[i] = ts.acc.Summary()
+		}
+		findings := analysis.EvaluateCharacteristicsFrom(rows)
 		must(experiments.RenderFindings(findings).WriteText(os.Stdout))
 	}
 }
 
-func readTrace(path string) (*trace.Trace, error) {
+// traceStats is everything tracestat reports about one trace, accumulated
+// online in a single pass.
+type traceStats struct {
+	name string
+	acc  *analysis.Accumulator
+	serv map[trace.Op]*telemetry.Histogram // service times for -percentiles
+}
+
+func newTraceStats(name string) *traceStats {
+	return &traceStats{
+		name: name,
+		acc:  analysis.NewAccumulator(name),
+		serv: map[trace.Op]*telemetry.Histogram{
+			trace.Read:  telemetry.NewHistogram(telemetry.DefaultLatencyBuckets()),
+			trace.Write: telemetry.NewHistogram(telemetry.DefaultLatencyBuckets()),
+		},
+	}
+}
+
+func (ts *traceStats) add(r trace.Request) {
+	ts.acc.Add(r)
+	if r.Finish > r.ServiceStart {
+		ts.serv[r.Op].Observe(r.Finish - r.ServiceStart)
+	}
+}
+
+// analyzeFile streams one trace file through a traceStats in a single
+// decoder pass. Blkparse conversions have no streaming reader and are
+// materialized, then drained.
+func analyzeFile(path string) (*traceStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".bin") {
-		return trace.ReadBinary(f)
-	}
+
+	var st trace.Stream
 	if strings.HasSuffix(path, ".blktrace") || strings.HasSuffix(path, ".blkparse") {
-		return trace.ReadBlkparse(f)
-	}
-	// Sniff: binary traces start with the BIO1 magic.
-	var magic [4]byte
-	if _, err := f.Read(magic[:]); err == nil && string(magic[:]) == "BIO1" {
-		if _, err := f.Seek(0, 0); err != nil {
+		tr, err := trace.ReadBlkparse(f)
+		if err != nil {
 			return nil, err
 		}
-		return trace.ReadBinary(f)
+		st = trace.FromSlice(tr)
+	} else {
+		st, err = trace.NewDecoder(f)
+		if err != nil {
+			return nil, err
+		}
 	}
-	if _, err := f.Seek(0, 0); err != nil {
-		return nil, err
+	name := st.Name()
+	if name == "" {
+		name = path
 	}
-	return trace.ReadText(f)
+	ts := newTraceStats(name)
+	for i := 0; ; i++ {
+		req, ok, err := st.Next()
+		if err != nil {
+			return nil, fmt.Errorf("%s: request %d: %w", path, i, err)
+		}
+		if !ok {
+			return ts, nil
+		}
+		ts.add(req)
+	}
+}
+
+// streamMode is the legacy -stream flag: text-only constant-memory tables.
+// The default file mode now streams every format; this stays for script
+// compatibility.
+func streamMode(paths []string) {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat -stream <text trace>...")
+		os.Exit(2)
+	}
+	sizeTab := report.NewTable("Size-related statistics (streamed)",
+		"Trace", "DataKB", "Reqs", "MaxKB", "AveKB", "Wr%")
+	timeTab := report.NewTable("Timing-related statistics (streamed)",
+		"Trace", "Dur(s)", "Arr(/s)", "NoWait%", "Resp(ms)", "Spat%", "Temp%")
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		acc := analysis.NewAccumulator(path)
+		if _, _, err := trace.StreamText(f, func(r trace.Request) error {
+			acc.Add(r)
+			return nil
+		}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		s := acc.Size()
+		sizeTab.AddRow(path, report.I(s.DataKB), report.I(s.Requests), report.I(int64(s.MaxKB)),
+			report.F(s.AveKB, 1), report.F(s.WriteReqPct, 2))
+		tm := acc.Timing()
+		timeTab.AddRow(path, report.F(tm.DurationSec, 0), report.F(tm.ArrivalRate, 2),
+			report.F(tm.NoWaitPct, 0), report.F(tm.MeanRespMs, 2),
+			report.F(tm.SpatialPct, 2), report.F(tm.TemporalPct, 2))
+	}
+	must(sizeTab.WriteText(os.Stdout))
+	fmt.Println()
+	must(timeTab.WriteText(os.Stdout))
 }
 
 func must(err error) {

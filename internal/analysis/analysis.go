@@ -231,22 +231,39 @@ type Accumulator struct {
 	prevEnd     uint64
 	seqHits     int
 	seenPages   map[uint64]struct{}
+	maxPages    int // 0 = unbounded (paper-exact); else page-set size cap
 	temporalHit int
 
 	dists Distributions
+
+	resp *stats.OnlineSummary
+	gaps *stats.OnlineSummary
+	corr stats.OnlineCorrelation
 }
 
-// NewAccumulator builds an empty accumulator.
-func NewAccumulator(name string) *Accumulator {
+// NewAccumulator builds an empty accumulator with an unbounded page set —
+// temporal locality is paper-exact, and memory grows with the trace's
+// unique page footprint (not its length).
+func NewAccumulator(name string) *Accumulator { return NewAccumulatorBounded(name, 0) }
+
+// NewAccumulatorBounded caps the temporal-locality page set at maxPages
+// entries (0 = unbounded). Once the set is full, never-seen pages keep
+// counting as misses but are no longer remembered, so the reported temporal
+// locality is a lower bound; every other statistic is unaffected. Use this
+// for traces whose footprint exceeds what the caller wants resident.
+func NewAccumulatorBounded(name string, maxPages int) *Accumulator {
 	a := &Accumulator{
 		name:      name,
 		seenPages: make(map[uint64]struct{}),
+		maxPages:  maxPages,
 		dists: Distributions{
 			Name:         name,
 			Size:         stats.NewHistogram(stats.SizeBounds()),
 			Response:     stats.NewHistogram(stats.ResponseBounds()),
 			Interarrival: stats.NewHistogram(stats.InterarrivalBounds()),
 		},
+		resp: stats.NewOnlineSummary(0),
+		gaps: stats.NewOnlineSummary(0),
 	}
 	return a
 }
@@ -256,7 +273,9 @@ func (a *Accumulator) Add(r trace.Request) {
 	if a.n == 0 {
 		a.firstArrival = r.Arrival
 	} else {
-		a.dists.Interarrival.Add(r.Arrival - a.lastArrival)
+		gap := r.Arrival - a.lastArrival
+		a.dists.Interarrival.Add(gap)
+		a.gaps.Add(gap)
 		if r.LBA == a.prevEnd {
 			a.seqHits++
 		}
@@ -267,7 +286,7 @@ func (a *Accumulator) Add(r trace.Request) {
 	page := r.LBA / trace.SectorsPerPage
 	if _, ok := a.seenPages[page]; ok {
 		a.temporalHit++
-	} else {
+	} else if a.maxPages == 0 || len(a.seenPages) < a.maxPages {
 		a.seenPages[page] = struct{}{}
 	}
 
@@ -286,6 +305,8 @@ func (a *Accumulator) Add(r trace.Request) {
 	a.dists.Size.Add(int64(r.Size))
 	if rt := r.ResponseTime(); rt > 0 {
 		a.dists.Response.Add(rt)
+		a.resp.Add(rt)
+		a.corr.Add(float64(r.Size), float64(rt))
 		a.sumResp += rt
 		a.sumServ += r.ServiceTime()
 		if r.WaitTime() == 0 {
@@ -346,3 +367,66 @@ func (a *Accumulator) Timing() TimingStats {
 
 // Dists returns the accumulated histograms.
 func (a *Accumulator) Dists() Distributions { return a.dists }
+
+// Requests returns the number of requests fed so far.
+func (a *Accumulator) Requests() int { return a.n }
+
+// SpatialLocality returns the §III-C sequential-successor fraction in
+// [0, 1], matching stats.SpatialLocality bit for bit on the same arrival
+// order (including its 0 for fewer than two requests).
+func (a *Accumulator) SpatialLocality() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return float64(a.seqHits) / float64(a.n)
+}
+
+// TemporalLocality returns the §III-C address re-hit fraction in [0, 1],
+// matching stats.TemporalLocality bit for bit when the page set is
+// unbounded (a lower bound otherwise — see NewAccumulatorBounded).
+func (a *Accumulator) TemporalLocality() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return float64(a.temporalHit) / float64(a.n)
+}
+
+// Response returns order statistics of the response times seen so far —
+// bit-identical to ResponseSummary while the sample count is below the
+// online retention cap, a bounded-memory estimate past it.
+func (a *Accumulator) Response() stats.Summary { return a.resp.Summary() }
+
+// Interarrival returns order statistics of the arrival gaps seen so far,
+// with the same exact-below-cap contract as Response.
+func (a *Accumulator) Interarrival() stats.Summary { return a.gaps.Summary() }
+
+// SizeResponseCorrelation returns the §III-C size/response-time Pearson
+// correlation, bit-identical to the batch SizeResponseCorrelation over the
+// same request sequence.
+func (a *Accumulator) SizeResponseCorrelation() float64 { return a.corr.Value() }
+
+// GapDispersion returns the inter-arrival index of dispersion,
+// bit-identical to stats.IndexOfDispersion over the same gap sequence.
+func (a *Accumulator) GapDispersion() float64 { return a.gaps.IndexOfDispersion() }
+
+// Report bundles the accumulated characterization in the same shape as the
+// batch Report. Response and Interarrival are exact below the online
+// retention cap (so small-trace reports are bit-identical to the batch
+// path) and bounded-memory estimates past it.
+func (a *Accumulator) Report() FullReport {
+	return FullReport{
+		Size:          a.Size(),
+		Timing:        a.Timing(),
+		Dists:         a.Dists(),
+		Response:      a.Response(),
+		Interarrival:  a.Interarrival(),
+		SizeRespCorr:  a.SizeResponseCorrelation(),
+		GapDispersion: a.GapDispersion(),
+	}
+}
+
+// Summary returns the per-trace bundle EvaluateCharacteristicsFrom
+// consumes.
+func (a *Accumulator) Summary() TraceSummary {
+	return TraceSummary{Size: a.Size(), Timing: a.Timing(), Dists: a.Dists()}
+}

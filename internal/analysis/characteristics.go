@@ -18,18 +18,44 @@ type Finding struct {
 // nsPerMs for threshold comparisons.
 const nsPerMs = int64(1_000_000)
 
+// TraceSummary is the per-trace evidence the Characteristics are judged
+// from: one Table III row, one Table IV row, and the Figs. 4–7 histograms.
+// Build it from a materialized trace (SizeStatsOf/TimingStatsOf/
+// DistributionsOf) or stream it through an Accumulator and call Summary.
+type TraceSummary struct {
+	Size   SizeStats
+	Timing TimingStats
+	Dists  Distributions
+}
+
 // EvaluateCharacteristics checks the paper's six Characteristics (§III)
 // against the given individual-application traces. Traces must be replayed
 // (timestamps filled) for Characteristics 3 and 4.
 func EvaluateCharacteristics(traces []*trace.Trace) []Finding {
-	n := len(traces)
+	rows := make([]TraceSummary, len(traces))
+	for i, tr := range traces {
+		rows[i] = TraceSummary{
+			Size:   SizeStatsOf(tr),
+			Timing: TimingStatsOf(tr),
+			Dists:  DistributionsOf(tr),
+		}
+	}
+	return EvaluateCharacteristicsFrom(rows)
+}
+
+// EvaluateCharacteristicsFrom judges the six Characteristics from
+// precomputed per-trace summaries — the streaming path: replay each trace
+// through an Accumulator (one pass, no materialization) and hand the
+// Summary bundles here.
+func EvaluateCharacteristicsFrom(rows []TraceSummary) []Finding {
+	n := len(rows)
 	sizeStats := make([]SizeStats, n)
 	timingStats := make([]TimingStats, n)
 	dists := make([]Distributions, n)
-	for i, tr := range traces {
-		sizeStats[i] = SizeStatsOf(tr)
-		timingStats[i] = TimingStatsOf(tr)
-		dists[i] = DistributionsOf(tr)
+	for i, r := range rows {
+		sizeStats[i] = r.Size
+		timingStats[i] = r.Timing
+		dists[i] = r.Dists
 	}
 
 	var out []Finding

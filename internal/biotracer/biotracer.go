@@ -133,11 +133,37 @@ func (t *Tracer) Overhead() Overhead {
 // filling in all timestamps, and returns the tracer overhead report.
 // This is the reproduction's equivalent of one §II collecting session.
 func Collect(dev *emmc.Device, tr *trace.Trace) (Overhead, error) {
+	i := 0
+	return CollectStream(dev, trace.FromSlice(tr), func(req trace.Request) error {
+		tr.Reqs[i].ServiceStart = req.ServiceStart
+		tr.Reqs[i].Finish = req.Finish
+		i++
+		return nil
+	})
+}
+
+// CollectStream is the streaming form of Collect: it pulls application
+// requests from a stream, monitors each through a fresh tracer (injecting
+// the tracer's own log I/O as it goes), and hands every request with its
+// three timestamps filled to sink (when non-nil). Memory is O(1) in the
+// trace length — one §II collecting session of any duration.
+func CollectStream(dev *emmc.Device, st trace.Stream, sink func(trace.Request) error) (Overhead, error) {
 	t := New(dev)
-	for i := range tr.Reqs {
-		if err := t.Submit(&tr.Reqs[i]); err != nil {
+	for i := 0; ; i++ {
+		req, ok, err := st.Next()
+		if err != nil {
+			return Overhead{}, fmt.Errorf("biotracer: reading %s request %d: %w", st.Name(), i, err)
+		}
+		if !ok {
+			return t.Overhead(), nil
+		}
+		if err := t.Submit(&req); err != nil {
 			return Overhead{}, err
 		}
+		if sink != nil {
+			if err := sink(req); err != nil {
+				return Overhead{}, err
+			}
+		}
 	}
-	return t.Overhead(), nil
 }

@@ -1,6 +1,8 @@
 package blockdev
 
 import (
+	"fmt"
+
 	"emmcio/internal/emmc"
 	"emmcio/internal/mmc"
 	"emmcio/internal/trace"
@@ -46,8 +48,25 @@ type RunStats struct {
 // timestamps filled) plus statistics. The input trace must be
 // arrival-ordered and is not modified.
 func (s *Stack) Run(tr *trace.Trace) (*trace.Trace, RunStats, error) {
-	var stats RunStats
 	out := &trace.Trace{Name: tr.Name + "+stack"}
+	stats, err := s.RunStream(trace.FromSlice(tr), func(r trace.Request) error {
+		out.Reqs = append(out.Reqs, r)
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	out.SortByArrival()
+	return out, stats, nil
+}
+
+// RunStream is the streaming form of Run: it pulls upper-layer requests
+// from st, pushes them through queue, driver, and device, and hands every
+// device-served request (timestamps filled, in dispatch order) to sink when
+// non-nil. Memory is the plug-window queue plus the device — nothing scales
+// with the trace length.
+func (s *Stack) RunStream(st trace.Stream, sink func(trace.Request) error) (RunStats, error) {
+	var stats RunStats
 
 	dispatch := func(now int64, batch []trace.Request) error {
 		if len(batch) == 0 {
@@ -78,34 +97,42 @@ func (s *Stack) Run(tr *trace.Trace) (*trace.Trace, RunStats, error) {
 			for i, r := range cmd.Reqs {
 				r.ServiceStart = results[i].ServiceStart
 				r.Finish = results[i].Finish
-				out.Reqs = append(out.Reqs, r)
 				if results[i].Finish > stats.LastFinish {
 					stats.LastFinish = results[i].Finish
+				}
+				if sink != nil {
+					if err := sink(r); err != nil {
+						return err
+					}
 				}
 			}
 		}
 		return nil
 	}
 
-	for i := range tr.Reqs {
-		now := tr.Reqs[i].Arrival
-		if err := dispatch(now, s.Queue.Dispatchable(now)); err != nil {
-			return nil, stats, err
-		}
-		if err := s.Queue.Submit(tr.Reqs[i]); err != nil {
-			return nil, stats, err
-		}
-	}
 	final := int64(0)
-	if n := len(tr.Reqs); n > 0 {
-		final = tr.Reqs[n-1].Arrival
+	for i := 0; ; i++ {
+		req, ok, err := st.Next()
+		if err != nil {
+			return stats, fmt.Errorf("blockdev: reading %s request %d: %w", st.Name(), i, err)
+		}
+		if !ok {
+			break
+		}
+		now := req.Arrival
+		final = now
+		if err := dispatch(now, s.Queue.Dispatchable(now)); err != nil {
+			return stats, err
+		}
+		if err := s.Queue.Submit(req); err != nil {
+			return stats, err
+		}
 	}
 	if err := dispatch(final, s.Queue.Flush()); err != nil {
-		return nil, stats, err
+		return stats, err
 	}
 
 	stats.Queue = s.Queue.Stats()
 	stats.Driver = s.Driver.Stats()
-	out.SortByArrival()
-	return out, stats, nil
+	return stats, nil
 }

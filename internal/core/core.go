@@ -273,65 +273,7 @@ func newCoreTel(reg *telemetry.Registry) *coreTel {
 // finish) per request on the requests/read or requests/write track, and
 // feeds the core_{response,service,wait}_ns histograms split by operation.
 func ReplayObserved(dev *emmc.Device, s Scheme, tr *trace.Trace, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
-	if reg != nil || tc != nil {
-		dev.SetTelemetry(reg, tc)
-	}
-	ct := newCoreTel(reg)
-	for i := range tr.Reqs {
-		req := tr.Reqs[i]
-		res, err := dev.Submit(req)
-		if err != nil {
-			return Metrics{}, fmt.Errorf("core: replaying %s request %d on %s: %w", tr.Name, i, s, err)
-		}
-		tr.Reqs[i].ServiceStart = res.ServiceStart
-		tr.Reqs[i].Finish = res.Finish
-		if ct != nil {
-			if req.Op == trace.Write {
-				ct.writeReqs.Inc()
-				ct.writeResp.Observe(res.Finish - req.Arrival)
-				ct.writeServ.Observe(res.Finish - res.ServiceStart)
-				ct.writeWait.Observe(res.ServiceStart - req.Arrival)
-			} else {
-				ct.readReqs.Inc()
-				ct.readResp.Observe(res.Finish - req.Arrival)
-				ct.readServ.Observe(res.Finish - res.ServiceStart)
-				ct.readWait.Observe(res.ServiceStart - req.Arrival)
-			}
-		}
-		if tc != nil {
-			track := "requests/read"
-			if req.Op == trace.Write {
-				track = "requests/write"
-			}
-			tc.Span("core", track, "request", req.Arrival, res.Finish)
-			tc.Span("core", track, "service", res.ServiceStart, res.Finish)
-		}
-	}
-	dm := dev.Metrics()
-	fs := dev.FTLStats()
-	m := Metrics{
-		Trace:            tr.Name,
-		Scheme:           s,
-		Served:           int(dm.Served),
-		MeanResponseNs:   dm.MeanResponseNs(),
-		MeanServiceNs:    dm.MeanServiceNs(),
-		NoWaitRatio:      dm.NoWaitRatio(),
-		SpaceUtilization: fs.SpaceUtilization(),
-		GCStallNs:        dm.GCStallNs,
-		IdleGCNs:         dm.IdleGCNs,
-		BufferHitRate:    dev.BufferHitRate(),
-		LightWakes:       dm.LightWakes,
-		DeepWakes:        dm.DeepWakes,
-		ProgramFaults:    fs.ProgramFaults,
-		EraseFaults:      fs.EraseFaults,
-		ReadFaults:       dm.ReadFaults,
-		RetiredBlocks:    fs.RetiredBlocks,
-		RecoveryNs:       dm.RecoveryNs,
-	}
-	if fs.HostProgrammedPages > 0 {
-		m.WriteAmplification = 1 + float64(fs.GC.PageMoves)/float64(fs.HostProgrammedPages)
-	}
-	return m, nil
+	return replayLoop(dev, s, trace.FromSlice(tr), reg, tc, writeBack(tr))
 }
 
 // CaseStudyOptions are the settings of the §V experiments, matching the

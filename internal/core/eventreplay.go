@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-
-	"emmcio/internal/sim"
 	"emmcio/internal/trace"
 )
 
@@ -17,79 +14,5 @@ import (
 // TestEventDrivenMatchesSequential asserts exactly that — which guards the
 // FIFO/waiting logic against bugs that a single implementation would hide.
 func ReplayEventDriven(s Scheme, opt Options, tr *trace.Trace) (Metrics, error) {
-	dev, err := NewDevice(s, opt)
-	if err != nil {
-		return Metrics{}, err
-	}
-
-	var eng sim.Engine
-	type state struct {
-		queue      []int // indices waiting for the device
-		busy       bool
-		dispatched int
-	}
-	st := &state{}
-	var dispatch func(now sim.Time)
-	var submitErr error
-
-	dispatch = func(now sim.Time) {
-		if st.busy || len(st.queue) == 0 || submitErr != nil {
-			return
-		}
-		idx := st.queue[0]
-		st.queue = st.queue[1:]
-		st.busy = true
-		req := tr.Reqs[idx]
-		// Dispatch with the request's own arrival so the device's
-		// wait/no-wait accounting matches the tracer's semantics: the
-		// device computes serviceStart = max(arrival, freeAt) itself.
-		res, err := dev.SubmitPacked(req.Arrival, []trace.Request{req})
-		if err != nil {
-			submitErr = fmt.Errorf("core: event replay of %s request %d: %w", tr.Name, idx, err)
-			return
-		}
-		tr.Reqs[idx].ServiceStart = res[0].ServiceStart
-		tr.Reqs[idx].Finish = res[0].Finish
-		st.dispatched++
-		eng.Schedule(res[0].Finish, func(t sim.Time) {
-			st.busy = false
-			dispatch(t)
-		})
-	}
-
-	for i := range tr.Reqs {
-		idx := i
-		eng.Schedule(tr.Reqs[i].Arrival, func(now sim.Time) {
-			st.queue = append(st.queue, idx)
-			dispatch(now)
-		})
-	}
-	eng.Run()
-	if submitErr != nil {
-		return Metrics{}, submitErr
-	}
-	if st.dispatched != len(tr.Reqs) {
-		return Metrics{}, fmt.Errorf("core: event replay served %d of %d requests", st.dispatched, len(tr.Reqs))
-	}
-
-	dm := dev.Metrics()
-	fs := dev.FTLStats()
-	m := Metrics{
-		Trace:            tr.Name,
-		Scheme:           s,
-		Served:           int(dm.Served),
-		MeanResponseNs:   dm.MeanResponseNs(),
-		MeanServiceNs:    dm.MeanServiceNs(),
-		NoWaitRatio:      dm.NoWaitRatio(),
-		SpaceUtilization: fs.SpaceUtilization(),
-		GCStallNs:        dm.GCStallNs,
-		IdleGCNs:         dm.IdleGCNs,
-		BufferHitRate:    dev.BufferHitRate(),
-		LightWakes:       dm.LightWakes,
-		DeepWakes:        dm.DeepWakes,
-	}
-	if fs.HostProgrammedPages > 0 {
-		m.WriteAmplification = 1 + float64(fs.GC.PageMoves)/float64(fs.HostProgrammedPages)
-	}
-	return m, nil
+	return eventLoop(s, opt, trace.FromSlice(tr), writeBack(tr))
 }

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-
 	"emmcio/internal/trace"
 )
 
@@ -39,82 +36,12 @@ func (p SchedPolicy) String() string {
 // dispatcher applying the given policy to waiting requests. With SchedFIFO
 // it is equivalent to Replay. Timestamps are filled into the trace.
 func ReplayScheduled(s Scheme, opt Options, tr *trace.Trace, policy SchedPolicy) (Metrics, error) {
-	dev, err := NewDevice(s, opt)
+	m, err := scheduledLoop(s, opt, trace.FromSlice(tr), policy, writeBack(tr))
 	if err != nil {
-		return Metrics{}, err
+		return m, err
 	}
-
-	type item struct {
-		idx int
-		req trace.Request
-	}
-	n := len(tr.Reqs)
-	var queue []item
-	next := 0
-	var deviceFree int64
-
-	pick := func() int {
-		best := 0
-		switch policy {
-		case SchedSJF:
-			for i := 1; i < len(queue); i++ {
-				if queue[i].req.Size < queue[best].req.Size {
-					best = i
-				}
-			}
-		case SchedReadFirst:
-			for i := 1; i < len(queue); i++ {
-				bi, ii := queue[best].req, queue[i].req
-				if ii.Op == trace.Read && bi.Op != trace.Read {
-					best = i
-				}
-			}
-		}
-		return best
-	}
-
-	for next < n || len(queue) > 0 {
-		// Admit everything that has arrived by the time the device frees.
-		for next < n && (len(queue) == 0 || tr.Reqs[next].Arrival <= deviceFree) {
-			queue = append(queue, item{idx: next, req: tr.Reqs[next]})
-			next++
-		}
-		i := pick()
-		it := queue[i]
-		queue = append(queue[:i], queue[i+1:]...)
-
-		dispatchAt := it.req.Arrival
-		if deviceFree > dispatchAt {
-			dispatchAt = deviceFree
-		}
-		res, err := dev.SubmitPacked(dispatchAt, []trace.Request{it.req})
-		if err != nil {
-			return Metrics{}, fmt.Errorf("core: scheduled replay of %s: %w", tr.Name, err)
-		}
-		tr.Reqs[it.idx].ServiceStart = res[0].ServiceStart
-		tr.Reqs[it.idx].Finish = res[0].Finish
-		deviceFree = res[0].Finish
-	}
-
 	// Requests may have been served out of order; restore arrival order for
 	// downstream analyses that assume it.
-	sort.SliceStable(tr.Reqs, func(a, b int) bool { return tr.Reqs[a].Arrival < tr.Reqs[b].Arrival })
-
-	dm := dev.Metrics()
-	fs := dev.FTLStats()
-	m := Metrics{
-		Trace:            tr.Name,
-		Scheme:           s,
-		Served:           int(dm.Served),
-		MeanResponseNs:   dm.MeanResponseNs(),
-		MeanServiceNs:    dm.MeanServiceNs(),
-		NoWaitRatio:      dm.NoWaitRatio(),
-		SpaceUtilization: fs.SpaceUtilization(),
-		GCStallNs:        dm.GCStallNs,
-		IdleGCNs:         dm.IdleGCNs,
-	}
-	if fs.HostProgrammedPages > 0 {
-		m.WriteAmplification = 1 + float64(fs.GC.PageMoves)/float64(fs.HostProgrammedPages)
-	}
+	sortByArrivalStable(tr)
 	return m, nil
 }

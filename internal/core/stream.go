@@ -1,0 +1,389 @@
+// Streaming replay: every replay path in this package pulls requests from a
+// trace.Stream, so memory is O(in-flight requests) and independent of trace
+// length. The slice-based entry points (Replay, ReplayObserved,
+// ReplayScheduled, ReplayEventDriven) are thin adapters over the stream
+// loops via trace.FromSlice, writing timestamps back into the caller's
+// slice — both paths execute the identical Submit sequence, so their
+// Metrics are bit-identical (TestStreamingReplayEquivalence enforces it).
+
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"emmcio/internal/emmc"
+	"emmcio/internal/sim"
+	"emmcio/internal/telemetry"
+	"emmcio/internal/trace"
+)
+
+// ReplayStream replays a stream through a fresh device of the given scheme
+// and returns the replay metrics. Requests must arrive in order.
+func ReplayStream(s Scheme, opt Options, st trace.Stream) (Metrics, error) {
+	dev, err := NewDevice(s, opt)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return ReplayStreamOn(dev, s, st)
+}
+
+// ReplayStreamOn replays a stream on an existing device (which may hold
+// state from prior traces — useful for aging studies).
+func ReplayStreamOn(dev *emmc.Device, s Scheme, st trace.Stream) (Metrics, error) {
+	return ReplayStreamObserved(dev, s, st, nil, nil)
+}
+
+// ReplayStreamObserved is ReplayStreamOn with observability, the streaming
+// form of ReplayObserved.
+func ReplayStreamObserved(dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
+	return ReplayStreamSink(dev, s, st, reg, tc, nil)
+}
+
+// ReplayStreamSink is ReplayStreamObserved with a completion sink: sink
+// (when non-nil) receives every request with its replayed ServiceStart and
+// Finish filled in, in arrival order — the hook online analysis and
+// streaming trace writers attach to. A sink error aborts the replay.
+func ReplayStreamSink(dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(trace.Request) error) (Metrics, error) {
+	if sink == nil {
+		return replayLoop(dev, s, st, reg, tc, nil)
+	}
+	return replayLoop(dev, s, st, reg, tc, func(_ int, req trace.Request) error { return sink(req) })
+}
+
+// replayLoop is the one sequential replay loop behind Replay/ReplayOn/
+// ReplayObserved and their stream forms: pull, submit, observe, sink.
+func replayLoop(dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(i int, req trace.Request) error) (Metrics, error) {
+	if reg != nil || tc != nil {
+		dev.SetTelemetry(reg, tc)
+	}
+	ct := newCoreTel(reg)
+	name := st.Name()
+	for i := 0; ; i++ {
+		req, ok, err := st.Next()
+		if err != nil {
+			return Metrics{}, fmt.Errorf("core: reading %s request %d: %w", name, i, err)
+		}
+		if !ok {
+			break
+		}
+		res, err := dev.Submit(req)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("core: replaying %s request %d on %s: %w", name, i, s, err)
+		}
+		if ct != nil {
+			if req.Op == trace.Write {
+				ct.writeReqs.Inc()
+				ct.writeResp.Observe(res.Finish - req.Arrival)
+				ct.writeServ.Observe(res.Finish - res.ServiceStart)
+				ct.writeWait.Observe(res.ServiceStart - req.Arrival)
+			} else {
+				ct.readReqs.Inc()
+				ct.readResp.Observe(res.Finish - req.Arrival)
+				ct.readServ.Observe(res.Finish - res.ServiceStart)
+				ct.readWait.Observe(res.ServiceStart - req.Arrival)
+			}
+		}
+		if tc != nil {
+			track := "requests/read"
+			if req.Op == trace.Write {
+				track = "requests/write"
+			}
+			tc.Span("core", track, "request", req.Arrival, res.Finish)
+			tc.Span("core", track, "service", res.ServiceStart, res.Finish)
+		}
+		if sink != nil {
+			req.ServiceStart = res.ServiceStart
+			req.Finish = res.Finish
+			if err := sink(i, req); err != nil {
+				return Metrics{}, fmt.Errorf("core: sinking %s request %d: %w", name, i, err)
+			}
+		}
+	}
+	return deviceMetrics(dev, name, s), nil
+}
+
+// deviceMetrics assembles the full replay Metrics from device state.
+func deviceMetrics(dev *emmc.Device, name string, s Scheme) Metrics {
+	dm := dev.Metrics()
+	fs := dev.FTLStats()
+	m := Metrics{
+		Trace:            name,
+		Scheme:           s,
+		Served:           int(dm.Served),
+		MeanResponseNs:   dm.MeanResponseNs(),
+		MeanServiceNs:    dm.MeanServiceNs(),
+		NoWaitRatio:      dm.NoWaitRatio(),
+		SpaceUtilization: fs.SpaceUtilization(),
+		GCStallNs:        dm.GCStallNs,
+		IdleGCNs:         dm.IdleGCNs,
+		BufferHitRate:    dev.BufferHitRate(),
+		LightWakes:       dm.LightWakes,
+		DeepWakes:        dm.DeepWakes,
+		ProgramFaults:    fs.ProgramFaults,
+		EraseFaults:      fs.EraseFaults,
+		ReadFaults:       dm.ReadFaults,
+		RetiredBlocks:    fs.RetiredBlocks,
+		RecoveryNs:       dm.RecoveryNs,
+	}
+	if fs.HostProgrammedPages > 0 {
+		m.WriteAmplification = 1 + float64(fs.GC.PageMoves)/float64(fs.HostProgrammedPages)
+	}
+	return m
+}
+
+// ReplayScheduledStream replays a stream through a fresh device with an
+// OS-level dispatcher applying the given policy to waiting requests — the
+// streaming form of ReplayScheduled. Memory is O(waiting queue): the
+// dispatcher keeps one lookahead request plus whatever has arrived but not
+// yet dispatched. sink (when non-nil) receives completed requests in
+// dispatch order, which under SJF or read-first is not arrival order.
+func ReplayScheduledStream(s Scheme, opt Options, st trace.Stream, policy SchedPolicy, sink func(trace.Request) error) (Metrics, error) {
+	if sink == nil {
+		return scheduledLoop(s, opt, st, policy, nil)
+	}
+	return scheduledLoop(s, opt, st, policy, func(_ int, req trace.Request) error { return sink(req) })
+}
+
+// scheduledLoop is the dispatcher behind ReplayScheduled and its stream
+// form. The sink receives each completed request with its pull index.
+func scheduledLoop(s Scheme, opt Options, st trace.Stream, policy SchedPolicy, sink func(idx int, req trace.Request) error) (Metrics, error) {
+	dev, err := NewDevice(s, opt)
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	type item struct {
+		idx int
+		req trace.Request
+	}
+	name := st.Name()
+	var queue []item
+	var deviceFree int64
+
+	// One-request lookahead over the stream, replacing the slice index.
+	next := 0
+	var head trace.Request
+	headOK := false
+	pull := func() error {
+		r, ok, err := st.Next()
+		if err != nil {
+			return fmt.Errorf("core: reading %s request %d: %w", name, next, err)
+		}
+		head, headOK = r, ok
+		return nil
+	}
+	if err := pull(); err != nil {
+		return Metrics{}, err
+	}
+
+	pick := func() int {
+		best := 0
+		switch policy {
+		case SchedSJF:
+			for i := 1; i < len(queue); i++ {
+				if queue[i].req.Size < queue[best].req.Size {
+					best = i
+				}
+			}
+		case SchedReadFirst:
+			for i := 1; i < len(queue); i++ {
+				bi, ii := queue[best].req, queue[i].req
+				if ii.Op == trace.Read && bi.Op != trace.Read {
+					best = i
+				}
+			}
+		}
+		return best
+	}
+
+	for headOK || len(queue) > 0 {
+		// Admit everything that has arrived by the time the device frees.
+		for headOK && (len(queue) == 0 || head.Arrival <= deviceFree) {
+			queue = append(queue, item{idx: next, req: head})
+			next++
+			if err := pull(); err != nil {
+				return Metrics{}, err
+			}
+		}
+		i := pick()
+		it := queue[i]
+		queue = append(queue[:i], queue[i+1:]...)
+
+		dispatchAt := it.req.Arrival
+		if deviceFree > dispatchAt {
+			dispatchAt = deviceFree
+		}
+		res, err := dev.SubmitPacked(dispatchAt, []trace.Request{it.req})
+		if err != nil {
+			return Metrics{}, fmt.Errorf("core: scheduled replay of %s: %w", name, err)
+		}
+		deviceFree = res[0].Finish
+		if sink != nil {
+			it.req.ServiceStart = res[0].ServiceStart
+			it.req.Finish = res[0].Finish
+			if err := sink(it.idx, it.req); err != nil {
+				return Metrics{}, fmt.Errorf("core: sinking %s request %d: %w", name, it.idx, err)
+			}
+		}
+	}
+
+	dm := dev.Metrics()
+	fs := dev.FTLStats()
+	m := Metrics{
+		Trace:            name,
+		Scheme:           s,
+		Served:           int(dm.Served),
+		MeanResponseNs:   dm.MeanResponseNs(),
+		MeanServiceNs:    dm.MeanServiceNs(),
+		NoWaitRatio:      dm.NoWaitRatio(),
+		SpaceUtilization: fs.SpaceUtilization(),
+		GCStallNs:        dm.GCStallNs,
+		IdleGCNs:         dm.IdleGCNs,
+	}
+	if fs.HostProgrammedPages > 0 {
+		m.WriteAmplification = 1 + float64(fs.GC.PageMoves)/float64(fs.HostProgrammedPages)
+	}
+	return m, nil
+}
+
+// ReplayEventDrivenStream replays a stream through the discrete-event
+// kernel — the streaming form of ReplayEventDriven. Arrivals are scheduled
+// lazily, one lookahead at a time (arrival i fires, arrival i+1 enters the
+// event queue), so the engine's queue holds O(waiting requests) rather than
+// the whole trace. sink (when non-nil) receives completed requests in
+// dispatch (FIFO) order.
+func ReplayEventDrivenStream(s Scheme, opt Options, st trace.Stream, sink func(trace.Request) error) (Metrics, error) {
+	if sink == nil {
+		return eventLoop(s, opt, st, nil)
+	}
+	return eventLoop(s, opt, st, func(_ int, req trace.Request) error { return sink(req) })
+}
+
+// eventLoop is the event-driven replay behind ReplayEventDriven and its
+// stream form. Tie handling note: lazy arrival scheduling interleaves
+// arrival and completion events differently than scheduling every arrival
+// upfront, but results are unaffected — the FIFO queue order depends only
+// on the arrival sequence, and the device computes service start from the
+// request's own arrival time, not from when dispatch runs.
+func eventLoop(s Scheme, opt Options, st trace.Stream, sink func(idx int, req trace.Request) error) (Metrics, error) {
+	dev, err := NewDevice(s, opt)
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	var eng sim.Engine
+	name := st.Name()
+	type entry struct {
+		idx int
+		req trace.Request
+	}
+	type state struct {
+		queue      []entry // arrived, waiting for the device
+		busy       bool
+		dispatched int
+	}
+	stt := &state{}
+	var dispatch func(now sim.Time)
+	var replayErr error
+	pulled := 0
+
+	// scheduleNext pulls one request and schedules its arrival event.
+	var scheduleNext func()
+	scheduleNext = func() {
+		if replayErr != nil {
+			return
+		}
+		req, ok, err := st.Next()
+		if err != nil {
+			replayErr = fmt.Errorf("core: reading %s request %d: %w", name, pulled, err)
+			return
+		}
+		if !ok {
+			return
+		}
+		idx := pulled
+		pulled++
+		eng.Schedule(req.Arrival, func(now sim.Time) {
+			stt.queue = append(stt.queue, entry{idx: idx, req: req})
+			scheduleNext()
+			dispatch(now)
+		})
+	}
+
+	dispatch = func(now sim.Time) {
+		if stt.busy || len(stt.queue) == 0 || replayErr != nil {
+			return
+		}
+		e := stt.queue[0]
+		stt.queue = stt.queue[1:]
+		stt.busy = true
+		// Dispatch with the request's own arrival so the device's
+		// wait/no-wait accounting matches the tracer's semantics: the
+		// device computes serviceStart = max(arrival, freeAt) itself.
+		res, err := dev.SubmitPacked(e.req.Arrival, []trace.Request{e.req})
+		if err != nil {
+			replayErr = fmt.Errorf("core: event replay of %s request %d: %w", name, e.idx, err)
+			return
+		}
+		stt.dispatched++
+		if sink != nil {
+			e.req.ServiceStart = res[0].ServiceStart
+			e.req.Finish = res[0].Finish
+			if err := sink(e.idx, e.req); err != nil {
+				replayErr = fmt.Errorf("core: sinking %s request %d: %w", name, e.idx, err)
+				return
+			}
+		}
+		eng.Schedule(res[0].Finish, func(t sim.Time) {
+			stt.busy = false
+			dispatch(t)
+		})
+	}
+
+	scheduleNext()
+	eng.Run()
+	if replayErr != nil {
+		return Metrics{}, replayErr
+	}
+	if stt.dispatched != pulled {
+		return Metrics{}, fmt.Errorf("core: event replay served %d of %d requests", stt.dispatched, pulled)
+	}
+
+	dm := dev.Metrics()
+	fs := dev.FTLStats()
+	m := Metrics{
+		Trace:            name,
+		Scheme:           s,
+		Served:           int(dm.Served),
+		MeanResponseNs:   dm.MeanResponseNs(),
+		MeanServiceNs:    dm.MeanServiceNs(),
+		NoWaitRatio:      dm.NoWaitRatio(),
+		SpaceUtilization: fs.SpaceUtilization(),
+		GCStallNs:        dm.GCStallNs,
+		IdleGCNs:         dm.IdleGCNs,
+		BufferHitRate:    dev.BufferHitRate(),
+		LightWakes:       dm.LightWakes,
+		DeepWakes:        dm.DeepWakes,
+	}
+	if fs.HostProgrammedPages > 0 {
+		m.WriteAmplification = 1 + float64(fs.GC.PageMoves)/float64(fs.HostProgrammedPages)
+	}
+	return m, nil
+}
+
+// writeBack returns a sink that writes replayed timestamps into the
+// caller's slice by pull index — the adapter every slice-based replay path
+// uses to keep its fill-in-place contract.
+func writeBack(tr *trace.Trace) func(idx int, req trace.Request) error {
+	return func(idx int, req trace.Request) error {
+		tr.Reqs[idx].ServiceStart = req.ServiceStart
+		tr.Reqs[idx].Finish = req.Finish
+		return nil
+	}
+}
+
+// sortByArrivalStable restores arrival order after an out-of-order replay.
+func sortByArrivalStable(tr *trace.Trace) {
+	sort.SliceStable(tr.Reqs, func(a, b int) bool { return tr.Reqs[a].Arrival < tr.Reqs[b].Arrival })
+}

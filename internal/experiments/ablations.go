@@ -7,7 +7,6 @@ import (
 	"emmcio/internal/ftl"
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
-	"emmcio/internal/stats"
 	"emmcio/internal/trace"
 )
 
@@ -91,18 +90,13 @@ func gcPressureOptions(policy emmc.GCPolicy) core.Options {
 	}
 }
 
-// doubledSession returns the trace followed by an identical second session
+// doubledSession streams the trace followed by an identical second session
 // (arrivals shifted past the first), so every page written in session one
 // is overwritten — the stale data garbage collection exists to reclaim.
-func doubledSession(tr *trace.Trace) *trace.Trace {
-	out := tr.Clone()
-	shift := tr.Duration() + int64(1_000_000_000)
-	second := tr.Clone()
-	for i := range second.Reqs {
-		second.Reqs[i].Arrival += shift
-	}
-	out.Reqs = append(out.Reqs, second.Reqs...)
-	return out
+// Nothing is materialized: the second session replays the same stream with
+// a one-second gap after the first session's last arrival.
+func doubledSession(st trace.Stream) trace.Stream {
+	return trace.Repeat(st, 2, 1_000_000_000)
 }
 
 // Implication2IdleGC replays two sessions of each trace on a shrunken
@@ -116,7 +110,7 @@ func Implication2IdleGC(env *Env, names ...string) ([]GCPolicyRow, error) {
 		for _, policy := range []emmc.GCPolicy{emmc.GCForeground, emmc.GCIdle} {
 			jobs = append(jobs, ReplayJob{
 				Trace: name, Scheme: core.Scheme4PS,
-				Options: gcPressureOptions(policy), Prepare: doubledSession,
+				Options: gcPressureOptions(policy), PrepareStream: doubledSession,
 			})
 		}
 	}
@@ -162,7 +156,7 @@ func Implication3Buffer(env *Env, sizesMB []int, names ...string) ([]BufferRow, 
 		for _, mb := range sizesMB {
 			opt := MeasuredDeviceOptions()
 			opt.RAMBufferBytes = int64(mb) << 20
-			jobs = append(jobs, ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: opt})
+			jobs = append(jobs, ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: opt, WantStats: true})
 			rows = append(rows, BufferRow{Name: name, BufferMB: mb})
 		}
 	}
@@ -172,7 +166,7 @@ func Implication3Buffer(env *Env, sizesMB []int, names ...string) ([]BufferRow, 
 	}
 	for i := range rows {
 		rows[i].HitRatePct = results[i].Metrics.BufferHitRate * 100
-		rows[i].TemporalPct = stats.TemporalLocality(results[i].Trace) * 100
+		rows[i].TemporalPct = results[i].Stats.TemporalLocality() * 100
 	}
 	return rows, nil
 }
@@ -204,7 +198,7 @@ func Implication4Wear(env *Env, names ...string) ([]WearRow, error) {
 			opt.Wear = policy
 			jobs = append(jobs, ReplayJob{
 				Trace: name, Scheme: core.Scheme4PS, Options: opt,
-				Prepare: doubledSession, Collect: true,
+				PrepareStream: doubledSession, Collect: true,
 			})
 			rows = append(rows, WearRow{Name: name, Policy: policy})
 		}
@@ -375,7 +369,7 @@ func Implication3MapCache(env *Env, sizesKB []int, names ...string) ([]MapCacheR
 		dev := results[i].Device
 		rows[i].HitRatePct = dev.MapCacheStats().HitRate() * 100
 		rows[i].MRTMs = results[i].Metrics.MeanResponseNs / 1e6
-		rows[i].MapReadsPer1k = float64(dev.Metrics().MapReads) / float64(len(results[i].Trace.Reqs)) * 1000
+		rows[i].MapReadsPer1k = float64(dev.Metrics().MapReads) / float64(results[i].Metrics.Served) * 1000
 	}
 	return rows, nil
 }
@@ -459,10 +453,10 @@ func RateSweep(env *Env, name string, factors []float64) ([]RatePoint, error) {
 		if d := scaled.Duration(); d > 0 {
 			out[i].Rate = float64(len(scaled.Reqs)) / (float64(d) / 1e9)
 		}
-		prep := func(tr *trace.Trace) *trace.Trace { return tr.Scale(f) }
+		prep := func(st trace.Stream) trace.Stream { return trace.ScaleStream(st, f) }
 		jobs = append(jobs,
-			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: core.CaseStudyOptions(), Prepare: prep},
-			ReplayJob{Trace: name, Scheme: core.SchemeHPS, Options: core.CaseStudyOptions(), Prepare: prep},
+			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: core.CaseStudyOptions(), PrepareStream: prep},
+			ReplayJob{Trace: name, Scheme: core.SchemeHPS, Options: core.CaseStudyOptions(), PrepareStream: prep},
 		)
 	}
 	results, err := env.Replays("ratesweep", jobs)

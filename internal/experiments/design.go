@@ -33,7 +33,7 @@ func GCThresholdSweep(env *Env, name string, thresholds []int) ([]GCThresholdRow
 	for i, th := range thresholds {
 		opt := gcPressureOptions(emmc.GCForeground)
 		opt.GCFreeBlocks = th
-		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: opt, Prepare: doubledSession}
+		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: opt, PrepareStream: doubledSession}
 	}
 	results, err := env.Replays("gc-threshold", jobs)
 	if err != nil {
@@ -93,9 +93,9 @@ func HPSPoolRatioSweep(env *Env, name string, splits [][2]int) ([]PoolRatioRow, 
 			return nil, fmt.Errorf("split %d+%d violates the 4 GB/plane budget", n4, n8)
 		}
 		jobs[i] = ReplayJob{
-			Trace:   name,
-			Scheme:  core.SchemeHPS,
-			Prepare: doubledSession,
+			Trace:         name,
+			Scheme:        core.SchemeHPS,
+			PrepareStream: doubledSession,
 			Device: func() (*emmc.Device, error) {
 				cfg := core.DeviceConfig(core.SchemeHPS, gcPressureOptions(emmc.GCForeground))
 				// Rebuild pools at the requested split, preserving the

@@ -43,14 +43,31 @@ type Env struct {
 	// custom Device builder construct their own config and are not touched.
 	Faults *faults.Config
 
+	// TraceCacheSize bounds the generated-trace cache (default
+	// DefaultTraceCacheSize). The cache used to retain every generated
+	// trace for the life of the process; now the least-recently-used name
+	// is evicted and regenerated on demand if asked for again — memory
+	// stays bounded at sweeps of any width.
+	TraceCacheSize int
+
 	mu        sync.Mutex
 	cache     map[string]*traceEntry
+	lruNames  []string     // cache keys, least recently used first
 	generated atomic.Int64 // traces actually generated (tests assert dedup)
 }
+
+// DefaultTraceCacheSize is the generated-trace cache bound when
+// TraceCacheSize is zero: enough that a sweep's worker pool keeps its
+// in-flight names resident, small enough that a 25-application run does not
+// pin 25 traces.
+const DefaultTraceCacheSize = 8
 
 // traceEntry dedups generation per name: the mutex only guards the map, so
 // two workers asking for different traces generate concurrently, while two
 // asking for the same one block on its Once and generate it exactly once.
+// The generated trace is immutable: Trace clones it, Stream reads it in
+// place, and eviction just drops the map reference (in-flight holders keep
+// theirs alive).
 type traceEntry struct {
 	once sync.Once
 	tr   *trace.Trace
@@ -64,17 +81,39 @@ func NewEnv(seed uint64) *Env {
 // DefaultEnv uses the repository's canonical seed.
 func DefaultEnv() *Env { return NewEnv(workload.DefaultSeed) }
 
-// Trace returns the named generated trace with clean (unreplayed)
-// timestamps. Generation results are cached; callers get a fresh copy.
-// Safe for concurrent use.
-func (e *Env) Trace(name string) *trace.Trace {
+// entry returns the cache slot for name, creating it (and evicting the
+// least recently used slot past the bound) as needed.
+func (e *Env) entry(name string) *traceEntry {
 	e.mu.Lock()
-	ent, ok := e.cache[name]
-	if !ok {
-		ent = &traceEntry{}
-		e.cache[name] = ent
+	defer e.mu.Unlock()
+	if ent, ok := e.cache[name]; ok {
+		for i, n := range e.lruNames {
+			if n == name {
+				e.lruNames = append(append(e.lruNames[:i:i], e.lruNames[i+1:]...), name)
+				break
+			}
+		}
+		return ent
 	}
-	e.mu.Unlock()
+	ent := &traceEntry{}
+	e.cache[name] = ent
+	e.lruNames = append(e.lruNames, name)
+	bound := e.TraceCacheSize
+	if bound <= 0 {
+		bound = DefaultTraceCacheSize
+	}
+	for len(e.cache) > bound {
+		oldest := e.lruNames[0]
+		e.lruNames = e.lruNames[1:]
+		delete(e.cache, oldest)
+	}
+	return ent
+}
+
+// shared returns the immutable cached generated trace for name,
+// generating it if needed. Callers must not mutate the result.
+func (e *Env) shared(name string) *trace.Trace {
+	ent := e.entry(name)
 	ent.once.Do(func() {
 		prof := e.Registry.Lookup(name)
 		if prof == nil {
@@ -83,10 +122,27 @@ func (e *Env) Trace(name string) *trace.Trace {
 		ent.tr = prof.Generate(e.Seed)
 		e.generated.Add(1)
 	})
+	return ent.tr
+}
+
+// Trace returns the named generated trace with clean (unreplayed)
+// timestamps. Generation results are cached; callers get a fresh private
+// copy they may mutate. Safe for concurrent use. Replay paths no longer
+// go through here — they pull from Stream, which does not clone.
+func (e *Env) Trace(name string) *trace.Trace {
 	// The cached trace is immutable after generation; Clone only reads it.
-	out := ent.tr.Clone()
+	out := e.shared(name).Clone()
 	out.ClearTimestamps()
 	return out
+}
+
+// Stream returns the named generated trace as a trace.Stream without
+// cloning: the stream reads the shared immutable cache entry in place
+// (resolved lazily, on the first pull), so a sweep job's replay memory is
+// the stream plus the device — never a private trace copy. Safe for
+// concurrent use; each call returns an independent stream.
+func (e *Env) Stream(name string) trace.Stream {
+	return trace.Generated(name, func() *trace.Trace { return e.shared(name) })
 }
 
 // MeasuredDeviceTiming approximates the real Nexus 5 eMMC that §II–§III

@@ -106,13 +106,8 @@ func FaultSweep(env *Env, name string, seed uint64, rates []float64) ([]FaultPoi
 			blocks := int64(spec.BlocksPerPlane * cfg.Geometry.Planes())
 			dev.AddArtificialWear(pool, int64(model.Endurance*float64(blocks)))
 		}
-		tr := env.Trace(name)
-		copies := make([]*trace.Trace, faultSweepSessions)
-		for i := range copies {
-			copies[i] = tr
-		}
-		tr = trace.Concat(tr.Name, 1_000_000_000, copies...)
-		m, err := core.ReplayObserved(dev, c.scheme, tr, env.Telemetry, env.Tracer)
+		st := trace.Repeat(env.Stream(name), faultSweepSessions, 1_000_000_000)
+		m, err := core.ReplayStreamObserved(dev, c.scheme, st, env.Telemetry, env.Tracer)
 		if err != nil {
 			pt.Err = err.Error()
 		}

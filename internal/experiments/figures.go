@@ -81,23 +81,26 @@ func Fig7(env *Env) (DistResult, error) {
 	return replayedDistributions(env, paper.ComboApps)
 }
 
-// distributions computes per-trace histograms without replay. The per-name
-// analyses still run on the env's worker pool (generation dominates).
+// distributions computes per-trace histograms without replay, streaming
+// each generated trace through an online accumulator on the env's worker
+// pool (generation dominates).
 func distributions(env *Env, names []string) DistResult {
-	// The job function cannot fail, so the aggregated error is always nil.
+	// Env streams never fail, so the aggregated error is always nil.
 	dists, _ := runner.Map(env.Runner(), "distributions", names,
 		func(_ int, name string) (analysis.Distributions, error) {
-			return analysis.DistributionsOf(env.Trace(name)), nil
+			return analysis.DistributionsOfStream(env.Stream(name))
 		})
 	return DistResult{Names: names, Dists: dists}
 }
 
 // replayedDistributions replays each trace through the §II-C collection
-// path on the measured device first, so response times are populated.
+// path on the measured device first, so response times are populated; the
+// histograms accumulate online during the replay, nothing is materialized.
 func replayedDistributions(env *Env, names []string) (DistResult, error) {
 	jobs := make([]ReplayJob, len(names))
 	for i, name := range names {
-		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(), Collect: true}
+		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(),
+			Collect: true, WantStats: true}
 	}
 	results, err := env.Replays("distributions-replayed", jobs)
 	if err != nil {
@@ -105,7 +108,7 @@ func replayedDistributions(env *Env, names []string) (DistResult, error) {
 	}
 	res := DistResult{Names: names, Dists: make([]analysis.Distributions, len(names))}
 	for i := range results {
-		res.Dists[i] = analysis.DistributionsOf(results[i].Trace)
+		res.Dists[i] = results[i].Stats.Dists()
 	}
 	return res, nil
 }

@@ -33,7 +33,7 @@ func Lifetime(env *Env, names ...string) ([]LifetimeRow, error) {
 	var jobs []ReplayJob
 	for _, name := range names {
 		for _, s := range core.Schemes {
-			jobs = append(jobs, ReplayJob{Trace: name, Scheme: s, Options: gcPressureOptions(0), Prepare: doubledSession})
+			jobs = append(jobs, ReplayJob{Trace: name, Scheme: s, Options: gcPressureOptions(0), PrepareStream: doubledSession})
 		}
 	}
 	results, err := env.Replays("lifetime", jobs)

@@ -50,16 +50,11 @@ func Implication1SDCard(env *Env, names ...string) ([]SDCardRow, error) {
 	if len(names) == 0 {
 		names = []string{paper.Music, paper.CameraVideo, paper.Facebook}
 	}
-	// Split policy: big requests to the card, the rest stays internal.
-	splitBy := func(suffix string, keep func(r trace.Request) bool) func(tr *trace.Trace) *trace.Trace {
-		return func(tr *trace.Trace) *trace.Trace {
-			split := &trace.Trace{Name: tr.Name + suffix}
-			for _, r := range tr.Reqs {
-				if keep(r) {
-					split.Reqs = append(split.Reqs, r)
-				}
-			}
-			return split
+	// Split policy: big requests to the card, the rest stays internal. The
+	// splits are stream filters — neither side materializes its share.
+	splitBy := func(suffix string, keep func(r trace.Request) bool) func(trace.Stream) trace.Stream {
+		return func(st trace.Stream) trace.Stream {
+			return trace.Named(trace.FilterStream(st, keep), st.Name()+suffix)
 		}
 	}
 	sdTiming := SDCardTiming()
@@ -70,9 +65,9 @@ func Implication1SDCard(env *Env, names ...string) ([]SDCardRow, error) {
 		jobs = append(jobs,
 			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions()},
 			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(),
-				Prepare: splitBy("-emmc", func(r trace.Request) bool { return r.Size < 64*1024 })},
+				PrepareStream: splitBy("-emmc", func(r trace.Request) bool { return r.Size < 64*1024 })},
 			ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: sdOpt,
-				Prepare: splitBy("-sdcard", func(r trace.Request) bool { return r.Size >= 64*1024 })})
+				PrepareStream: splitBy("-sdcard", func(r trace.Request) bool { return r.Size >= 64*1024 })})
 	}
 	results, err := env.Replays("sdcard", jobs)
 	if err != nil {
@@ -81,15 +76,15 @@ func Implication1SDCard(env *Env, names ...string) ([]SDCardRow, error) {
 	out := make([]SDCardRow, len(names))
 	for i, name := range names {
 		whole, intern, card := results[3*i], results[3*i+1], results[3*i+2]
-		total := len(whole.Trace.Reqs)
+		total := whole.Metrics.Served
 		// Combined mean response across both streams.
-		sum := intern.Metrics.MeanResponseNs*float64(len(intern.Trace.Reqs)) +
-			card.Metrics.MeanResponseNs*float64(len(card.Trace.Reqs))
+		sum := intern.Metrics.MeanResponseNs*float64(intern.Metrics.Served) +
+			card.Metrics.MeanResponseNs*float64(card.Metrics.Served)
 		out[i] = SDCardRow{
 			Name:          name,
 			EMMCOnlyMRTMs: whole.Metrics.MeanResponseNs / 1e6,
 			SplitMRTMs:    sum / float64(total) / 1e6,
-			SDSharePct:    float64(len(card.Trace.Reqs)) / float64(total) * 100,
+			SDSharePct:    float64(card.Metrics.Served) / float64(total) * 100,
 		}
 	}
 	return out, nil

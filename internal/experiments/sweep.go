@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"emmcio/internal/analysis"
 	"emmcio/internal/biotracer"
 	"emmcio/internal/core"
 	"emmcio/internal/emmc"
@@ -12,39 +13,61 @@ import (
 // replayed once on its own fresh device. Every experiment in this package
 // builds a []ReplayJob and hands it to Env.Replays; nothing replays through
 // bespoke loops anymore.
+//
+// Jobs pull their requests from a trace.Stream (Env.Stream), so a replay
+// holds no private trace copy: memory is the device plus whatever the job
+// explicitly asks to materialize (WantTrace) or accumulate (WantStats).
 type ReplayJob struct {
-	// Trace names the workload (resolved through Env.Trace, so generation
-	// is cached and deduplicated across concurrent jobs).
+	// Trace names the workload (resolved through Env.Stream, so generation
+	// is cached, deduplicated, and bounded across concurrent jobs).
 	Trace string
 	// Scheme and Options configure the device (core.NewDevice) unless
 	// Device overrides construction.
 	Scheme  core.Scheme
 	Options core.Options
-	// Prepare, when non-nil, transforms the job's private trace copy before
-	// the replay (session doubling, arrival scaling, request filtering).
+	// Prepare, when non-nil, transforms a private materialized copy of the
+	// job's trace before the replay — for transforms that need the whole
+	// trace in hand (session doubling). Prefer PrepareStream when the
+	// transform is per-request.
 	Prepare func(*trace.Trace) *trace.Trace
+	// PrepareStream, when non-nil, wraps the job's request stream
+	// (filtering, arrival scaling, session repetition) without
+	// materializing anything. Applied after Prepare if both are set.
+	PrepareStream func(trace.Stream) trace.Stream
 	// Device, when non-nil, builds the device instead of core.NewDevice —
 	// for custom emmc.Configs or pre-aged devices. It must return a fresh
 	// device on every call.
 	Device func() (*emmc.Device, error)
-	// Policy selects host-side scheduling (core.ReplayScheduled) when not
-	// SchedFIFO. Scheduled replays build their own device: Device and
-	// Collect are ignored.
+	// Policy selects host-side scheduling (core.ReplayScheduledStream)
+	// when not SchedFIFO. Scheduled replays build their own device: Device
+	// and Collect are ignored.
 	Policy core.SchedPolicy
-	// Collect routes the replay through biotracer.Collect (the §II-C
-	// trace-collection path) instead of core.ReplayObserved. The result
-	// carries the Overhead instead of Metrics.
+	// Collect routes the replay through biotracer.CollectStream (the §II-C
+	// trace-collection path) instead of the plain streaming replay. The
+	// result carries the Overhead instead of Metrics.
 	Collect bool
+	// WantTrace materializes the replayed request sequence into the
+	// result's Trace — only for consumers that genuinely need the
+	// requests; everything statistical should use WantStats instead.
+	WantTrace bool
+	// WantStats feeds every completed request into an online
+	// analysis.Accumulator exposed as the result's Stats: Table III/IV
+	// columns, the Figs. 4–7 histograms and the §III-C localities in one
+	// pass, no materialized trace.
+	WantStats bool
 }
 
 // ReplayResult is one job's outcome. Metrics is set for plain and scheduled
-// replays, Overhead for Collect jobs. Trace is the job's private copy with
-// replayed timestamps filled in; Device is the device the job ran on (nil
-// for scheduled replays), so callers can read wear, FTL, or cache state.
+// replays, Overhead for Collect jobs. Trace is the replayed request
+// sequence (nil unless the job set WantTrace), Stats the online
+// accumulator (nil unless WantStats). Device is the device the job ran on
+// (nil for scheduled replays), so callers can read wear, FTL, or cache
+// state.
 type ReplayResult struct {
 	Metrics  core.Metrics
 	Overhead biotracer.Overhead
 	Trace    *trace.Trace
+	Stats    *analysis.Accumulator
 	Device   *emmc.Device
 }
 
@@ -55,10 +78,10 @@ func (e *Env) Runner() *runner.Runner {
 }
 
 // Replays executes the plan on the env's worker pool and returns results in
-// plan order — bit-identical at any pool width, since each job replays a
-// private trace copy on its own fresh device. The env's Telemetry and
-// Tracer are attached to every device-backed replay, observed and
-// collection paths alike.
+// plan order — bit-identical at any pool width, since each job replays its
+// own stream on its own fresh device. The env's Telemetry and Tracer are
+// attached to every device-backed replay, observed and collection paths
+// alike.
 func (e *Env) Replays(sweep string, jobs []ReplayJob) ([]ReplayResult, error) {
 	return runner.Map(e.Runner(), sweep, jobs, func(_ int, j ReplayJob) (ReplayResult, error) {
 		return e.replay(j)
@@ -69,13 +92,54 @@ func (e *Env) replay(j ReplayJob) (ReplayResult, error) {
 	if e.Faults != nil && j.Options.Faults == nil && j.Device == nil {
 		j.Options.Faults = e.Faults
 	}
-	tr := e.Trace(j.Trace)
+	var st trace.Stream
 	if j.Prepare != nil {
-		tr = j.Prepare(tr)
+		// Whole-trace transforms get a private materialized copy; this is
+		// the only sweep path that still clones.
+		st = trace.FromSlice(j.Prepare(e.Trace(j.Trace)))
+	} else {
+		st = e.Stream(j.Trace)
 	}
+	if j.PrepareStream != nil {
+		st = j.PrepareStream(st)
+	}
+
+	var res ReplayResult
+	var sinks []func(trace.Request) error
+	if j.WantStats {
+		res.Stats = analysis.NewAccumulator(st.Name())
+		sinks = append(sinks, func(r trace.Request) error { res.Stats.Add(r); return nil })
+	}
+	if j.WantTrace {
+		res.Trace = &trace.Trace{Name: st.Name()}
+		sinks = append(sinks, func(r trace.Request) error {
+			res.Trace.Reqs = append(res.Trace.Reqs, r)
+			return nil
+		})
+	}
+	var sink func(trace.Request) error
+	switch len(sinks) {
+	case 1:
+		sink = sinks[0]
+	case 2:
+		sink = func(r trace.Request) error {
+			for _, s := range sinks {
+				if err := s(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
 	if j.Policy != core.SchedFIFO {
-		m, err := core.ReplayScheduled(j.Scheme, j.Options, tr, j.Policy)
-		return ReplayResult{Metrics: m, Trace: tr}, err
+		m, err := core.ReplayScheduledStream(j.Scheme, j.Options, st, j.Policy, sink)
+		res.Metrics = m
+		if res.Trace != nil {
+			// The sink saw dispatch order; restore arrival order.
+			res.Trace.SortByArrival()
+		}
+		return res, err
 	}
 	var dev *emmc.Device
 	var err error
@@ -87,14 +151,14 @@ func (e *Env) replay(j ReplayJob) (ReplayResult, error) {
 	if err != nil {
 		return ReplayResult{}, err
 	}
-	res := ReplayResult{Trace: tr, Device: dev}
+	res.Device = dev
 	if j.Collect {
 		if e.Telemetry != nil || e.Tracer != nil {
 			dev.SetTelemetry(e.Telemetry, e.Tracer)
 		}
-		res.Overhead, err = biotracer.Collect(dev, tr)
+		res.Overhead, err = biotracer.CollectStream(dev, st, sink)
 		return res, err
 	}
-	res.Metrics, err = core.ReplayObserved(dev, j.Scheme, tr, e.Telemetry, e.Tracer)
+	res.Metrics, err = core.ReplayStreamSink(dev, j.Scheme, st, e.Telemetry, e.Tracer, sink)
 	return res, err
 }

@@ -9,7 +9,6 @@ import (
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
 	"emmcio/internal/runner"
-	"emmcio/internal/trace"
 )
 
 // TableI renders the application roster (Table I of the paper).
@@ -121,10 +120,11 @@ type TableIIIResult struct {
 // is the cost, so the per-trace analyses run on the env's worker pool.
 func TableIII(env *Env) TableIIIResult {
 	names := paper.AllTraces
-	// The job function cannot fail, so the aggregated error is always nil.
+	// Env streams never fail (generation is in-process), so the aggregated
+	// error is always nil.
 	measured, _ := runner.Map(env.Runner(), "tableIII", names,
 		func(_ int, name string) (analysis.SizeStats, error) {
-			return analysis.SizeStatsOf(env.Trace(name)), nil
+			return analysis.SizeStatsOfStream(env.Stream(name))
 		})
 	res := TableIIIResult{Names: names, Measured: measured}
 	for _, name := range names {
@@ -169,7 +169,8 @@ func TableIV(env *Env) (TableIVResult, error) {
 	names := paper.AllTraces
 	jobs := make([]ReplayJob, len(names))
 	for i, name := range names {
-		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(), Collect: true}
+		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(),
+			Collect: true, WantStats: true}
 	}
 	results, err := env.Replays("tableIV", jobs)
 	if err != nil {
@@ -177,7 +178,7 @@ func TableIV(env *Env) (TableIVResult, error) {
 	}
 	res := TableIVResult{Names: names}
 	for i, name := range names {
-		res.Measured = append(res.Measured, analysis.TimingStatsOf(results[i].Trace))
+		res.Measured = append(res.Measured, results[i].Stats.Timing())
 		res.Published = append(res.Published, paper.TableIV[name])
 		res.Overheads = append(res.Overheads, results[i].Overhead)
 	}
@@ -276,22 +277,24 @@ func (r OverheadResult) Render() *report.Table {
 }
 
 // Characteristics replays the 18 individual traces on the measured device
-// and evaluates the paper's six characteristics on the results.
+// and evaluates the paper's six characteristics on the results. Each replay
+// streams through an online accumulator — no trace is materialized.
 func Characteristics(env *Env) ([]analysis.Finding, error) {
 	names := paper.IndividualApps
 	jobs := make([]ReplayJob, len(names))
 	for i, name := range names {
-		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(), Collect: true}
+		jobs[i] = ReplayJob{Trace: name, Scheme: core.Scheme4PS, Options: MeasuredDeviceOptions(),
+			Collect: true, WantStats: true}
 	}
 	results, err := env.Replays("characteristics", jobs)
 	if err != nil {
 		return nil, err
 	}
-	traces := make([]*trace.Trace, len(results))
+	rows := make([]analysis.TraceSummary, len(results))
 	for i := range results {
-		traces[i] = results[i].Trace
+		rows[i] = results[i].Stats.Summary()
 	}
-	return analysis.EvaluateCharacteristics(traces), nil
+	return analysis.EvaluateCharacteristicsFrom(rows), nil
 }
 
 // RenderFindings renders characteristic findings as a table.

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// OnlineSummary computes Summary order statistics over a sample stream in
+// bounded memory. Below the retention cap it simply keeps the samples, and
+// Summary() is bit-identical to Summarize over the same sequence. Past the
+// cap it stops retaining individual samples and falls back to a geometric
+// (HDR-style) bucket sketch for the percentiles: count, mean, min, max and
+// the standard deviation stay exact (they come from running sums), while
+// P50/P95/P99 become estimates with a bounded relative error set by the
+// sub-bucket resolution (32 sub-buckets per octave, about 3%).
+//
+// This is what lets cmd/tracestat and cmd/tracediff report percentiles over
+// arbitrarily long traces without materializing them.
+type OnlineSummary struct {
+	cap     int
+	samples []int64 // retained while len < cap; nil once sketching
+
+	// Running moments — always exact, accumulated in arrival order with the
+	// same float operation order as Summarize.
+	count int
+	sum   float64
+	sq    float64
+	min   int64
+	max   int64
+
+	// Geometric sketch, engaged only past the cap. Non-positive samples
+	// (possible for deltas) land in the dedicated low bucket.
+	sketch []int64
+	lowN   int64
+}
+
+// DefaultOnlineCap retains up to 64 Ki samples (512 KB) before switching to
+// the sketch — large enough that every generated workload in the repository
+// stays in the exact regime.
+const DefaultOnlineCap = 1 << 16
+
+// sketch geometry: 64 octaves x 32 sub-buckets.
+const (
+	sketchSubBits = 5
+	sketchBuckets = 64 << sketchSubBits
+)
+
+// NewOnlineSummary builds an OnlineSummary with the given retention cap;
+// zero or negative means DefaultOnlineCap.
+func NewOnlineSummary(capSamples int) *OnlineSummary {
+	if capSamples <= 0 {
+		capSamples = DefaultOnlineCap
+	}
+	return &OnlineSummary{cap: capSamples}
+}
+
+// Add records one sample.
+func (o *OnlineSummary) Add(v int64) {
+	if o.count == 0 {
+		o.min, o.max = v, v
+	} else {
+		if v < o.min {
+			o.min = v
+		}
+		if v > o.max {
+			o.max = v
+		}
+	}
+	o.count++
+	f := float64(v)
+	o.sum += f
+	o.sq += f * f
+
+	if o.sketch == nil {
+		if len(o.samples) < o.cap {
+			o.samples = append(o.samples, v)
+			return
+		}
+		// Cap reached: spill the retained samples into the sketch and
+		// release them.
+		o.sketch = make([]int64, sketchBuckets)
+		for _, s := range o.samples {
+			o.bucket(s)
+		}
+		o.samples = nil
+	}
+	o.bucket(v)
+}
+
+func (o *OnlineSummary) bucket(v int64) {
+	if v <= 0 {
+		o.lowN++
+		return
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	var sub int64
+	if exp > sketchSubBits {
+		sub = (v >> (uint(exp) - sketchSubBits)) & ((1 << sketchSubBits) - 1)
+	} else {
+		sub = (v << (sketchSubBits - uint(exp))) & ((1 << sketchSubBits) - 1)
+	}
+	o.sketch[(int64(exp)<<sketchSubBits)|sub]++
+}
+
+// bucketValue returns the representative (upper-edge) value of bucket i:
+// 2^exp * (1 + (sub+1)/32).
+func bucketValue(i int) int64 {
+	exp := uint(i >> sketchSubBits)
+	mantissa := int64(1<<sketchSubBits) + int64(i&((1<<sketchSubBits)-1)) + 1
+	if exp <= sketchSubBits {
+		return mantissa >> (sketchSubBits - exp)
+	}
+	return mantissa << (exp - sketchSubBits)
+}
+
+// Count returns the number of samples recorded.
+func (o *OnlineSummary) Count() int { return o.count }
+
+// Exact reports whether Summary() is still bit-identical to Summarize over
+// the recorded sequence.
+func (o *OnlineSummary) Exact() bool { return o.sketch == nil }
+
+// Summary returns the order statistics accumulated so far.
+func (o *OnlineSummary) Summary() Summary {
+	if o.sketch == nil {
+		return Summarize(o.samples)
+	}
+	s := Summary{Count: o.count, Min: o.min, Max: o.max}
+	n := float64(o.count)
+	s.Mean = o.sum / n
+	variance := o.sq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	s.P50 = o.percentile(0.50)
+	s.P95 = o.percentile(0.95)
+	s.P99 = o.percentile(0.99)
+	return s
+}
+
+// percentile walks the sketch to the bucket holding the p-th sample, using
+// the same ceil-rank convention as percentileSorted, and clamps to the exact
+// observed extremes.
+func (o *OnlineSummary) percentile(p float64) int64 {
+	rank := int64(math.Ceil(p * float64(o.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := o.lowN
+	if cum >= rank {
+		return o.min
+	}
+	for i, c := range o.sketch {
+		cum += c
+		if cum >= rank {
+			v := bucketValue(i)
+			if v > o.max {
+				v = o.max
+			}
+			if v < o.min {
+				v = o.min
+			}
+			return v
+		}
+	}
+	return o.max
+}
+
+// IndexOfDispersion returns the variance-to-mean ratio of the samples, with
+// the same float operation order as the batch IndexOfDispersion — exact in
+// both regimes, since it needs only the running sums.
+func (o *OnlineSummary) IndexOfDispersion() float64 {
+	if o.count == 0 {
+		return 0
+	}
+	n := float64(o.count)
+	mean := o.sum / n
+	if mean == 0 {
+		return 0
+	}
+	variance := o.sq/n - mean*mean
+	return variance / mean
+}
+
+// OnlineCorrelation accumulates the Pearson correlation of two paired series
+// in O(1) memory with the same float operation order as Correlation, so the
+// result is bit-identical to the batch function over the same sequence.
+type OnlineCorrelation struct {
+	n                     int
+	sx, sy, sxx, sy2, sxy float64
+}
+
+// Add records one (x, y) pair.
+func (c *OnlineCorrelation) Add(x, y float64) {
+	c.n++
+	c.sx += x
+	c.sy += y
+	c.sxx += x * x
+	c.sy2 += y * y
+	c.sxy += x * y
+}
+
+// Value returns the correlation coefficient, or 0 when undefined.
+func (c *OnlineCorrelation) Value() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	n := float64(c.n)
+	cov := c.sxy/n - c.sx/n*c.sy/n
+	vx := c.sxx/n - c.sx/n*c.sx/n
+	vy := c.sy2/n - c.sy/n*c.sy/n
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

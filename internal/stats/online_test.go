@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOnlineSummaryExactBelowCap(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var samples []int64
+	o := NewOnlineSummary(1000)
+	for i := 0; i < 999; i++ {
+		v := int64(r.Intn(5_000_000)) - 1000 // include non-positive values
+		samples = append(samples, v)
+		o.Add(v)
+	}
+	if !o.Exact() {
+		t.Fatal("summary left the exact regime below its cap")
+	}
+	if got, want := o.Summary(), Summarize(samples); got != want {
+		t.Fatalf("exact-regime Summary diverges from Summarize:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestOnlineSummarySketchAboveCap(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var samples []int64
+	o := NewOnlineSummary(512)
+	for i := 0; i < 20_000; i++ {
+		// Log-uniform over ~5 decades, the shape of latency data.
+		v := int64(math.Exp(r.Float64()*11)) + 1
+		samples = append(samples, v)
+		o.Add(v)
+	}
+	if o.Exact() {
+		t.Fatal("summary still claims exactness past its cap")
+	}
+	got, want := o.Summary(), Summarize(samples)
+	if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("count/min/max must stay exact in the sketch regime: got %+v want %+v", got, want)
+	}
+	if got.Mean != want.Mean {
+		t.Fatalf("mean must stay exact (running sum): got %v want %v", got.Mean, want.Mean)
+	}
+	// Percentiles are estimates with ~3% relative error from the 32
+	// sub-bucket geometry; allow 2 bucket widths of slack.
+	for _, p := range []struct {
+		name      string
+		got, want int64
+	}{{"P50", got.P50, want.P50}, {"P95", got.P95, want.P95}, {"P99", got.P99, want.P99}} {
+		rel := math.Abs(float64(p.got)-float64(p.want)) / float64(p.want)
+		if rel > 0.07 {
+			t.Errorf("%s estimate %d vs exact %d: %.1f%% off, tolerance 7%%", p.name, p.got, p.want, rel*100)
+		}
+	}
+}
+
+func TestOnlineSummaryPercentileClampsToExtremes(t *testing.T) {
+	o := NewOnlineSummary(4)
+	for _, v := range []int64{100, 100, 100, 100, 100, 100, 100, 100} {
+		o.Add(v)
+	}
+	s := o.Summary()
+	if s.P50 < s.Min || s.P99 > s.Max {
+		t.Fatalf("sketch percentiles escaped [min, max]: %+v", s)
+	}
+}
+
+func TestOnlineSummaryEmpty(t *testing.T) {
+	o := NewOnlineSummary(0)
+	if got, want := o.Summary(), Summarize(nil); got != want {
+		t.Fatalf("empty summary: got %+v want %+v", got, want)
+	}
+}
+
+func TestOnlineIndexOfDispersionMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var samples []int64
+	o := NewOnlineSummary(16) // force the sketch regime: IoD must stay exact
+	for i := 0; i < 5000; i++ {
+		v := int64(r.Intn(1_000_000))
+		samples = append(samples, v)
+		o.Add(v)
+	}
+	if got, want := o.IndexOfDispersion(), IndexOfDispersion(samples); got != want {
+		t.Fatalf("online IoD %v != batch %v (must be bit-identical)", got, want)
+	}
+}
+
+func TestOnlineCorrelationMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var xs, ys []float64
+	var c OnlineCorrelation
+	for i := 0; i < 5000; i++ {
+		x := r.Float64() * 100
+		y := 3*x + r.Float64()*40
+		xs = append(xs, x)
+		ys = append(ys, y)
+		c.Add(x, y)
+	}
+	if got, want := c.Value(), Correlation(xs, ys); got != want {
+		t.Fatalf("online correlation %v != batch %v (must be bit-identical)", got, want)
+	}
+}
+
+func TestOnlineCorrelationDegenerate(t *testing.T) {
+	var c OnlineCorrelation
+	if c.Value() != 0 {
+		t.Fatal("empty correlation should be 0")
+	}
+	for i := 0; i < 10; i++ {
+		c.Add(5, float64(i))
+	}
+	if c.Value() != 0 {
+		t.Fatal("zero-variance x should give correlation 0")
+	}
+}

@@ -101,6 +101,10 @@ var binMagic = [4]byte{'B', 'I', 'O', '1'}
 // recordSize is the on-disk size of one binary record.
 const recordSize = 8 + 8 + 4 + 1 + 8 + 8
 
+// maxReasonableRecords caps header-declared record counts: a corrupt or
+// hostile header must not drive allocation or loop bounds.
+const maxReasonableRecords = 1 << 28
+
 // WriteBinary serializes the trace in the binary format.
 func WriteBinary(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
@@ -169,20 +173,30 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	}
 	off += int64(len(count))
 	n := binary.LittleEndian.Uint64(count[:])
-	const maxReasonable = 1 << 28
-	if n > maxReasonable {
+	// A streaming writer that could not seek back leaves the sentinel count:
+	// records then run to end of stream.
+	streaming := n == StreamingCount
+	if !streaming && n > maxReasonableRecords {
 		return nil, fmt.Errorf("trace: implausible record count %d", n)
 	}
 	// The count is attacker-controlled until the records back it up: cap the
 	// preallocation so a short hostile header cannot demand gigabytes.
 	prealloc := n
-	if prealloc > 1<<20 {
+	if streaming {
+		prealloc = 0 // unknown length: let append grow the slice
+	} else if prealloc > 1<<20 {
 		prealloc = 1 << 20
 	}
 	t := &Trace{Name: string(name), Reqs: make([]Request, 0, prealloc)}
 	var rec [recordSize]byte
-	for i := uint64(0); i < n; i++ {
+	for i := uint64(0); streaming || i < n; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if streaming && err == io.EOF {
+				break // clean end at a record boundary
+			}
+			if streaming {
+				return nil, fmt.Errorf("trace: record %d at offset %d: %w", i, off, err)
+			}
 			return nil, fmt.Errorf("trace: record %d of %d at offset %d: %w", i, n, off, err)
 		}
 		req := Request{

@@ -118,16 +118,25 @@ func ReadCompressed(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	const maxReasonable = 1 << 28
-	if count > maxReasonable {
+	// StreamingCount marks a writer that could not know the count upfront:
+	// records then run to end of stream.
+	streaming := count == StreamingCount
+	if !streaming && count > maxReasonableRecords {
 		return nil, fmt.Errorf("trace: implausible record count %d", count)
 	}
-	t := &Trace{Name: string(name), Reqs: make([]Request, 0, count)}
+	prealloc := count
+	if streaming {
+		prealloc = 0
+	}
+	t := &Trace{Name: string(name), Reqs: make([]Request, 0, prealloc)}
 	var prevArrival int64
 	var prevEnd uint64
-	for i := uint64(0); i < count; i++ {
+	for i := uint64(0); streaming || i < count; i++ {
 		arrivalDelta, err := binary.ReadUvarint(br)
 		if err != nil {
+			if streaming && err == io.EOF {
+				break // clean end at a record boundary
+			}
 			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
 		lbaDelta, err := binary.ReadVarint(br)

@@ -80,6 +80,17 @@ func (p *Profile) Generate(seed uint64) *trace.Trace {
 	return p.generateOnce(seed, adj)
 }
 
+// Stream returns the profile's generated trace as a lazily materialized
+// trace.Stream: nothing is generated until the first pull, each call owns a
+// private copy (no shared cache entry to clone), and the memory is
+// reclaimed when the caller drops the stream. Generation itself is
+// inherently whole-trace — the temporal-locality calibration is a two-pass
+// fit over the finished request sequence — so streaming generation means
+// deferring and privatizing that allocation, not avoiding it.
+func (p *Profile) Stream(seed uint64) trace.Stream {
+	return trace.Generated(p.Name, func() *trace.Trace { return p.Generate(seed) })
+}
+
 // measureTemporal applies the paper's temporal-locality definition
 // (duplicated from internal/stats to avoid an import cycle).
 func measureTemporal(t *trace.Trace) float64 {
