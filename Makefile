@@ -6,7 +6,7 @@ GO ?= go
 # (TestTelemetryOverheadBudget fails if disabled telemetry shifts the
 # mean response time by 5% or more — it must be exactly 0).
 .PHONY: check
-check: vet build runner-race faults-race stream-race race overhead
+check: vet build runner-race faults-race stream-race server-race race overhead
 
 .PHONY: vet
 vet:
@@ -16,8 +16,9 @@ vet:
 build:
 	$(GO) build ./...
 
+# Tier-1 gate: vet, full build, full test suite.
 .PHONY: test
-test:
+test: vet build
 	$(GO) test ./...
 
 .PHONY: race
@@ -42,6 +43,13 @@ faults-race:
 .PHONY: stream-race
 stream-race:
 	$(GO) test -race -run 'Stream|Online|Accumulator|Repeat|Merge' ./internal/trace ./internal/core ./internal/stats ./internal/analysis ./internal/experiments
+
+# The job service under the race detector: queue backpressure, mid-replay
+# cancellation, drain-on-shutdown, and the 64-way concurrent submission
+# load test (scheduling varies between runs, hence -count=2).
+.PHONY: server-race
+server-race:
+	$(GO) test -race -count=2 ./internal/server
 
 .PHONY: overhead
 overhead:

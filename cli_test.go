@@ -12,14 +12,14 @@ import (
 	"testing"
 )
 
-// buildCLIs compiles all four binaries into a temp dir, once per test run.
+// buildCLIs compiles every binary into a temp dir, once per test run.
 func buildCLIs(t *testing.T) string {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("builds and runs binaries")
 	}
 	dir := t.TempDir()
-	for _, tool := range []string{"biotracer", "tracestat", "emmcsim", "experiments", "tracediff"} {
+	for _, tool := range []string{"biotracer", "tracestat", "emmcsim", "experiments", "tracediff", "emmcd"} {
 		bin := filepath.Join(dir, tool)
 		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+tool)
 		cmd.Env = os.Environ()

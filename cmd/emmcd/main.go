@@ -1,0 +1,82 @@
+// Command emmcd serves the repository's replay and experiment machinery as
+// a long-running HTTP/JSON job service:
+//
+//	emmcd -addr :8080
+//	curl -d '{"app":"Twitter","scheme":"HPS"}' localhost:8080/v1/replays
+//	curl localhost:8080/v1/jobs/j1
+//	curl -d '{"sweeps":["casestudy"]}'        localhost:8080/v1/sweeps
+//	curl -d '{"app":"Movie","format":"text"}' localhost:8080/v1/traces
+//	curl localhost:8080/metrics
+//
+// Replay and sweep submissions are asynchronous jobs on a bounded queue
+// (full queue = 429) executed by a fixed worker pool; results are
+// bit-identical to the equivalent emmcsim/experiments invocation. SIGINT/
+// SIGTERM stops admissions, cancels queued jobs, and drains in-flight ones
+// before exiting. See docs/SERVER.md for the API reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"emmcio/internal/cliutil"
+	"emmcio/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	queue := flag.Int("queue", 64, "bounded pending-job queue depth (full = 429)")
+	jobs := flag.Int("jobs", 2, "jobs executing concurrently")
+	workers := flag.Int("j", 0, "per-job sweep pool width (0 = GOMAXPROCS)")
+	results := flag.Int("results", 64, "terminal jobs kept queryable before eviction")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job deadline (negative = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight jobs before they are canceled")
+	flag.Parse()
+
+	svc := server.New(server.Config{
+		QueueDepth: *queue,
+		Workers:    *jobs,
+		JobWorkers: *workers,
+		ResultCap:  *results,
+		JobTimeout: *jobTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "emmcd: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "emmcd: %v: draining (up to %s)\n", sig, *drainTimeout)
+	case err := <-errc:
+		// Listener died on its own (port taken, socket error): nothing to
+		// drain that matters, report and exit non-zero.
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop admissions and drain jobs first, then close the listener: a
+	// client polling a draining job keeps getting status until the end.
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "emmcd: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "emmcd: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "emmcd: bye")
+}
+
+func fatal(err error) { cliutil.Fatal("emmcd", err) }

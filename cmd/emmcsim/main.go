@@ -5,133 +5,82 @@
 //	emmcsim -in twitter.trace -scheme HPS
 //	emmcsim -app Twitter -gc idle -buffer 16
 //	emmcsim -app Twitter -scheme HPS -metrics out.prom -trace out.json
+//	emmcsim -app Twitter -json            # machine-readable metrics
 //
 // Each scheme job builds its own request stream — file traces are decoded
 // incrementally (text, BIO1, BIOZ) and -o output is written as requests
 // complete — so replay memory is O(in-flight), not O(trace length).
+//
+// The workload and device flags are two views of cliutil.ReplaySpec — the
+// same struct the emmcd server decodes from JSON — so a flag and its JSON
+// field cannot drift, and -json output is byte-comparable to a server
+// replay job's results.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
+	"emmcio/internal/cliutil"
 	"emmcio/internal/core"
 	"emmcio/internal/emmc"
-	"emmcio/internal/faults"
-	"emmcio/internal/ftl"
 	"emmcio/internal/report"
 	"emmcio/internal/runner"
-	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 	"emmcio/internal/workload"
 )
 
 func main() {
-	app := flag.String("app", "", "built-in application workload to replay")
+	var spec cliutil.ReplaySpec
+	spec.BindFlags(flag.CommandLine)
+	var obs cliutil.Observability
+	obs.Bind(flag.CommandLine)
 	tracePath := flag.String("in", "", "trace file to replay (text or binary)")
 	profilePath := flag.String("profile", "", "JSON workload profile to generate and replay")
-	schemeFlag := flag.String("scheme", "all", "4PS, 8PS, HPS, or all")
-	gc := flag.String("gc", "foreground", "GC policy: foreground or idle")
-	bufferMB := flag.Int("buffer", 0, "device RAM buffer size in MB (0 = disabled, as in the paper)")
-	power := flag.Bool("power", false, "enable the low-power mode model")
-	seed := flag.Uint64("seed", workload.DefaultSeed, "workload generation seed")
-	wear := flag.String("wear", "round-robin", "wear leveling: round-robin, none, or static")
-	sessions := flag.Int("sessions", 1, "replay the trace N times back to back (device ages)")
-	scale := flag.Float64("scale", 1.0, "compress arrival times by this factor (<1 raises the rate)")
-	shrink := flag.Int("shrink", 0, "divide per-plane block count (GC-pressure studies)")
 	loadDev := flag.String("load", "", "restore the device from a snapshot file (single scheme only)")
 	saveDev := flag.String("save", "", "snapshot the device after the replay (single scheme only)")
 	outTrace := flag.String("o", "", "write the replayed (timestamped) trace to this file (single scheme only; feed pairs to tracediff)")
-	metricsPath := flag.String("metrics", "", "write Prometheus text-format metrics here (single scheme only)")
-	chromeTrace := flag.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) here (single scheme only)")
-	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultTracerCapacity, "tracer ring-buffer capacity in events")
-	workers := flag.Int("j", 0, "replay the schemes on this many workers (0 = GOMAXPROCS); results are identical at any width")
-	faultRate := flag.Float64("faults", 0, "fault-injection rate multiplier (0 = perfect hardware)")
-	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection decision seed (requires -faults > 0)")
+	asJSON := flag.Bool("json", false, "emit per-scheme metrics as JSON instead of a table")
 	flag.Parse()
 
-	faultCfg, err := faultConfig(*faultRate, *faultSeed)
+	spec.Normalize()
+	opt, err := spec.DeviceOptions()
+	if err != nil {
+		fatal(err)
+	}
+	schemes, err := spec.Schemes()
+	if err != nil {
+		fatal(err)
+	}
+	name, source, err := traceSource(spec.App, *tracePath, *profilePath, spec.Seed)
 	if err != nil {
 		fatal(err)
 	}
 
-	name, source, err := traceSource(*app, *tracePath, *profilePath, *seed)
-	if err != nil {
-		fatal(err)
-	}
-
-	var schemes []core.Scheme
-	switch strings.ToUpper(*schemeFlag) {
-	case "ALL":
-		schemes = core.Schemes
-	case "4PS":
-		schemes = []core.Scheme{core.Scheme4PS}
-	case "8PS":
-		schemes = []core.Scheme{core.Scheme8PS}
-	case "HPS":
-		schemes = []core.Scheme{core.SchemeHPS}
-	default:
-		fatal(fmt.Errorf("unknown scheme %q", *schemeFlag))
-	}
-
-	opt := core.CaseStudyOptions()
-	opt.PowerSaving = *power
-	opt.RAMBufferBytes = int64(*bufferMB) << 20
-	opt.ScaleBlocks = *shrink
-	opt.Faults = faultCfg
-	switch *gc {
-	case "foreground":
-		opt.GCPolicy = emmc.GCForeground
-	case "idle":
-		opt.GCPolicy = emmc.GCIdle
-	default:
-		fatal(fmt.Errorf("unknown GC policy %q", *gc))
-	}
-	switch *wear {
-	case "round-robin":
-		opt.Wear = ftl.WearRoundRobin
-	case "none":
-		opt.Wear = ftl.WearNone
-	case "static":
-		opt.Wear = ftl.WearStatic
-	default:
-		fatal(fmt.Errorf("unknown wear policy %q", *wear))
-	}
-
-	if (*loadDev != "" || *saveDev != "" || *outTrace != "" || *metricsPath != "" || *chromeTrace != "") && len(schemes) != 1 {
+	if (*loadDev != "" || *saveDev != "" || *outTrace != "" || obs.MetricsPath != "" || obs.TracePath != "") && len(schemes) != 1 {
 		fatal(fmt.Errorf("-load/-save/-o/-metrics/-trace require a single -scheme"))
 	}
 
 	// Observability is off unless an export was requested.
-	var reg *telemetry.Registry
-	var tracer *telemetry.Tracer
-	if *metricsPath != "" {
-		reg = telemetry.NewRegistry()
-	}
-	if *chromeTrace != "" {
-		tracer = telemetry.NewTracer(*traceBuffer)
-	}
+	reg := obs.Registry()
+	tracer := obs.Tracer()
 
 	// Each scheme replays as one job on the shared worker pool, pulling its
 	// own private stream (streams are single-goroutine). The side-effectful
 	// flags (-load/-save/-o/-metrics/-trace) are restricted to a single scheme
 	// above, so file writes inside the job cannot race.
-	metrics, err := runner.Map(runner.New(*workers).Observe(reg), "emmcsim", schemes,
-		func(_ int, s core.Scheme) (core.Metrics, error) {
+	metrics, err := runner.MapContext(context.Background(), runner.New(obs.Workers).Observe(reg), "emmcsim", schemes,
+		func(ctx context.Context, _ int, s core.Scheme) (core.Metrics, error) {
 			st, done, err := source()
 			if err != nil {
 				return core.Metrics{}, err
 			}
 			defer done()
-			if *scale != 1.0 {
-				st = trace.ScaleStream(st, *scale)
-			}
-			if *sessions > 1 {
-				st = trace.Repeat(st, *sessions, 1_000_000_000)
-			}
-			st = trace.ClearStream(st)
+			st = spec.PrepareStream(st)
 			var dev *emmc.Device
 			if *loadDev != "" {
 				f, err := os.Open(*loadDev)
@@ -175,7 +124,7 @@ func main() {
 					return f.Close()
 				}
 			}
-			m, err := core.ReplayStreamSink(dev, s, st, reg, tracer, sink)
+			m, err := core.ReplayStreamSinkContext(ctx, dev, s, st, reg, tracer, sink)
 			if err != nil {
 				return core.Metrics{}, err
 			}
@@ -203,53 +152,43 @@ func main() {
 		fatal(err)
 	}
 
-	tab := report.NewTable(fmt.Sprintf("Replay of %s (%d requests)", name, metrics[0].Served),
-		"Scheme", "MRT(ms)", "MeanServ(ms)", "NoWait%", "SpaceUtil", "WA", "GCStall(ms)", "IdleGC(ms)")
-	for i, s := range schemes {
-		m := metrics[i]
-		tab.AddRow(s.String(),
-			report.F(m.MeanResponseNs/1e6, 3),
-			report.F(m.MeanServiceNs/1e6, 3),
-			report.Pct(m.NoWaitRatio, 1),
-			report.F(m.SpaceUtilization, 4),
-			report.F(m.WriteAmplification, 3),
-			report.F(float64(m.GCStallNs)/1e6, 1),
-			report.F(float64(m.IdleGCNs)/1e6, 1))
-	}
-	if err := tab.WriteText(os.Stdout); err != nil {
-		fatal(err)
+	if *asJSON {
+		results := make([]cliutil.SchemeResult, len(schemes))
+		for i, s := range schemes {
+			results[i] = cliutil.SchemeResult{Scheme: s.String(), Metrics: metrics[i]}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal(err)
+		}
+	} else {
+		tab := report.NewTable(fmt.Sprintf("Replay of %s (%d requests)", name, metrics[0].Served),
+			"Scheme", "MRT(ms)", "MeanServ(ms)", "NoWait%", "SpaceUtil", "WA", "GCStall(ms)", "IdleGC(ms)")
+		for i, s := range schemes {
+			m := metrics[i]
+			tab.AddRow(s.String(),
+				report.F(m.MeanResponseNs/1e6, 3),
+				report.F(m.MeanServiceNs/1e6, 3),
+				report.Pct(m.NoWaitRatio, 1),
+				report.F(m.SpaceUtilization, 4),
+				report.F(m.WriteAmplification, 3),
+				report.F(float64(m.GCStallNs)/1e6, 1),
+				report.F(float64(m.IdleGCNs)/1e6, 1))
+		}
+		if err := tab.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 
-	if *metricsPath != "" {
-		f, err := os.Create(*metricsPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := reg.WritePrometheus(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsPath)
+	// In -json mode stdout carries only the result array (so it stays
+	// byte-comparable with a server job result); the summary moves aside.
+	flushOut := io.Writer(os.Stdout)
+	if *asJSON {
+		flushOut = os.Stderr
 	}
-	if *chromeTrace != "" {
-		f, err := os.Create(*chromeTrace)
-		if err != nil {
-			fatal(err)
-		}
-		if err := tracer.WriteChromeTrace(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "chrome trace written to %s (open in ui.perfetto.dev)\n", *chromeTrace)
-	}
-	if reg != nil || tracer != nil {
-		if err := telemetry.WriteSummary(os.Stdout, reg, tracer); err != nil {
-			fatal(err)
-		}
+	if err := obs.Flush(flushOut); err != nil {
+		fatal(err)
 	}
 }
 
@@ -331,39 +270,4 @@ func probeName(path string) (string, error) {
 	return path, nil
 }
 
-// faultConfig validates the fault flags up front, before any trace is
-// loaded or device built, so a bad value is a one-line usage error instead
-// of a mid-replay failure. A -fault-seed without fault injection enabled is
-// almost certainly a typo'd invocation, so it is rejected too.
-func faultConfig(rate float64, seed uint64) (*faults.Config, error) {
-	seedSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "fault-seed" {
-			seedSet = true
-		}
-	})
-	if rate == 0 {
-		if seedSet {
-			return nil, fmt.Errorf("-fault-seed set but fault injection is off; pass -faults > 0")
-		}
-		return nil, nil
-	}
-	cfg := &faults.Config{Seed: seed, Rate: rate}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	return cfg, nil
-}
-
-// fatal prints a one-line diagnosis and exits 1. Replay errors can be
-// multi-line aggregates (errors.Join across sweep jobs); the first line
-// names the failure and the rest is noise at the CLI, so it is folded into
-// a count.
-func fatal(err error) {
-	msg := err.Error()
-	if i := strings.IndexByte(msg, '\n'); i >= 0 {
-		msg = fmt.Sprintf("%s (+%d more lines)", msg[:i], strings.Count(msg[i:], "\n"))
-	}
-	fmt.Fprintln(os.Stderr, "emmcsim:", msg)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal("emmcsim", err) }

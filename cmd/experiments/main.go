@@ -23,10 +23,9 @@ import (
 	"path/filepath"
 	"strings"
 
+	"emmcio/internal/cliutil"
 	"emmcio/internal/experiments"
-	"emmcio/internal/faults"
 	"emmcio/internal/report"
-	"emmcio/internal/telemetry"
 	"emmcio/internal/workload"
 )
 
@@ -36,16 +35,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	md := flag.Bool("md", false, "emit Markdown tables instead of aligned text")
 	fig3Reqs := flag.Int("fig3-reqs", 8, "requests per Fig. 3 sweep point")
-	workers := flag.Int("j", 0, "sweep worker pool width (0 = GOMAXPROCS); results are identical at any width")
 	svgDir := flag.String("svg", "", "also write the figures as SVG files into this directory")
-	metricsPath := flag.String("metrics", "", "write Prometheus metrics from the replay sweeps here")
-	chromeTrace := flag.String("trace", "", "write a Chrome trace_event JSON of the replay sweeps here")
-	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultTracerCapacity, "tracer ring-buffer capacity in events")
-	faultRate := flag.Float64("faults", 0, "inject hardware faults at this rate multiplier into every replay (0 = perfect hardware)")
-	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection decision seed (requires -faults > 0)")
+	var obs cliutil.Observability
+	obs.Bind(flag.CommandLine)
+	var faultFlags cliutil.FaultFlags
+	faultFlags.Bind(flag.CommandLine)
 	flag.Parse()
 
-	faultCfg, err := faultConfig(*faultRate, *faultSeed)
+	faultCfg, err := faultFlags.Config()
 	if err != nil {
 		fatal(err)
 	}
@@ -72,14 +69,10 @@ func main() {
 	_ = writeSVG
 
 	env := experiments.NewEnv(*seed)
-	env.Workers = *workers
+	env.Workers = obs.Workers
 	env.Faults = faultCfg
-	if *metricsPath != "" {
-		env.Telemetry = telemetry.NewRegistry()
-	}
-	if *chromeTrace != "" {
-		env.Tracer = telemetry.NewTracer(*traceBuffer)
-	}
+	env.Telemetry = obs.Registry()
+	env.Tracer = obs.Tracer()
 	out := os.Stdout
 
 	known := map[string]bool{}
@@ -314,36 +307,8 @@ func main() {
 		}
 	}
 
-	if *metricsPath != "" {
-		f, err := os.Create(*metricsPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := env.Telemetry.WritePrometheus(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsPath)
-	}
-	if *chromeTrace != "" {
-		f, err := os.Create(*chromeTrace)
-		if err != nil {
-			fatal(err)
-		}
-		if err := env.Tracer.WriteChromeTrace(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "chrome trace written to %s (open in ui.perfetto.dev)\n", *chromeTrace)
-	}
-	if env.Telemetry != nil || env.Tracer != nil {
-		if err := telemetry.WriteSummary(out, env.Telemetry, env.Tracer); err != nil {
-			fatal(err)
-		}
+	if err := obs.Flush(out); err != nil {
+		fatal(err)
 	}
 }
 
@@ -395,35 +360,4 @@ func runAblations(env *experiments.Env, emit func(*report.Table)) error {
 	return nil
 }
 
-// faultConfig validates the fault flags before any experiment starts, so a
-// bad value is a usage error, not a mid-sweep failure.
-func faultConfig(rate float64, seed uint64) (*faults.Config, error) {
-	seedSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "fault-seed" {
-			seedSet = true
-		}
-	})
-	if rate == 0 {
-		if seedSet {
-			return nil, fmt.Errorf("-fault-seed set but fault injection is off; pass -faults > 0")
-		}
-		return nil, nil
-	}
-	cfg := &faults.Config{Seed: seed, Rate: rate}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	return cfg, nil
-}
-
-// fatal prints a one-line diagnosis and exits 1, folding multi-line
-// aggregates (errors.Join across sweep jobs) into a first-line-plus-count.
-func fatal(err error) {
-	msg := err.Error()
-	if i := strings.IndexByte(msg, '\n'); i >= 0 {
-		msg = fmt.Sprintf("%s (+%d more lines)", msg[:i], strings.Count(msg[i:], "\n"))
-	}
-	fmt.Fprintln(os.Stderr, "experiments:", msg)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal("experiments", err) }

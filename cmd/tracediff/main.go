@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"emmcio/internal/cliutil"
 	"emmcio/internal/report"
 	"emmcio/internal/stats"
 	"emmcio/internal/trace"
@@ -138,7 +139,6 @@ func drain(st trace.Stream) int {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracediff:", err)
-	os.Exit(1)
-}
+// fatal prints a one-line diagnosis and exits 1 (multi-line aggregates are
+// folded into a first-line-plus-count).
+func fatal(err error) { cliutil.Fatal("tracediff", err) }

@@ -22,6 +22,7 @@ import (
 
 	"emmcio/internal/analysis"
 	"emmcio/internal/biotracer"
+	"emmcio/internal/cliutil"
 	"emmcio/internal/experiments"
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
@@ -270,7 +271,6 @@ func must(err error) {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracestat:", err)
-	os.Exit(1)
-}
+// fatal prints a one-line diagnosis and exits 1 (multi-line aggregates are
+// folded into a first-line-plus-count).
+func fatal(err error) { cliutil.Fatal("tracestat", err) }

@@ -29,6 +29,7 @@
 package emmcio
 
 import (
+	"context"
 	"io"
 
 	"emmcio/internal/analysis"
@@ -180,9 +181,22 @@ const (
 var (
 	// NewDevice builds a fresh device for a scheme.
 	NewDevice = core.NewDevice
+	// ReplayContext runs a trace through a fresh device, filling its
+	// timestamps. The replay loop checks ctx between events, so
+	// cancellation and deadlines abort it in bounded time.
+	ReplayContext = core.ReplayContext
+	// ReplayOnContext replays onto an existing (possibly aged) device
+	// under ctx.
+	ReplayOnContext = core.ReplayOnContext
 	// Replay runs a trace through a fresh device, filling its timestamps.
+	//
+	// Deprecated: use ReplayContext, which the server and any caller with
+	// a deadline should prefer; Replay is ReplayContext with
+	// context.Background.
 	Replay = core.Replay
 	// ReplayOn replays onto an existing (possibly aged) device.
+	//
+	// Deprecated: use ReplayOnContext.
 	ReplayOn = core.ReplayOn
 	// CaseStudyOptions are the §V experiment settings.
 	CaseStudyOptions = core.CaseStudyOptions
@@ -282,7 +296,18 @@ type ExperimentEnv = experiments.Env
 // NewExperimentEnv builds an experiment environment for a seed.
 func NewExperimentEnv(seed uint64) *ExperimentEnv { return experiments.NewEnv(seed) }
 
+// RunCaseStudyContext is RunCaseStudy bounded by ctx: it records ctx on
+// the env (Env.Ctx), so the §V sweep's replay loops abort between events
+// once ctx is done. The ctx stays attached to env for later sweeps.
+func RunCaseStudyContext(ctx context.Context, env *ExperimentEnv, w io.Writer) error {
+	env.Ctx = ctx
+	return RunCaseStudy(env, w)
+}
+
 // RunCaseStudy reproduces Figs. 8 and 9 and writes both tables to w.
+//
+// Deprecated: use RunCaseStudyContext; RunCaseStudy runs unbounded (or
+// under whatever Env.Ctx is already set).
 func RunCaseStudy(env *ExperimentEnv, w io.Writer) error {
 	res, err := experiments.CaseStudy(env)
 	if err != nil {
@@ -303,8 +328,17 @@ func DefaultReliability() *ReliabilityModel { return reliability.Default() }
 // AgingPoint is one wear level of the aging curve.
 type AgingPoint = experiments.AgingPoint
 
+// RunAgingContext is RunAging bounded by ctx (recorded on Env.Ctx, as in
+// RunCaseStudyContext).
+func RunAgingContext(ctx context.Context, env *ExperimentEnv, app string, lifeFractions []float64) ([]AgingPoint, error) {
+	env.Ctx = ctx
+	return RunAging(env, app, lifeFractions)
+}
+
 // RunAging replays a trace on devices pre-aged to the given endurance
 // fractions and returns the read-latency aging curve.
+//
+// Deprecated: use RunAgingContext.
 func RunAging(env *ExperimentEnv, app string, lifeFractions []float64) ([]AgingPoint, error) {
 	return experiments.Aging(env, app, lifeFractions)
 }

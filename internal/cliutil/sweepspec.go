@@ -1,0 +1,81 @@
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"emmcio/internal/experiments"
+	"emmcio/internal/workload"
+)
+
+// SweepSpec describes a named-experiment job for the emmcd server: which
+// sweeps to run, on what seed and worker width, under what fault regime,
+// optionally narrowed to a trace roster. It shares the fault validation
+// path with the CLIs' -faults/-fault-seed flags.
+type SweepSpec struct {
+	// Sweeps names the experiment sweeps to run, in order
+	// (experiments.SweepNames lists the choices).
+	Sweeps []string `json:"sweeps"`
+	// Seed drives trace generation (0 = the repository's canonical seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds the sweep worker pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Faults is the fault-injection rate applied to every replay
+	// (0 = perfect hardware).
+	Faults float64 `json:"faults,omitempty"`
+	// FaultSeed is the injection decision seed (requires Faults > 0).
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// Traces, when non-empty, narrows per-trace sweeps to this roster
+	// (see experiments.RunSweepOn).
+	Traces []string `json:"traces,omitempty"`
+}
+
+// Normalize fills defaulted fields in place.
+func (s *SweepSpec) Normalize() {
+	if s.Seed == 0 {
+		s.Seed = workload.DefaultSeed
+	}
+}
+
+// Validate normalizes the spec and rejects unknown sweep names, unknown
+// traces, and bad fault values, so the server can 400 before queueing.
+func (s *SweepSpec) Validate() error {
+	s.Normalize()
+	if len(s.Sweeps) == 0 {
+		return fmt.Errorf("no sweeps named; known sweeps: %s", strings.Join(experiments.SweepNames(), ", "))
+	}
+	for _, name := range s.Sweeps {
+		if !experiments.KnownSweep(name) {
+			return fmt.Errorf("unknown sweep %q; known sweeps: %s", name, strings.Join(experiments.SweepNames(), ", "))
+		}
+	}
+	reg := workload.DefaultRegistry()
+	for _, tr := range s.Traces {
+		if reg.Lookup(tr) == nil {
+			return fmt.Errorf("unknown trace %q", tr)
+		}
+	}
+	if _, err := FaultConfig(s.Faults, s.FaultSeed, s.FaultSeed != 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Env builds the experiment environment the spec describes, bounded by
+// ctx: seed, worker width, fault regime. Every sweep launched through the
+// returned env aborts when ctx does.
+func (s *SweepSpec) Env(ctx context.Context) (*experiments.Env, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	fc, err := FaultConfig(s.Faults, s.FaultSeed, s.FaultSeed != 0)
+	if err != nil {
+		return nil, err
+	}
+	env := experiments.NewEnv(s.Seed)
+	env.Workers = s.Workers
+	env.Faults = fc
+	env.Ctx = ctx
+	return env, nil
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"emmcio/internal/emmc"
@@ -229,17 +230,28 @@ type Metrics struct {
 // given scheme, filling the requests' ServiceStart/Finish fields in place,
 // and returns the replay metrics. The trace must be arrival-ordered.
 func Replay(s Scheme, opt Options, tr *trace.Trace) (Metrics, error) {
+	return ReplayContext(context.Background(), s, opt, tr)
+}
+
+// ReplayContext is Replay with cancellation: the replay loop checks ctx
+// between events and aborts promptly with ctx's error once it is done.
+func ReplayContext(ctx context.Context, s Scheme, opt Options, tr *trace.Trace) (Metrics, error) {
 	dev, err := NewDevice(s, opt)
 	if err != nil {
 		return Metrics{}, err
 	}
-	return ReplayOn(dev, s, tr)
+	return ReplayOnContext(ctx, dev, s, tr)
 }
 
 // ReplayOn replays a trace on an existing device (which may hold state from
 // prior traces — useful for aging studies).
 func ReplayOn(dev *emmc.Device, s Scheme, tr *trace.Trace) (Metrics, error) {
 	return ReplayObserved(dev, s, tr, nil, nil)
+}
+
+// ReplayOnContext is ReplayOn with cancellation.
+func ReplayOnContext(ctx context.Context, dev *emmc.Device, s Scheme, tr *trace.Trace) (Metrics, error) {
+	return ReplayObservedContext(ctx, dev, s, tr, nil, nil)
 }
 
 // coreTel holds the replay loop's metric handles, resolved once.
@@ -273,7 +285,12 @@ func newCoreTel(reg *telemetry.Registry) *coreTel {
 // finish) per request on the requests/read or requests/write track, and
 // feeds the core_{response,service,wait}_ns histograms split by operation.
 func ReplayObserved(dev *emmc.Device, s Scheme, tr *trace.Trace, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
-	return replayLoop(dev, s, trace.FromSlice(tr), reg, tc, writeBack(tr))
+	return ReplayObservedContext(context.Background(), dev, s, tr, reg, tc)
+}
+
+// ReplayObservedContext is ReplayObserved with cancellation.
+func ReplayObservedContext(ctx context.Context, dev *emmc.Device, s Scheme, tr *trace.Trace, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
+	return replayLoop(ctx, dev, s, trace.FromSlice(tr), reg, tc, writeBack(tr))
 }
 
 // CaseStudyOptions are the settings of the §V experiments, matching the
@@ -311,7 +328,13 @@ const MaxReadSize = 256 * 1024
 // independent (each builds its own devices), so they run as one plan on the
 // given runner; a nil runner uses a default-width pool.
 func ThroughputSweep(r *runner.Runner, s Scheme, opt Options, sizes []int, reqsPerPoint int) ([]ThroughputPoint, error) {
-	return runner.Map(r, "throughput", sizes, func(_ int, size int) (ThroughputPoint, error) {
+	return ThroughputSweepContext(context.Background(), r, s, opt, sizes, reqsPerPoint)
+}
+
+// ThroughputSweepContext is ThroughputSweep with cancellation: once ctx is
+// done, points that have not started fail fast with its error.
+func ThroughputSweepContext(ctx context.Context, r *runner.Runner, s Scheme, opt Options, sizes []int, reqsPerPoint int) ([]ThroughputPoint, error) {
+	return runner.MapContext(ctx, r, "throughput", sizes, func(_ context.Context, _ int, size int) (ThroughputPoint, error) {
 		return throughputPoint(s, opt, size, reqsPerPoint)
 	})
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"emmcio/internal/trace"
 )
 
@@ -14,5 +16,5 @@ import (
 // TestEventDrivenMatchesSequential asserts exactly that — which guards the
 // FIFO/waiting logic against bugs that a single implementation would hide.
 func ReplayEventDriven(s Scheme, opt Options, tr *trace.Trace) (Metrics, error) {
-	return eventLoop(s, opt, trace.FromSlice(tr), writeBack(tr))
+	return eventLoop(context.Background(), s, opt, trace.FromSlice(tr), writeBack(tr))
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"emmcio/internal/trace"
 )
 
@@ -36,7 +38,7 @@ func (p SchedPolicy) String() string {
 // dispatcher applying the given policy to waiting requests. With SchedFIFO
 // it is equivalent to Replay. Timestamps are filled into the trace.
 func ReplayScheduled(s Scheme, opt Options, tr *trace.Trace, policy SchedPolicy) (Metrics, error) {
-	m, err := scheduledLoop(s, opt, trace.FromSlice(tr), policy, writeBack(tr))
+	m, err := scheduledLoop(context.Background(), s, opt, trace.FromSlice(tr), policy, writeBack(tr))
 	if err != nil {
 		return m, err
 	}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,11 +22,18 @@ import (
 // ReplayStream replays a stream through a fresh device of the given scheme
 // and returns the replay metrics. Requests must arrive in order.
 func ReplayStream(s Scheme, opt Options, st trace.Stream) (Metrics, error) {
+	return ReplayStreamContext(context.Background(), s, opt, st)
+}
+
+// ReplayStreamContext is ReplayStream with cancellation: ctx is checked
+// between events, so a canceled replay returns promptly with ctx's error
+// instead of running the stream dry.
+func ReplayStreamContext(ctx context.Context, s Scheme, opt Options, st trace.Stream) (Metrics, error) {
 	dev, err := NewDevice(s, opt)
 	if err != nil {
 		return Metrics{}, err
 	}
-	return ReplayStreamOn(dev, s, st)
+	return ReplayStreamSinkContext(ctx, dev, s, st, nil, nil, nil)
 }
 
 // ReplayStreamOn replays a stream on an existing device (which may hold
@@ -40,26 +48,49 @@ func ReplayStreamObserved(dev *emmc.Device, s Scheme, st trace.Stream, reg *tele
 	return ReplayStreamSink(dev, s, st, reg, tc, nil)
 }
 
+// ReplayStreamObservedContext is ReplayStreamObserved with cancellation.
+func ReplayStreamObservedContext(ctx context.Context, dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
+	return ReplayStreamSinkContext(ctx, dev, s, st, reg, tc, nil)
+}
+
 // ReplayStreamSink is ReplayStreamObserved with a completion sink: sink
 // (when non-nil) receives every request with its replayed ServiceStart and
 // Finish filled in, in arrival order — the hook online analysis and
 // streaming trace writers attach to. A sink error aborts the replay.
 func ReplayStreamSink(dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(trace.Request) error) (Metrics, error) {
+	return ReplayStreamSinkContext(context.Background(), dev, s, st, reg, tc, sink)
+}
+
+// ReplayStreamSinkContext is ReplayStreamSink with cancellation: the replay
+// loop checks ctx between events, so long replays abort promptly (the
+// server's job cancellation and per-job deadlines rely on this). The check
+// costs nothing when ctx can never be canceled (Background/TODO).
+func ReplayStreamSinkContext(ctx context.Context, dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(trace.Request) error) (Metrics, error) {
 	if sink == nil {
-		return replayLoop(dev, s, st, reg, tc, nil)
+		return replayLoop(ctx, dev, s, st, reg, tc, nil)
 	}
-	return replayLoop(dev, s, st, reg, tc, func(_ int, req trace.Request) error { return sink(req) })
+	return replayLoop(ctx, dev, s, st, reg, tc, func(_ int, req trace.Request) error { return sink(req) })
 }
 
 // replayLoop is the one sequential replay loop behind Replay/ReplayOn/
 // ReplayObserved and their stream forms: pull, submit, observe, sink.
-func replayLoop(dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(i int, req trace.Request) error) (Metrics, error) {
+// ctx is polled once per event; Background's nil Done channel skips the
+// check entirely, keeping the uncancellable hot path identical.
+func replayLoop(ctx context.Context, dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(i int, req trace.Request) error) (Metrics, error) {
 	if reg != nil || tc != nil {
 		dev.SetTelemetry(reg, tc)
 	}
 	ct := newCoreTel(reg)
 	name := st.Name()
+	done := ctx.Done()
 	for i := 0; ; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return Metrics{}, fmt.Errorf("core: replay of %s canceled at request %d: %w", name, i, ctx.Err())
+			default:
+			}
+		}
 		req, ok, err := st.Next()
 		if err != nil {
 			return Metrics{}, fmt.Errorf("core: reading %s request %d: %w", name, i, err)
@@ -139,15 +170,21 @@ func deviceMetrics(dev *emmc.Device, name string, s Scheme) Metrics {
 // yet dispatched. sink (when non-nil) receives completed requests in
 // dispatch order, which under SJF or read-first is not arrival order.
 func ReplayScheduledStream(s Scheme, opt Options, st trace.Stream, policy SchedPolicy, sink func(trace.Request) error) (Metrics, error) {
+	return ReplayScheduledStreamContext(context.Background(), s, opt, st, policy, sink)
+}
+
+// ReplayScheduledStreamContext is ReplayScheduledStream with cancellation:
+// ctx is checked once per dispatch.
+func ReplayScheduledStreamContext(ctx context.Context, s Scheme, opt Options, st trace.Stream, policy SchedPolicy, sink func(trace.Request) error) (Metrics, error) {
 	if sink == nil {
-		return scheduledLoop(s, opt, st, policy, nil)
+		return scheduledLoop(ctx, s, opt, st, policy, nil)
 	}
-	return scheduledLoop(s, opt, st, policy, func(_ int, req trace.Request) error { return sink(req) })
+	return scheduledLoop(ctx, s, opt, st, policy, func(_ int, req trace.Request) error { return sink(req) })
 }
 
 // scheduledLoop is the dispatcher behind ReplayScheduled and its stream
 // form. The sink receives each completed request with its pull index.
-func scheduledLoop(s Scheme, opt Options, st trace.Stream, policy SchedPolicy, sink func(idx int, req trace.Request) error) (Metrics, error) {
+func scheduledLoop(ctx context.Context, s Scheme, opt Options, st trace.Stream, policy SchedPolicy, sink func(idx int, req trace.Request) error) (Metrics, error) {
 	dev, err := NewDevice(s, opt)
 	if err != nil {
 		return Metrics{}, err
@@ -197,7 +234,15 @@ func scheduledLoop(s Scheme, opt Options, st trace.Stream, policy SchedPolicy, s
 		return best
 	}
 
+	done := ctx.Done()
 	for headOK || len(queue) > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return Metrics{}, fmt.Errorf("core: scheduled replay of %s canceled at request %d: %w", name, next, ctx.Err())
+			default:
+			}
+		}
 		// Admit everything that has arrived by the time the device frees.
 		for headOK && (len(queue) == 0 || head.Arrival <= deviceFree) {
 			queue = append(queue, item{idx: next, req: head})
@@ -254,10 +299,16 @@ func scheduledLoop(s Scheme, opt Options, st trace.Stream, policy SchedPolicy, s
 // the whole trace. sink (when non-nil) receives completed requests in
 // dispatch (FIFO) order.
 func ReplayEventDrivenStream(s Scheme, opt Options, st trace.Stream, sink func(trace.Request) error) (Metrics, error) {
+	return ReplayEventDrivenStreamContext(context.Background(), s, opt, st, sink)
+}
+
+// ReplayEventDrivenStreamContext is ReplayEventDrivenStream with
+// cancellation: ctx is checked once per dispatched request.
+func ReplayEventDrivenStreamContext(ctx context.Context, s Scheme, opt Options, st trace.Stream, sink func(trace.Request) error) (Metrics, error) {
 	if sink == nil {
-		return eventLoop(s, opt, st, nil)
+		return eventLoop(ctx, s, opt, st, nil)
 	}
-	return eventLoop(s, opt, st, func(_ int, req trace.Request) error { return sink(req) })
+	return eventLoop(ctx, s, opt, st, func(_ int, req trace.Request) error { return sink(req) })
 }
 
 // eventLoop is the event-driven replay behind ReplayEventDriven and its
@@ -266,11 +317,12 @@ func ReplayEventDrivenStream(s Scheme, opt Options, st trace.Stream, sink func(t
 // upfront, but results are unaffected — the FIFO queue order depends only
 // on the arrival sequence, and the device computes service start from the
 // request's own arrival time, not from when dispatch runs.
-func eventLoop(s Scheme, opt Options, st trace.Stream, sink func(idx int, req trace.Request) error) (Metrics, error) {
+func eventLoop(ctx context.Context, s Scheme, opt Options, st trace.Stream, sink func(idx int, req trace.Request) error) (Metrics, error) {
 	dev, err := NewDevice(s, opt)
 	if err != nil {
 		return Metrics{}, err
 	}
+	done := ctx.Done()
 
 	var eng sim.Engine
 	name := st.Name()
@@ -314,6 +366,14 @@ func eventLoop(s Scheme, opt Options, st trace.Stream, sink func(idx int, req tr
 	dispatch = func(now sim.Time) {
 		if stt.busy || len(stt.queue) == 0 || replayErr != nil {
 			return
+		}
+		if done != nil {
+			select {
+			case <-done:
+				replayErr = fmt.Errorf("core: event replay of %s canceled after %d requests: %w", name, stt.dispatched, ctx.Err())
+				return
+			default:
+			}
 		}
 		e := stt.queue[0]
 		stt.queue = stt.queue[1:]

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +43,14 @@ type Env struct {
 	// its own fault config (the CLIs' -faults/-fault-seed flags). Jobs with a
 	// custom Device builder construct their own config and are not touched.
 	Faults *faults.Config
+
+	// Ctx, when non-nil, bounds every sweep launched through this env:
+	// replay loops check it between events and the runner checks it between
+	// jobs, so cancellation and deadlines propagate into experiments whose
+	// signatures predate contexts (the emmcd server attaches its per-job
+	// context here). Nil means context.Background(). An explicit
+	// ReplaysContext call overrides it.
+	Ctx context.Context
 
 	// TraceCacheSize bounds the generated-trace cache (default
 	// DefaultTraceCacheSize). The cache used to retain every generated
@@ -80,6 +89,14 @@ func NewEnv(seed uint64) *Env {
 
 // DefaultEnv uses the repository's canonical seed.
 func DefaultEnv() *Env { return NewEnv(workload.DefaultSeed) }
+
+// context resolves the env's sweep context (Ctx, or Background).
+func (e *Env) context() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
 
 // entry returns the cache slot for name, creating it (and evicting the
 // least recently used slot past the bound) as needed.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"emmcio/internal/core"
@@ -78,7 +79,7 @@ func FaultSweep(env *Env, name string, seed uint64, rates []float64) ([]FaultPoi
 	}
 	// Errors are captured per point, not aggregated: a device dying at rate
 	// 4 is the measurement, not a reason to lose the rest of the sweep.
-	return runner.Map(env.Runner(), "faultsweep", plan, func(_ int, c cell) (FaultPoint, error) {
+	return runner.MapContext(env.context(), env.Runner(), "faultsweep", plan, func(ctx context.Context, _ int, c cell) (FaultPoint, error) {
 		pt := FaultPoint{Rate: c.rate, Scheme: c.scheme}
 		opt := core.CaseStudyOptions()
 		opt.Reliability = model
@@ -107,8 +108,12 @@ func FaultSweep(env *Env, name string, seed uint64, rates []float64) ([]FaultPoi
 			dev.AddArtificialWear(pool, int64(model.Endurance*float64(blocks)))
 		}
 		st := trace.Repeat(env.Stream(name), faultSweepSessions, 1_000_000_000)
-		m, err := core.ReplayStreamObserved(dev, c.scheme, st, env.Telemetry, env.Tracer)
+		m, err := core.ReplayStreamObservedContext(ctx, dev, c.scheme, st, env.Telemetry, env.Tracer)
 		if err != nil {
+			if ctx.Err() != nil {
+				// Cancellation is a sweep abort, not a device-death data point.
+				return pt, err
+			}
 			pt.Err = err.Error()
 		}
 		pt.MRTMs = m.MeanResponseNs / 1e6

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"emmcio/internal/analysis"
@@ -9,6 +10,7 @@ import (
 	"emmcio/internal/report"
 	"emmcio/internal/runner"
 	"emmcio/internal/stats"
+	"emmcio/internal/trace"
 )
 
 // Fig3Result is the throughput-vs-request-size sweep on the measured device.
@@ -22,7 +24,7 @@ type Fig3Result struct {
 // The per-size points run on the env's worker pool.
 func Fig3(env *Env, reqsPerPoint int) (Fig3Result, error) {
 	timing := MeasuredDeviceTiming()
-	pts, err := core.ThroughputSweep(env.Runner(), core.Scheme4PS,
+	pts, err := core.ThroughputSweepContext(env.context(), env.Runner(), core.Scheme4PS,
 		core.Options{Timing: &timing}, core.Fig3Sizes(), reqsPerPoint)
 	if err != nil {
 		return Fig3Result{}, err
@@ -85,10 +87,11 @@ func Fig7(env *Env) (DistResult, error) {
 // each generated trace through an online accumulator on the env's worker
 // pool (generation dominates).
 func distributions(env *Env, names []string) DistResult {
-	// Env streams never fail, so the aggregated error is always nil.
-	dists, _ := runner.Map(env.Runner(), "distributions", names,
-		func(_ int, name string) (analysis.Distributions, error) {
-			return analysis.DistributionsOfStream(env.Stream(name))
+	// Env streams never fail, so the aggregated error is nil unless the
+	// env's context cancels the sweep mid-way.
+	dists, _ := runner.MapContext(env.context(), env.Runner(), "distributions", names,
+		func(ctx context.Context, _ int, name string) (analysis.Distributions, error) {
+			return analysis.DistributionsOfStream(trace.WithContext(ctx, env.Stream(name)))
 		})
 	return DistResult{Names: names, Dists: dists}
 }

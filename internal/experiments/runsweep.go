@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"emmcio/internal/paper"
+	"emmcio/internal/report"
+)
+
+// SweepNames lists the named experiment sweeps RunSweep understands. These
+// are the coarse-grained units the emmcd server schedules as jobs; the
+// cmd/experiments binary keeps its finer-grained -exp selectors.
+func SweepNames() []string {
+	return []string{"tables", "figures", "casestudy", "faultsweep"}
+}
+
+// KnownSweep reports whether name is one of SweepNames (case-insensitive).
+func KnownSweep(name string) bool {
+	name = strings.ToLower(name)
+	for _, n := range SweepNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CaseStudyOn is CaseStudy restricted to the named traces — the same §V
+// replay matrix over a caller-chosen roster, for sweeps that cannot afford
+// all 18 applications (server smoke jobs, tests).
+func CaseStudyOn(env *Env, names []string) (CaseStudyResult, error) {
+	return caseStudyOn(env, names)
+}
+
+// RunSweep runs one named sweep on env and returns its rendered tables.
+// The env's context is checked between components, so a canceled job stops
+// at the next boundary instead of finishing a multi-table sweep.
+func RunSweep(env *Env, name string) ([]*report.Table, error) {
+	return RunSweepOn(env, name, nil)
+}
+
+// RunSweepOn is RunSweep with an optional trace restriction: a non-empty
+// traces list narrows casestudy to that roster and makes faultsweep ramp
+// traces[0] instead of the default write-heavy workload. Sweeps that have
+// no per-trace axis (tables, figures) ignore it.
+func RunSweepOn(env *Env, name string, traces []string) ([]*report.Table, error) {
+	ctx := env.context()
+	var out []*report.Table
+	// emit gates each component on the context so cancellation takes effect
+	// at table granularity even in sweeps whose inner loops are short.
+	emit := func(build func() (*report.Table, error)) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("experiments: sweep %s canceled: %w", name, err)
+		}
+		t, err := build()
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		return nil
+	}
+	ok := func(t *report.Table) func() (*report.Table, error) {
+		return func() (*report.Table, error) { return t, nil }
+	}
+
+	switch strings.ToLower(name) {
+	case "tables":
+		for _, build := range []func() (*report.Table, error){
+			ok(TableI()),
+			ok(TableII()),
+			func() (*report.Table, error) { return TableIII(env).Render(), nil },
+			func() (*report.Table, error) {
+				res, err := TableIV(env)
+				if err != nil {
+					return nil, err
+				}
+				return res.Render(), nil
+			},
+			ok(TableV()),
+		} {
+			if err := emit(build); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+
+	case "figures":
+		if err := emit(func() (*report.Table, error) {
+			res, err := Fig3(env, 8)
+			if err != nil {
+				return nil, err
+			}
+			return res.Render(), nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := emit(func() (*report.Table, error) { return Fig4(env).RenderSizes(), nil }); err != nil {
+			return nil, err
+		}
+		if err := emit(func() (*report.Table, error) {
+			res, err := Fig5(env)
+			if err != nil {
+				return nil, err
+			}
+			return res.RenderResponses(), nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := emit(func() (*report.Table, error) { return Fig6(env).RenderInterarrivals(), nil }); err != nil {
+			return nil, err
+		}
+		res7, err := Fig7(env)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range []*report.Table{res7.RenderSizes(), res7.RenderResponses(), res7.RenderInterarrivals()} {
+			if err := emit(ok(t)); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+
+	case "casestudy":
+		roster := traces
+		if len(roster) == 0 {
+			roster = paper.IndividualApps
+		}
+		res, err := CaseStudyOn(env, roster)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{res.RenderFig8(), res.RenderFig9()}, nil
+
+	case "faultsweep":
+		workload := ""
+		if len(traces) > 0 {
+			workload = traces[0]
+		}
+		pts, err := FaultSweep(env, workload, env.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		if workload == "" {
+			workload = paper.Twitter
+		}
+		return []*report.Table{RenderFaultSweep(workload, pts)}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown sweep %q; known sweeps: %s", name, strings.Join(SweepNames(), ", "))
+	}
+}

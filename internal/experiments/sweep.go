@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"emmcio/internal/analysis"
 	"emmcio/internal/biotracer"
 	"emmcio/internal/core"
@@ -81,14 +83,22 @@ func (e *Env) Runner() *runner.Runner {
 // plan order — bit-identical at any pool width, since each job replays its
 // own stream on its own fresh device. The env's Telemetry and Tracer are
 // attached to every device-backed replay, observed and collection paths
-// alike.
+// alike. The sweep is bounded by Env.Ctx; use ReplaysContext to pass a
+// call-scoped context instead.
 func (e *Env) Replays(sweep string, jobs []ReplayJob) ([]ReplayResult, error) {
-	return runner.Map(e.Runner(), sweep, jobs, func(_ int, j ReplayJob) (ReplayResult, error) {
-		return e.replay(j)
+	return e.ReplaysContext(e.context(), sweep, jobs)
+}
+
+// ReplaysContext is Replays bounded by an explicit context: once ctx is
+// done, queued jobs fail fast and running replays abort between events, so
+// a sweep cancels in bounded time regardless of plan size.
+func (e *Env) ReplaysContext(ctx context.Context, sweep string, jobs []ReplayJob) ([]ReplayResult, error) {
+	return runner.MapContext(ctx, e.Runner(), sweep, jobs, func(ctx context.Context, _ int, j ReplayJob) (ReplayResult, error) {
+		return e.replay(ctx, j)
 	})
 }
 
-func (e *Env) replay(j ReplayJob) (ReplayResult, error) {
+func (e *Env) replay(ctx context.Context, j ReplayJob) (ReplayResult, error) {
 	if e.Faults != nil && j.Options.Faults == nil && j.Device == nil {
 		j.Options.Faults = e.Faults
 	}
@@ -133,7 +143,7 @@ func (e *Env) replay(j ReplayJob) (ReplayResult, error) {
 	}
 
 	if j.Policy != core.SchedFIFO {
-		m, err := core.ReplayScheduledStream(j.Scheme, j.Options, st, j.Policy, sink)
+		m, err := core.ReplayScheduledStreamContext(ctx, j.Scheme, j.Options, st, j.Policy, sink)
 		res.Metrics = m
 		if res.Trace != nil {
 			// The sink saw dispatch order; restore arrival order.
@@ -156,9 +166,11 @@ func (e *Env) replay(j ReplayJob) (ReplayResult, error) {
 		if e.Telemetry != nil || e.Tracer != nil {
 			dev.SetTelemetry(e.Telemetry, e.Tracer)
 		}
-		res.Overhead, err = biotracer.CollectStream(dev, st, sink)
+		// The collection loop knows nothing about contexts; a ctx-bounded
+		// stream cancels it between requests all the same.
+		res.Overhead, err = biotracer.CollectStream(dev, trace.WithContext(ctx, st), sink)
 		return res, err
 	}
-	res.Metrics, err = core.ReplayStreamSink(dev, j.Scheme, st, e.Telemetry, e.Tracer, sink)
+	res.Metrics, err = core.ReplayStreamSinkContext(ctx, dev, j.Scheme, st, e.Telemetry, e.Tracer, sink)
 	return res, err
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"emmcio/internal/analysis"
@@ -9,6 +10,7 @@ import (
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
 	"emmcio/internal/runner"
+	"emmcio/internal/trace"
 )
 
 // TableI renders the application roster (Table I of the paper).
@@ -121,10 +123,11 @@ type TableIIIResult struct {
 func TableIII(env *Env) TableIIIResult {
 	names := paper.AllTraces
 	// Env streams never fail (generation is in-process), so the aggregated
-	// error is always nil.
-	measured, _ := runner.Map(env.Runner(), "tableIII", names,
-		func(_ int, name string) (analysis.SizeStats, error) {
-			return analysis.SizeStatsOfStream(env.Stream(name))
+	// error is nil unless the env's context cancels the sweep mid-way — the
+	// caller-facing signal for that is the context itself.
+	measured, _ := runner.MapContext(env.context(), env.Runner(), "tableIII", names,
+		func(ctx context.Context, _ int, name string) (analysis.SizeStats, error) {
+			return analysis.SizeStatsOfStream(trace.WithContext(ctx, env.Stream(name)))
 		})
 	res := TableIIIResult{Names: names, Measured: measured}
 	for _, name := range names {

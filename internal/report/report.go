@@ -5,6 +5,7 @@ package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -73,6 +74,20 @@ func (t *Table) WriteText(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// MarshalJSON renders the table as {title, columns, rows}, so services can
+// ship rendered tables over the wire without exposing the row storage.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Columns, rows})
 }
 
 // WriteCSV renders the CSV form (header row first, no title).

@@ -18,6 +18,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -75,14 +76,31 @@ func newSweepTel(reg *telemetry.Registry, sweep string) sweepTel {
 }
 
 // Map runs fn over every job on the runner's worker pool and returns the
-// results indexed exactly like jobs. fn must be safe to call concurrently
-// and must not depend on execution order. On failure the job's result slot
-// keeps R's zero value and the error is collected; the returned error joins
-// every per-job failure (nil when all jobs succeed). A nil runner uses a
-// default-width pool.
+// results indexed exactly like jobs. It is MapContext without cancellation
+// (context.Background()); see MapContext for the full contract.
 func Map[J, R any](r *Runner, sweep string, jobs []J, fn func(i int, job J) (R, error)) ([]R, error) {
+	return MapContext(context.Background(), r, sweep, jobs,
+		func(_ context.Context, i int, job J) (R, error) { return fn(i, job) })
+}
+
+// MapContext runs fn over every job on the runner's worker pool and returns
+// the results indexed exactly like jobs. fn must be safe to call
+// concurrently and must not depend on execution order. On failure the job's
+// result slot keeps R's zero value and the error is collected; the returned
+// error joins every per-job failure (nil when all jobs succeed). A nil
+// runner uses a default-width pool.
+//
+// ctx bounds the whole sweep: once it is done, jobs that have not started
+// fail fast with the context's error (they never run), and running jobs
+// receive the same ctx so cancellation-aware work (the core replay loops)
+// aborts between events. The sweep always drains — every job slot gets a
+// result or an error — so a canceled sweep still returns in plan order.
+func MapContext[J, R any](ctx context.Context, r *Runner, sweep string, jobs []J, fn func(ctx context.Context, i int, job J) (R, error)) ([]R, error) {
 	if r == nil {
 		r = New(0)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	out := make([]R, len(jobs))
 	if len(jobs) == 0 {
@@ -103,7 +121,10 @@ func Map[J, R any](r *Runner, sweep string, jobs []J, fn func(i int, job J) (R, 
 				err = fmt.Errorf("job panicked: %v\n%s", p, buf)
 			}
 		}()
-		return fn(i, jobs[i])
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		return fn(ctx, i, jobs[i])
 	}
 	run := func(i int) {
 		tel.started.Inc()

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Job states. A job moves queued → running → one of the terminal states;
+// DELETE can short-circuit queued straight to canceled.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// job is one asynchronous unit of work: a replay or a sweep submitted over
+// HTTP, executed on the server's worker pool under a cancelable context.
+type job struct {
+	id   string
+	kind string
+	run  func(ctx context.Context) (any, error)
+
+	// done closes when the job reaches a terminal state; DELETE handlers
+	// and tests wait on it.
+	done chan struct{}
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	result   json.RawMessage
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	// cancel aborts the running job's context (nil unless running).
+	cancel context.CancelFunc
+	// canceled records that DELETE arrived, so a context error is reported
+	// as a cancellation rather than a failure.
+	canceled bool
+}
+
+// JobStatus is the wire form of a job, served by GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	// Created/Started/Finished are RFC 3339 timestamps; Started and
+	// Finished are empty until the job reaches those states.
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	// Error is set for failed (and context-expired canceled) jobs.
+	Error string `json:"error,omitempty"`
+	// Result is the job's JSON payload, present once state is done:
+	// []cliutil.SchemeResult for replays, []SweepOutput for sweeps.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// status snapshots the job under its lock.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:      j.id,
+		Kind:    j.kind,
+		State:   j.state,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+		Error:   j.err,
+		Result:  j.result,
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}

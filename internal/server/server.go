@@ -1,0 +1,589 @@
+// Package server implements emmcd: a long-running HTTP/JSON service that
+// exposes the repository's replay and experiment machinery as asynchronous
+// jobs. Clients POST a cliutil.ReplaySpec or cliutil.SweepSpec — the same
+// structs the CLIs bind their flags to — and poll a job resource for the
+// result, which is bit-identical to what the equivalent CLI invocation
+// prints (same seed, same stream, same replay loop).
+//
+// Capacity model: submissions land on a bounded queue and a fixed worker
+// pool executes them; a full queue is an immediate 429, never unbounded
+// buffering. Every job runs under a cancelable per-job context with a
+// deadline, so DELETE aborts a running replay between events in bounded
+// time, and Shutdown drains in-flight jobs while canceling queued ones.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emmcio/internal/cliutil"
+	"emmcio/internal/experiments"
+	"emmcio/internal/report"
+	"emmcio/internal/telemetry"
+	"emmcio/internal/trace"
+	"emmcio/internal/workload"
+)
+
+// Config sizes the server's capacity model. The zero value gets sensible
+// defaults from New.
+type Config struct {
+	// QueueDepth bounds the pending-job queue; a submission past it is
+	// rejected with 429 (default 64).
+	QueueDepth int
+	// Workers is how many jobs execute concurrently (default 2). Each job
+	// additionally fans its schemes/sweep cells out on its own pool.
+	Workers int
+	// JobWorkers is the per-job sweep pool width (0 = GOMAXPROCS).
+	JobWorkers int
+	// ResultCap bounds how many terminal jobs stay queryable; the oldest-
+	// finished job is evicted past it (default 64).
+	ResultCap int
+	// JobTimeout is the per-job deadline (default 10m; negative = none).
+	JobTimeout time.Duration
+	// Registry resolves workload names (default: the 25 built-in profiles).
+	Registry *workload.Registry
+	// Telemetry is the metrics registry re-exported at /metrics; replays
+	// executed by jobs observe into it (default: a fresh registry).
+	Telemetry *telemetry.Registry
+}
+
+// Server is the emmcd job service. Create with New, serve via Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg Config
+	tel *telemetry.Registry
+	mux *http.ServeMux
+
+	queue    chan *job
+	shutdown chan struct{}
+	stopOnce sync.Once
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	nextID   atomic.Int64
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	doneOrder []string // terminal job ids, oldest finished first
+
+	submitted  *telemetry.Counter
+	rejected   *telemetry.Counter
+	completed  *telemetry.Counter
+	failed     *telemetry.Counter
+	canceledC  *telemetry.Counter
+	queueDepth *telemetry.Gauge
+	running    *telemetry.Gauge
+
+	// beforeRun, when non-nil, runs on the worker goroutine just before a
+	// job's work function. Tests use it to hold workers at a gate so the
+	// queue fills deterministically.
+	beforeRun func(*job)
+}
+
+// New builds the server and starts its worker pool. The pool is
+// independent of any HTTP listener, so httptest servers exercise the real
+// execution path.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.ResultCap <= 0 {
+		cfg.ResultCap = 64
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = 10 * time.Minute
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = workload.DefaultRegistry()
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	s := &Server{
+		cfg:      cfg,
+		tel:      cfg.Telemetry,
+		queue:    make(chan *job, cfg.QueueDepth),
+		shutdown: make(chan struct{}),
+		jobs:     map[string]*job{},
+	}
+	s.submitted = s.tel.Counter("emmcd_jobs_submitted_total")
+	s.rejected = s.tel.Counter("emmcd_jobs_rejected_total")
+	s.completed = s.tel.Counter("emmcd_jobs_completed_total")
+	s.failed = s.tel.Counter("emmcd_jobs_failed_total")
+	s.canceledC = s.tel.Counter("emmcd_jobs_canceled_total")
+	s.queueDepth = s.tel.Gauge("emmcd_queue_depth")
+	s.running = s.tel.Gauge("emmcd_jobs_running")
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/replays", s.handleReplay)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// errQueueFull and errDraining map to 429 and 503 respectively.
+var (
+	errQueueFull = errors.New("job queue full; retry later")
+	errDraining  = errors.New("server is draining; not accepting work")
+)
+
+// enqueue registers a job and places it on the bounded queue. The queue
+// send is non-blocking: admission control is an immediate 429, never a
+// stalled client holding a connection while memory grows.
+func (s *Server) enqueue(kind string, run func(ctx context.Context) (any, error)) (*job, error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	j := &job{
+		id:      fmt.Sprintf("j%d", s.nextID.Add(1)),
+		kind:    kind,
+		run:     run,
+		done:    make(chan struct{}),
+		state:   JobQueued,
+		created: time.Now(),
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	select {
+	case s.queue <- j:
+		s.submitted.Inc()
+		s.queueDepth.Set(int64(len(s.queue)))
+		return j, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		s.rejected.Inc()
+		return nil, errQueueFull
+	}
+}
+
+// worker pulls and executes jobs until shutdown. The leading non-blocking
+// shutdown check keeps a worker from grabbing yet another queued job when
+// both channels are ready during a drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.shutdown:
+			return
+		default:
+		}
+		select {
+		case <-s.shutdown:
+			return
+		case j := <-s.queue:
+			s.queueDepth.Set(int64(len(s.queue)))
+			s.execute(j)
+		}
+	}
+}
+
+// execute runs one job under its cancelable, deadlined context.
+func (s *Server) execute(j *job) {
+	j.mu.Lock()
+	if j.canceled {
+		// DELETE beat the worker to it; the handler already finalized.
+		j.mu.Unlock()
+		return
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.cancel = cancel
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	s.running.Add(1)
+	if s.beforeRun != nil {
+		s.beforeRun(j)
+	}
+	res, err := runSafe(ctx, j.run)
+	cancel()
+	s.running.Add(-1)
+
+	var payload json.RawMessage
+	if err == nil {
+		payload, err = json.Marshal(res)
+	}
+	j.mu.Lock()
+	j.cancel = nil
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = payload
+		s.completed.Inc()
+	case j.canceled:
+		j.state = JobCanceled
+		j.err = err.Error()
+		s.canceledC.Inc()
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
+		s.failed.Inc()
+	}
+	j.mu.Unlock()
+	close(j.done)
+	s.retire(j)
+}
+
+// runSafe converts a panicking job into a failed one; a bad spec must
+// never take the service down.
+func runSafe(ctx context.Context, run func(ctx context.Context) (any, error)) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return run(ctx)
+}
+
+// retire records a terminal job and evicts the oldest-finished ones past
+// the result-store bound, so a long-lived daemon's memory stays flat no
+// matter how many jobs it has served.
+func (s *Server) retire(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.ResultCap {
+		oldest := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		delete(s.jobs, oldest)
+	}
+}
+
+// Shutdown stops admissions, cancels queued jobs, and waits for running
+// jobs to drain. If ctx expires first, running jobs are hard-canceled (the
+// replay loops abort between events) and their exit is awaited before
+// returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.stopOnce.Do(func() { close(s.shutdown) })
+
+	// Queued jobs that no worker will pick up become canceled now.
+	for {
+		select {
+		case j := <-s.queue:
+			j.mu.Lock()
+			j.canceled = true
+			j.state = JobCanceled
+			j.finished = time.Now()
+			j.mu.Unlock()
+			close(j.done)
+			s.canceledC.Inc()
+			s.retire(j)
+		default:
+			s.queueDepth.Set(0)
+			goto wait
+		}
+	}
+wait:
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelRunning()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// cancelRunning aborts every running job's context.
+func (s *Server) cancelRunning() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == JobRunning {
+			j.canceled = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+		j.mu.Unlock()
+	}
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers are out; nothing left to report
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// submitError maps admission failures to their status codes.
+func submitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// decodeStrict rejects unknown fields, so a typo'd option is a 400 instead
+// of a silently defaulted replay.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// submitted is the 202 response body for accepted jobs.
+type submitted struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	URL   string `json:"url"`
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	var spec cliutil.ReplaySpec
+	if err := decodeStrict(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := spec.Validate(s.cfg.Registry); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.enqueue("replay", func(ctx context.Context) (any, error) {
+		return spec.Run(ctx, s.cfg.JobWorkers, s.tel, nil)
+	})
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitted{ID: j.id, State: JobQueued, URL: "/v1/jobs/" + j.id})
+}
+
+// SweepOutput is one named sweep's rendered tables inside a sweep job's
+// result.
+type SweepOutput struct {
+	Name   string          `json:"name"`
+	Tables []*report.Table `json:"tables"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var spec cliutil.SweepSpec
+	if err := decodeStrict(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.enqueue("sweep", func(ctx context.Context) (any, error) {
+		env, err := spec.Env(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Workers == 0 {
+			env.Workers = s.cfg.JobWorkers
+		}
+		env.Telemetry = s.tel
+		out := make([]SweepOutput, 0, len(spec.Sweeps))
+		for _, name := range spec.Sweeps {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			tables, err := experiments.RunSweepOn(env, name, spec.Traces)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepOutput{Name: name, Tables: tables})
+		}
+		return out, nil
+	})
+	if err != nil {
+		submitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitted{ID: j.id, State: JobQueued, URL: "/v1/jobs/" + j.id})
+}
+
+// TraceRequest asks for one generated trace, streamed back in the chosen
+// codec. Generation is synchronous: the trace streams out as it is
+// encoded, so the response holds no materialized copy (except bioz, whose
+// header needs the record count up front).
+type TraceRequest struct {
+	App    string `json:"app"`
+	Seed   uint64 `json:"seed,omitempty"`
+	Format string `json:"format,omitempty"` // text, bio1 (default), or bioz
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	var req TraceRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.App == "" {
+		writeError(w, http.StatusBadRequest, errors.New("no application named; set app"))
+		return
+	}
+	p := s.cfg.Registry.Lookup(req.App)
+	if p == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown application %q", req.App))
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = workload.DefaultSeed
+	}
+	// The request's context cancels generation between records when the
+	// client goes away mid-download.
+	st := trace.WithContext(r.Context(), p.Stream(seed))
+	switch req.Format {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		trace.WriteTextStream(w, st) //nolint:errcheck // body is streaming; too late for a status
+	case "", "bio1":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		trace.WriteBinaryStream(w, st) //nolint:errcheck
+	case "bioz":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		trace.WriteCompressed(w, p.Generate(seed)) //nolint:errcheck
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (text, bio1, bioz)", req.Format))
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		list = append(list, j.status())
+	}
+	s.mu.Unlock()
+	sort.Slice(list, func(i, k int) bool { return list[i].ID < list[k].ID })
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) lookup(r *http.Request) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[r.PathValue("id")]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleDelete cancels a job. Queued jobs terminate immediately; running
+// jobs get their context canceled and abort between replay events, so the
+// transition is prompt even mid-sweep. Terminal jobs are left untouched
+// (the DELETE is idempotent).
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	switch j.state {
+	case JobQueued:
+		j.canceled = true
+		j.state = JobCanceled
+		j.finished = time.Now()
+		j.mu.Unlock()
+		close(j.done)
+		s.canceledC.Inc()
+		s.retire(j)
+	case JobRunning:
+		j.canceled = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		j.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status  string `json:"status"` // ok or draining
+	Queued  int    `json:"queued"`
+	Running int64  `json:"running"`
+	Jobs    int    `json:"jobs"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	s.mu.Lock()
+	known := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Health{
+		Status:  status,
+		Queued:  len(s.queue),
+		Running: s.running.Value(),
+		Jobs:    known,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.tel.WritePrometheus(w) //nolint:errcheck // streaming body
+}

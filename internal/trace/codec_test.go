@@ -271,8 +271,8 @@ func TestReadBinaryDescriptiveErrors(t *testing.T) {
 func TestReadBinaryCapsPreallocation(t *testing.T) {
 	var buf bytes.Buffer
 	buf.WriteString("BIO1")
-	buf.WriteByte(0)                                              // empty name
-	buf.Write([]byte{0, 0, 0, 0x10, 0, 0, 0, 0})                  // count = 1<<28, no records
+	buf.WriteByte(0)                             // empty name
+	buf.Write([]byte{0, 0, 0, 0x10, 0, 0, 0, 0}) // count = 1<<28, no records
 	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Fatal("truncated stream accepted")
 	}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -181,6 +182,35 @@ func ClearStream(src Stream) Stream {
 		r.Finish = 0
 		return r
 	})
+}
+
+// ctxStream aborts the stream once its context is done.
+type ctxStream struct {
+	Stream
+	done <-chan struct{}
+	err  func() error
+}
+
+// WithContext bounds a stream by a context: once ctx is done, Next returns
+// ctx's error instead of pulling from the source. This cancels any consumer
+// loop that honors stream errors — including ones that know nothing about
+// contexts (the biotracer collection path) — between two requests. A
+// context that can never be canceled wraps to the source unchanged.
+func WithContext(ctx context.Context, src Stream) Stream {
+	done := ctx.Done()
+	if done == nil {
+		return src
+	}
+	return &ctxStream{Stream: src, done: done, err: ctx.Err}
+}
+
+func (c *ctxStream) Next() (Request, bool, error) {
+	select {
+	case <-c.done:
+		return Request{}, false, fmt.Errorf("trace: stream %s canceled: %w", c.Name(), c.err())
+	default:
+	}
+	return c.Stream.Next()
 }
 
 // namedStream overrides the source's name.
