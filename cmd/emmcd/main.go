@@ -73,7 +73,12 @@ func main() {
 	if err := svc.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "emmcd: drain incomplete: %v\n", err)
 	}
-	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	// The HTTP listener gets its own grace period: job draining may have
+	// exhausted ctx above, and an expired context would abort in-flight
+	// status responses instead of letting them finish.
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "emmcd: http shutdown: %v\n", err)
 	}
 	fmt.Fprintln(os.Stderr, "emmcd: bye")

@@ -20,7 +20,10 @@ const (
 // job is one asynchronous unit of work: a replay or a sweep submitted over
 // HTTP, executed on the server's worker pool under a cancelable context.
 type job struct {
-	id   string
+	id string
+	// seq is the numeric part of id; listings sort on it so "j10" follows
+	// "j9" instead of "j1".
+	seq  int64
 	kind string
 	run  func(ctx context.Context) (any, error)
 

@@ -68,6 +68,11 @@ type Server struct {
 	draining atomic.Bool
 	wg       sync.WaitGroup
 	nextID   atomic.Int64
+	// admitMu makes enqueue's draining check and queue send atomic with
+	// respect to Shutdown's drain loop, so a job can never land on the
+	// queue after the drain has emptied it (it would sit "queued" forever
+	// with every worker gone).
+	admitMu sync.Mutex
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -157,8 +162,10 @@ func (s *Server) enqueue(kind string, run func(ctx context.Context) (any, error)
 	if s.draining.Load() {
 		return nil, errDraining
 	}
+	seq := s.nextID.Add(1)
 	j := &job{
-		id:      fmt.Sprintf("j%d", s.nextID.Add(1)),
+		id:      fmt.Sprintf("j%d", seq),
+		seq:     seq,
 		kind:    kind,
 		run:     run,
 		done:    make(chan struct{}),
@@ -168,12 +175,25 @@ func (s *Server) enqueue(kind string, run func(ctx context.Context) (any, error)
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	s.admitMu.Lock()
+	if s.draining.Load() {
+		// Shutdown won the race between the check above and the send: its
+		// drain loop may already have emptied the queue, so sending now
+		// would strand the job. Reject instead.
+		s.admitMu.Unlock()
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		return nil, errDraining
+	}
 	select {
 	case s.queue <- j:
+		s.admitMu.Unlock()
 		s.submitted.Inc()
 		s.queueDepth.Set(int64(len(s.queue)))
 		return j, nil
 	default:
+		s.admitMu.Unlock()
 		s.mu.Lock()
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
@@ -290,11 +310,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.stopOnce.Do(func() { close(s.shutdown) })
 
-	// Queued jobs that no worker will pick up become canceled now.
+	// Queued jobs that no worker will pick up become canceled now. Under
+	// the admit lock, an in-flight enqueue has either already sent (this
+	// loop picks the job up) or will observe draining and reject; nothing
+	// lands on the queue after the loop empties it.
+	s.admitMu.Lock()
 	for {
 		select {
 		case j := <-s.queue:
 			j.mu.Lock()
+			if j.canceled {
+				// DELETE already finalized this queued job and left it on
+				// the queue for a worker to discard; closing j.done again
+				// would panic.
+				j.mu.Unlock()
+				continue
+			}
 			j.canceled = true
 			j.state = JobCanceled
 			j.finished = time.Now()
@@ -304,6 +335,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.retire(j)
 		default:
 			s.queueDepth.Set(0)
+			s.admitMu.Unlock()
 			goto wait
 		}
 	}
@@ -502,12 +534,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	list := make([]JobStatus, 0, len(s.jobs))
+	snap := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
-		list = append(list, j.status())
+		snap = append(snap, j)
 	}
 	s.mu.Unlock()
-	sort.Slice(list, func(i, k int) bool { return list[i].ID < list[k].ID })
+	// Submission order, not lexical: "j10" must follow "j9", not "j1".
+	sort.Slice(snap, func(i, k int) bool { return snap[i].seq < snap[k].seq })
+	list := make([]JobStatus, 0, len(snap))
+	for _, j := range snap {
+		list = append(list, j.status())
+	}
 	writeJSON(w, http.StatusOK, list)
 }
 

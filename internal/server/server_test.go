@@ -259,6 +259,44 @@ func TestDeleteCancelsQueuedJob(t *testing.T) {
 	waitRunning(t, s, 0)
 }
 
+// TestShutdownAfterDeleteOfQueuedJob covers the double-close hazard: DELETE
+// finalizes a queued job but leaves it on the queue channel, and Shutdown's
+// drain loop must skip it rather than close j.done (and bump the canceled
+// counter) a second time.
+func TestShutdownAfterDeleteOfQueuedJob(t *testing.T) {
+	callIn := fmt.Sprintf(`{"app":%q,"scheme":"4PS"}`, paper.CallIn)
+	s, ts, gate := gateServer(t, Config{QueueDepth: 4})
+
+	running := submitReplay(t, ts, callIn)
+	waitRunning(t, s, 1)
+	queued := submitReplay(t, ts, callIn)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	waitState(t, ts, queued, JobCanceled, time.Second)
+
+	// Shutdown drains the queue — including the already-canceled job still
+	// sitting on it — while the running job is released to finish.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	gate <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	waitState(t, ts, running, JobDone, time.Second)
+	if got := s.canceledC.Value(); got != 1 {
+		t.Errorf("canceled counter = %d, want 1 (no double count from the drain loop)", got)
+	}
+}
+
 func TestDeleteCancelsRunningReplayWithinASecond(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	// A deliberately long job: Twitter repeated 1000 sessions (~14M
