@@ -2,11 +2,14 @@ GO ?= go
 
 # `make check` is the repository's pre-merge gate: static checks, a full
 # build, the sweep-runner suite under the race detector, the test suite under
-# the race detector, and the telemetry overhead budget
+# the race detector, the telemetry overhead budget
 # (TestTelemetryOverheadBudget fails if disabled telemetry shifts the
-# mean response time by 5% or more — it must be exactly 0).
+# mean response time by 5% or more — it must be exactly 0), and the recorded
+# benchmark trajectory (bench-gate fails on a >15% ns/op or allocs/op
+# regression between the two newest BENCH_*.json snapshots; it is a no-op
+# until a second snapshot exists).
 .PHONY: check
-check: vet build runner-race faults-race stream-race server-race race overhead
+check: vet build runner-race faults-race stream-race server-race race overhead bench-gate
 
 .PHONY: vet
 vet:
@@ -58,3 +61,16 @@ overhead:
 .PHONY: bench
 bench:
 	$(GO) test -bench=. -benchtime=1x .
+
+# Record one point on the performance trajectory: run the stream/sweep/replay
+# benchmark set and write BENCH_<today>.json (commit it with the PR).
+.PHONY: bench-snapshot
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap
+
+# Gate the trajectory: compare the two newest BENCH_*.json snapshots and fail
+# on a >15% regression in ns/op or allocs/op. Skips (exit 0) until two
+# snapshots exist.
+.PHONY: bench-gate
+bench-gate:
+	$(GO) run ./cmd/benchsnap -compare

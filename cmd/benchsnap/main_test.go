@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: emmcio
+cpu: some cpu
+BenchmarkReplayTelemetryOff-8   	      42	  26461547 ns/op	 8123456 B/op	   87595 allocs/op
+BenchmarkReplayTelemetryOff-8   	      44	  25000000 ns/op	 8123400 B/op	   87595 allocs/op
+BenchmarkSweepRunner/parallel-jmax-8         	       1	2724955660 ns/op	999 B/op	      10 allocs/op
+PASS
+ok  	emmcio	3.1s
+pkg: emmcio/internal/core
+BenchmarkDeviceWrite4K-8        	   14000	      7292 ns/op	     120 B/op	       6 allocs/op
+PASS
+ok  	emmcio/internal/core	1.0s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(results), results)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+
+	// Two repetitions fold to the minimum of each column.
+	off, ok := byName["emmcio.BenchmarkReplayTelemetryOff"]
+	if !ok {
+		t.Fatalf("missing folded ReplayTelemetryOff result: %+v", results)
+	}
+	if off.NsOp != 25000000 || off.BOp != 8123400 || off.AllocsOp != 87595 {
+		t.Errorf("min fold wrong: %+v", off)
+	}
+
+	// Sub-benchmark names keep their /parallel-jmax path; only the final
+	// -GOMAXPROCS suffix is stripped.
+	if _, ok := byName["emmcio.BenchmarkSweepRunner/parallel-jmax"]; !ok {
+		t.Errorf("sub-benchmark name mangled: %+v", results)
+	}
+
+	// The pkg: header scopes names, so the core benchmark is prefixed.
+	if _, ok := byName["emmcio/internal/core.BenchmarkDeviceWrite4K"]; !ok {
+		t.Errorf("package scoping lost: %+v", results)
+	}
+}
+
+func snap(results ...Result) Snapshot {
+	return Snapshot{Schema: 1, Results: results}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := snap(
+		Result{Name: "a", NsOp: 1000, AllocsOp: 10},
+		Result{Name: "b", NsOp: 1000, AllocsOp: 0},
+		Result{Name: "gone", NsOp: 5, AllocsOp: 5},
+	)
+
+	// Within threshold: +10% ns/op passes at 15%.
+	_, n := Compare(base, snap(
+		Result{Name: "a", NsOp: 1100, AllocsOp: 10},
+		Result{Name: "b", NsOp: 900, AllocsOp: 0},
+	), 15)
+	if n != 0 {
+		t.Errorf("within-threshold drift flagged: %d regressions", n)
+	}
+
+	// ns/op regression beyond threshold fails.
+	report, n := Compare(base, snap(Result{Name: "a", NsOp: 1300, AllocsOp: 10}), 15)
+	if n != 1 {
+		t.Errorf("+30%% ns/op not flagged: %d regressions\n%s", n, report)
+	}
+
+	// allocs/op regression fails even with flat ns/op.
+	_, n = Compare(base, snap(Result{Name: "a", NsOp: 1000, AllocsOp: 13}), 15)
+	if n != 1 {
+		t.Errorf("+30%% allocs/op not flagged: %d regressions", n)
+	}
+
+	// Zero-alloc benchmark growing any allocations always fails (relative
+	// growth from zero would otherwise divide away).
+	_, n = Compare(base, snap(Result{Name: "b", NsOp: 1000, AllocsOp: 1}), 15)
+	if n != 1 {
+		t.Errorf("0 -> 1 allocs not flagged: %d regressions", n)
+	}
+
+	// New and dropped benchmarks are reported but never gate.
+	report, n = Compare(base, snap(Result{Name: "fresh", NsOp: 1, AllocsOp: 1}), 15)
+	if n != 0 {
+		t.Errorf("new/dropped benchmarks gated: %d regressions\n%s", n, report)
+	}
+	if !strings.Contains(report, "new benchmark") || !strings.Contains(report, "dropped") {
+		t.Errorf("report missing new/dropped notes:\n%s", report)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"emmcio/internal/biotracer"
+	"emmcio/internal/cliutil"
 	"emmcio/internal/experiments"
 	"emmcio/internal/paper"
 	"emmcio/internal/trace"
@@ -27,7 +28,12 @@ func main() {
 	dir := flag.String("dir", ".", "output directory")
 	format := flag.String("format", "text", "trace format: text or binary")
 	seed := flag.Uint64("seed", workload.DefaultSeed, "workload generation seed")
+	showVersion := cliutil.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(cliutil.VersionLine("biotracer"))
+		return
+	}
 
 	reg := workload.DefaultRegistry()
 	var names []string

@@ -4,15 +4,20 @@
 //	emmcd -addr :8080
 //	curl -d '{"app":"Twitter","scheme":"HPS"}' localhost:8080/v1/replays
 //	curl localhost:8080/v1/jobs/j1
+//	curl localhost:8080/v1/jobs/j1/metrics   # that job's own Prometheus text
+//	curl localhost:8080/v1/jobs/j1/trace     # that job's Chrome-trace JSON
 //	curl -d '{"sweeps":["casestudy"]}'        localhost:8080/v1/sweeps
 //	curl -d '{"app":"Movie","format":"text"}' localhost:8080/v1/traces
 //	curl localhost:8080/metrics
 //
 // Replay and sweep submissions are asynchronous jobs on a bounded queue
 // (full queue = 429) executed by a fixed worker pool; results are
-// bit-identical to the equivalent emmcsim/experiments invocation. SIGINT/
-// SIGTERM stops admissions, cancels queued jobs, and drains in-flight ones
-// before exiting. See docs/SERVER.md for the API reference.
+// bit-identical to the equivalent emmcsim/experiments invocation. Every
+// job observes into its own telemetry registry and span tracer, queryable
+// per job; the server-wide /metrics carries the merged fleet totals.
+// SIGINT/SIGTERM stops admissions (healthz flips to 503 draining), cancels
+// queued jobs, and drains in-flight ones before exiting. See
+// docs/SERVER.md for the API reference.
 package main
 
 import (
@@ -20,7 +25,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,20 +45,54 @@ func main() {
 	results := flag.Int("results", 64, "terminal jobs kept queryable before eviction")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job deadline (negative = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight jobs before they are canceled")
+	traceBuffer := flag.Int("trace-buffer", 0, "per-job span-tracer ring capacity in events (0 = 4096; negative disables per-job traces)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error (debug adds one line per HTTP request)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
+	showVersion := cliutil.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(cliutil.VersionLine("emmcd"))
+		return
+	}
+
+	logger, err := newLogger(*logLevel, *logJSON)
+	if err != nil {
+		fatal(err)
+	}
 
 	svc := server.New(server.Config{
-		QueueDepth: *queue,
-		Workers:    *jobs,
-		JobWorkers: *workers,
-		ResultCap:  *results,
-		JobTimeout: *jobTimeout,
+		QueueDepth:  *queue,
+		Workers:     *jobs,
+		JobWorkers:  *workers,
+		ResultCap:   *results,
+		JobTimeout:  *jobTimeout,
+		JobTraceCap: *traceBuffer,
+		Logger:      logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
+	// The pprof mux is opt-in and separate from the API listener, so the
+	// profiling surface is never exposed on the service address by
+	// accident; bind it to localhost in production.
+	if *pprofAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "emmcd: listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -59,7 +100,7 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "emmcd: %v: draining (up to %s)\n", sig, *drainTimeout)
+		logger.Info("signal received, draining", "signal", sig.String(), "grace", *drainTimeout)
 	case err := <-errc:
 		// Listener died on its own (port taken, socket error): nothing to
 		// drain that matters, report and exit non-zero.
@@ -71,7 +112,7 @@ func main() {
 	// Stop admissions and drain jobs first, then close the listener: a
 	// client polling a draining job keeps getting status until the end.
 	if err := svc.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "emmcd: drain incomplete: %v\n", err)
+		logger.Warn("drain incomplete", "error", err)
 	}
 	// The HTTP listener gets its own grace period: job draining may have
 	// exhausted ctx above, and an expired context would abort in-flight
@@ -79,9 +120,22 @@ func main() {
 	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer httpCancel()
 	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "emmcd: http shutdown: %v\n", err)
+		logger.Warn("http shutdown", "error", err)
 	}
-	fmt.Fprintln(os.Stderr, "emmcd: bye")
+	logger.Info("bye")
+}
+
+// newLogger builds the stderr slog handler the whole process shares.
+func newLogger(level string, asJSON bool) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
 }
 
 func fatal(err error) { cliutil.Fatal("emmcd", err) }

@@ -45,7 +45,12 @@ func main() {
 	saveDev := flag.String("save", "", "snapshot the device after the replay (single scheme only)")
 	outTrace := flag.String("o", "", "write the replayed (timestamped) trace to this file (single scheme only; feed pairs to tracediff)")
 	asJSON := flag.Bool("json", false, "emit per-scheme metrics as JSON instead of a table")
+	showVersion := cliutil.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(cliutil.VersionLine("emmcsim"))
+		return
+	}
 
 	spec.Normalize()
 	opt, err := spec.DeviceOptions()

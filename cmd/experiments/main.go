@@ -40,7 +40,12 @@ func main() {
 	obs.Bind(flag.CommandLine)
 	var faultFlags cliutil.FaultFlags
 	faultFlags.Bind(flag.CommandLine)
+	showVersion := cliutil.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(cliutil.VersionLine("experiments"))
+		return
+	}
 
 	faultCfg, err := faultFlags.Config()
 	if err != nil {

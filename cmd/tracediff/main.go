@@ -25,7 +25,12 @@ import (
 )
 
 func main() {
+	showVersion := cliutil.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(cliutil.VersionLine("tracediff"))
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: tracediff <traceA> <traceB>")
 		os.Exit(2)

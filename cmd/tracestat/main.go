@@ -38,7 +38,12 @@ func main() {
 	percentiles := flag.Bool("percentiles", false, "print p50/p95/p99 service latencies per request type")
 	asJSON := flag.Bool("json", false, "emit machine-readable FullReport JSON instead of tables")
 	stream := flag.Bool("stream", false, "stream text trace files in constant memory (huge collections)")
+	showVersion := cliutil.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(cliutil.VersionLine("tracestat"))
+		return
+	}
 
 	if *stream {
 		streamMode(flag.Args())

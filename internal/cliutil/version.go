@@ -1,0 +1,61 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"runtime/debug"
+)
+
+// Build identification, shared by every CLI's -version flag and the emmcd
+// server's emmcd_build_info gauge, so a metrics scrape or a recorded
+// BENCH_*.json trajectory point can always be tied back to the build that
+// produced it.
+
+// BuildVersion reports the module version and Go toolchain version baked
+// into the running binary by runtime/debug.ReadBuildInfo. Binaries built
+// from a source checkout report "devel" plus the VCS revision when the
+// build recorded one; go-run and test binaries report "devel".
+func BuildVersion() (version, goVersion string) {
+	version, goVersion = "devel", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion
+	}
+	goVersion = bi.GoVersion
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if version == "devel" && rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		version = "devel+" + rev
+		if dirty {
+			version += "-dirty"
+		}
+	}
+	return version, goVersion
+}
+
+// VersionLine renders the one-line -version output: tool, module version,
+// and toolchain.
+func VersionLine(tool string) string {
+	v, gv := BuildVersion()
+	return fmt.Sprintf("%s %s (%s)", tool, v, gv)
+}
+
+// VersionFlag registers the standard -version flag on fs and returns its
+// value pointer; mains check it right after flag.Parse.
+func VersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print build version and exit")
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"sync"
 	"time"
+
+	"emmcio/internal/telemetry"
 )
 
 // Job states. A job moves queued → running → one of the terminal states;
@@ -17,6 +19,11 @@ const (
 	JobCanceled = "canceled"
 )
 
+// jobFunc is a job's work function. It observes into the job's own child
+// registry and tracer — never the server-wide registry — so every metric
+// and span it emits is attributable to exactly this job.
+type jobFunc func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error)
+
 // job is one asynchronous unit of work: a replay or a sweep submitted over
 // HTTP, executed on the server's worker pool under a cancelable context.
 type job struct {
@@ -25,7 +32,17 @@ type job struct {
 	// "j9" instead of "j1".
 	seq  int64
 	kind string
-	run  func(ctx context.Context) (any, error)
+	// reqID is the HTTP request id that admitted the job, joining the
+	// job's lifecycle log lines back to the submission.
+	reqID string
+	run   jobFunc
+
+	// tel is the job's child telemetry registry (scoped under the server
+	// registry; merged into it at completion) and tracer its span ring.
+	// Both stay attached for as long as the result store retains the job,
+	// serving /v1/jobs/{id}/metrics and /trace.
+	tel    *telemetry.Registry
+	tracer *telemetry.Tracer
 
 	// done closes when the job reaches a terminal state; DELETE handlers
 	// and tests wait on it.
@@ -57,6 +74,10 @@ type JobStatus struct {
 	Finished string `json:"finished,omitempty"`
 	// Error is set for failed (and context-expired canceled) jobs.
 	Error string `json:"error,omitempty"`
+	// MetricsURL and TraceURL point at the job's own observability
+	// surfaces: Prometheus text and Chrome-trace JSON scoped to this job.
+	MetricsURL string `json:"metrics_url,omitempty"`
+	TraceURL   string `json:"trace_url,omitempty"`
 	// Result is the job's JSON payload, present once state is done:
 	// []cliutil.SchemeResult for replays, []SweepOutput for sweeps.
 	Result json.RawMessage `json:"result,omitempty"`
@@ -67,12 +88,16 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:      j.id,
-		Kind:    j.kind,
-		State:   j.state,
-		Created: j.created.UTC().Format(time.RFC3339Nano),
-		Error:   j.err,
-		Result:  j.result,
+		ID:         j.id,
+		Kind:       j.kind,
+		State:      j.state,
+		Created:    j.created.UTC().Format(time.RFC3339Nano),
+		Error:      j.err,
+		MetricsURL: "/v1/jobs/" + j.id + "/metrics",
+		Result:     j.result,
+	}
+	if j.tracer != nil {
+		st.TraceURL = "/v1/jobs/" + j.id + "/trace"
 	}
 	if !j.started.IsZero() {
 		st.Started = j.started.UTC().Format(time.RFC3339Nano)

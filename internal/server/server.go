@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sort"
@@ -50,9 +51,18 @@ type Config struct {
 	JobTimeout time.Duration
 	// Registry resolves workload names (default: the 25 built-in profiles).
 	Registry *workload.Registry
-	// Telemetry is the metrics registry re-exported at /metrics; replays
-	// executed by jobs observe into it (default: a fresh registry).
+	// Telemetry is the server-wide metrics registry re-exported at
+	// /metrics (default: a fresh registry). Jobs observe into their own
+	// child registries, which merge into this one on completion, so the
+	// fleet totals here always equal the merge of the per-job snapshots.
 	Telemetry *telemetry.Registry
+	// JobTraceCap bounds each job's span-tracer ring buffer in events
+	// (0 = telemetry.DefaultTracerCapacity; negative disables per-job
+	// tracing entirely).
+	JobTraceCap int
+	// Logger receives structured request and job-lifecycle logs (default:
+	// discard; cmd/emmcd wires stderr).
+	Logger *slog.Logger
 }
 
 // Server is the emmcd job service. Create with New, serve via Handler,
@@ -60,6 +70,7 @@ type Config struct {
 type Server struct {
 	cfg Config
 	tel *telemetry.Registry
+	log *slog.Logger
 	mux *http.ServeMux
 
 	queue    chan *job
@@ -68,6 +79,8 @@ type Server struct {
 	draining atomic.Bool
 	wg       sync.WaitGroup
 	nextID   atomic.Int64
+	reqSeq   atomic.Int64
+	started  time.Time
 	// admitMu makes enqueue's draining check and queue send atomic with
 	// respect to Shutdown's drain loop, so a job can never land on the
 	// queue after the drain has emptied it (it would sit "queued" forever
@@ -117,10 +130,15 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		tel:      cfg.Telemetry,
+		log:      cfg.logger(),
 		queue:    make(chan *job, cfg.QueueDepth),
 		shutdown: make(chan struct{}),
 		jobs:     map[string]*job{},
+		started:  time.Now(),
 	}
+	version, goVersion := cliutil.BuildVersion()
+	s.tel.Gauge("emmcd_build_info",
+		telemetry.L("version", version), telemetry.L("go_version", goVersion)).Set(1)
 	s.submitted = s.tel.Counter("emmcd_jobs_submitted_total")
 	s.rejected = s.tel.Counter("emmcd_jobs_rejected_total")
 	s.completed = s.tel.Counter("emmcd_jobs_completed_total")
@@ -137,6 +155,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/traces", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
 
 	s.wg.Add(cfg.Workers)
@@ -146,8 +166,9 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API, wrapped in the request-id and logging
+// middleware.
+func (s *Server) Handler() http.Handler { return s.withObservedRequests(s.mux) }
 
 // errQueueFull and errDraining map to 429 and 503 respectively.
 var (
@@ -158,7 +179,12 @@ var (
 // enqueue registers a job and places it on the bounded queue. The queue
 // send is non-blocking: admission control is an immediate 429, never a
 // stalled client holding a connection while memory grows.
-func (s *Server) enqueue(kind string, run func(ctx context.Context) (any, error)) (*job, error) {
+//
+// Every job gets its own child telemetry registry and span tracer here;
+// run observes into those, never into the server-wide registry directly,
+// so concurrent jobs cannot contaminate each other's series and
+// /v1/jobs/{id}/metrics answers for exactly one job.
+func (s *Server) enqueue(ctx context.Context, kind string, run jobFunc) (*job, error) {
 	if s.draining.Load() {
 		return nil, errDraining
 	}
@@ -167,10 +193,15 @@ func (s *Server) enqueue(kind string, run func(ctx context.Context) (any, error)
 		id:      fmt.Sprintf("j%d", seq),
 		seq:     seq,
 		kind:    kind,
+		reqID:   requestID(ctx),
 		run:     run,
+		tel:     s.tel.Child(),
 		done:    make(chan struct{}),
 		state:   JobQueued,
 		created: time.Now(),
+	}
+	if s.cfg.JobTraceCap >= 0 {
+		j.tracer = telemetry.NewTracer(s.cfg.JobTraceCap)
 	}
 	s.mu.Lock()
 	s.jobs[j.id] = j
@@ -191,6 +222,8 @@ func (s *Server) enqueue(kind string, run func(ctx context.Context) (any, error)
 		s.admitMu.Unlock()
 		s.submitted.Inc()
 		s.queueDepth.Set(int64(len(s.queue)))
+		s.log.Info("job admitted", "job", j.id, "kind", kind, "req", j.reqID,
+			"queued", len(s.queue))
 		return j, nil
 	default:
 		s.admitMu.Unlock()
@@ -241,15 +274,23 @@ func (s *Server) execute(j *job) {
 	j.cancel = cancel
 	j.state = JobRunning
 	j.started = time.Now()
+	queueWait := j.started.Sub(j.created)
 	j.mu.Unlock()
 
+	s.log.Info("job started", "job", j.id, "kind", j.kind, "req", j.reqID,
+		"queue_wait", queueWait)
 	s.running.Add(1)
 	if s.beforeRun != nil {
 		s.beforeRun(j)
 	}
-	res, err := runSafe(ctx, j.run)
+	res, err := runSafe(ctx, j)
 	cancel()
 	s.running.Add(-1)
+
+	// Publish whatever the job observed — also for failed and canceled
+	// jobs, whose partial I/O did happen — so the server-wide /metrics
+	// totals stay the exact merge of every job's registry.
+	j.tel.MergeIntoParent()
 
 	var payload json.RawMessage
 	if err == nil {
@@ -258,6 +299,7 @@ func (s *Server) execute(j *job) {
 	j.mu.Lock()
 	j.cancel = nil
 	j.finished = time.Now()
+	runDur := j.finished.Sub(j.started)
 	switch {
 	case err == nil:
 		j.state = JobDone
@@ -272,20 +314,28 @@ func (s *Server) execute(j *job) {
 		j.err = err.Error()
 		s.failed.Inc()
 	}
+	state, errMsg := j.state, j.err
 	j.mu.Unlock()
 	close(j.done)
 	s.retire(j)
+	if errMsg == "" {
+		s.log.Info("job finished", "job", j.id, "kind", j.kind, "req", j.reqID,
+			"state", state, "queue_wait", queueWait, "run", runDur)
+	} else {
+		s.log.Warn("job finished", "job", j.id, "kind", j.kind, "req", j.reqID,
+			"state", state, "queue_wait", queueWait, "run", runDur, "error", errMsg)
+	}
 }
 
 // runSafe converts a panicking job into a failed one; a bad spec must
 // never take the service down.
-func runSafe(ctx context.Context, run func(ctx context.Context) (any, error)) (res any, err error) {
+func runSafe(ctx context.Context, j *job) (res any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return run(ctx)
+	return j.run(ctx, j.tel, j.tracer)
 }
 
 // retire records a terminal job and evicts the oldest-finished ones past
@@ -309,6 +359,7 @@ func (s *Server) retire(j *job) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.stopOnce.Do(func() { close(s.shutdown) })
+	s.log.Info("draining", "queued", len(s.queue), "running", s.running.Value())
 
 	// Queued jobs that no worker will pick up become canceled now. Under
 	// the admit lock, an in-flight enqueue has either already sent (this
@@ -333,6 +384,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			close(j.done)
 			s.canceledC.Inc()
 			s.retire(j)
+			s.log.Info("job canceled", "job", j.id, "kind", j.kind, "req", j.reqID,
+				"reason", "drain")
 		default:
 			s.queueDepth.Set(0)
 			s.admitMu.Unlock()
@@ -425,8 +478,8 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.enqueue("replay", func(ctx context.Context) (any, error) {
-		return spec.Run(ctx, s.cfg.JobWorkers, s.tel, nil)
+	j, err := s.enqueue(r.Context(), "replay", func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error) {
+		return spec.Run(ctx, s.cfg.JobWorkers, reg, tc)
 	})
 	if err != nil {
 		submitError(w, err)
@@ -452,7 +505,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.enqueue("sweep", func(ctx context.Context) (any, error) {
+	j, err := s.enqueue(r.Context(), "sweep", func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error) {
 		env, err := spec.Env(ctx)
 		if err != nil {
 			return nil, err
@@ -460,7 +513,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if spec.Workers == 0 {
 			env.Workers = s.cfg.JobWorkers
 		}
-		env.Telemetry = s.tel
+		env.Telemetry = reg
+		env.Tracer = tc
 		out := make([]SweepOutput, 0, len(spec.Sweeps))
 		for _, name := range spec.Sweeps {
 			if err := ctx.Err(); err != nil {
@@ -583,6 +637,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		close(j.done)
 		s.canceledC.Inc()
 		s.retire(j)
+		s.log.Info("job canceled", "job", j.id, "kind", j.kind, "req", j.reqID,
+			"reason", "delete")
 	case JobRunning:
 		j.canceled = true
 		cancel := j.cancel
@@ -596,27 +652,51 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
-// Health is the /healthz body.
+// Health is the /healthz body: liveness plus the queue/worker state a
+// load balancer or operator needs at a glance.
 type Health struct {
-	Status  string `json:"status"` // ok or draining
-	Queued  int    `json:"queued"`
-	Running int64  `json:"running"`
-	Jobs    int    `json:"jobs"`
+	Status string `json:"status"` // ok or draining
+	// Queued/QueueCapacity describe the bounded admission queue; Workers
+	// is the fixed executor pool size; Running is jobs executing now.
+	Queued        int   `json:"queued"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Workers       int   `json:"workers"`
+	Running       int64 `json:"running"`
+	// Jobs counts every job the result store still knows, States breaks
+	// them down by lifecycle state.
+	Jobs   int            `json:"jobs"`
+	States map[string]int `json:"states"`
+	// UptimeSec is seconds since the worker pool started.
+	UptimeSec float64 `json:"uptime_sec"`
 }
 
+// handleHealth distinguishes liveness from readiness: a live but draining
+// server answers 503 with {"status":"draining"}, so load balancers stop
+// routing new work to it while clients polling existing jobs still get
+// JSON (the process stays up until the drain completes).
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
+	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
-		status = "draining"
+		status, code = "draining", http.StatusServiceUnavailable
 	}
+	states := map[string]int{}
 	s.mu.Lock()
 	known := len(s.jobs)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		states[j.state]++
+		j.mu.Unlock()
+	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, Health{
-		Status:  status,
-		Queued:  len(s.queue),
-		Running: s.running.Value(),
-		Jobs:    known,
+	writeJSON(w, code, Health{
+		Status:        status,
+		Queued:        len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+		Workers:       s.cfg.Workers,
+		Running:       s.running.Value(),
+		Jobs:          known,
+		States:        states,
+		UptimeSec:     time.Since(s.started).Seconds(),
 	})
 }
 

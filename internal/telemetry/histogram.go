@@ -89,6 +89,58 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// merge folds src's current state into h: bucket counts, sum, and count
+// add; max and min fold. Identical bucket grids (the only case the
+// registry produces, since families share bounds) merge bucket-for-bucket;
+// a differing grid re-buckets each src bucket at its upper bound and the
+// overflow at src's observed maximum, which keeps cumulative counts
+// monotone at the cost of intra-bucket precision.
+func (h *Histogram) merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	sameBounds := len(h.bounds) == len(src.bounds)
+	if sameBounds {
+		for i := range h.bounds {
+			if h.bounds[i] != src.bounds[i] {
+				sameBounds = false
+				break
+			}
+		}
+	}
+	for i := range src.counts {
+		c := src.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		switch {
+		case sameBounds:
+			h.counts[i].Add(c)
+		case i < len(src.bounds):
+			h.counts[h.bucketOf(src.bounds[i])].Add(c)
+		default:
+			h.counts[h.bucketOf(src.max.Load())].Add(c)
+		}
+	}
+	h.sum.Add(src.sum.Load())
+	h.count.Add(src.count.Load())
+	for {
+		cur, v := h.max.Load(), src.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	if neg := src.min.Load(); neg != 0 {
+		v := -neg - 1
+		for {
+			cur := h.min.Load()
+			if cur != 0 && -v <= cur || h.min.CompareAndSwap(cur, -v-1) {
+				break
+			}
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {

@@ -60,6 +60,9 @@ type Registry struct {
 	counters map[metricKey]*Counter
 	gauges   map[metricKey]*Gauge
 	hists    map[metricKey]*Histogram
+	// parent, when non-nil, is the registry this one was scoped under via
+	// Child; MergeIntoParent folds through it. See scope.go.
+	parent *Registry
 }
 
 // NewRegistry builds an empty registry.

@@ -71,6 +71,57 @@ func TestTelemetryOverheadBudget(t *testing.T) {
 		off.NsPerOp(), on.NsPerOp(), wallPct)
 }
 
+// TestTelemetryJobScopedOverhead extends the overhead budget to the
+// job-scoped model: scoping must not reopen either fast path. A child of a
+// nil registry is nil (so an unobserved server's jobs replay bit-identical
+// to the seed), a replay into a child is bit-identical to an unobserved
+// one, and cutting a snapshot of a completed job leaves the live hot-path
+// handles allocation-free.
+func TestTelemetryJobScopedOverhead(t *testing.T) {
+	mOff := replayTwitter(t, nil, nil)
+
+	// Nil fast path survives scoping end to end.
+	var root *telemetry.Registry
+	if root.Child() != nil {
+		t.Fatal("nil registry produced a non-nil child; the disabled fast path is gone")
+	}
+	if m := replayTwitter(t, root.Child(), nil); m != mOff {
+		t.Fatalf("replay into a nil child perturbed the simulation:\n  got %+v\n  off %+v", m, mOff)
+	}
+
+	// A job observing into a child must not shift simulated time either.
+	parent := telemetry.NewRegistry()
+	child := parent.Child()
+	if m := replayTwitter(t, child, nil); m != mOff {
+		t.Fatalf("replay into a child registry perturbed the simulation:\n  got %+v\n  off %+v", m, mOff)
+	}
+	child.MergeIntoParent()
+	reads := telemetry.L("op", "read")
+	if got, want := parent.Counter("core_requests_total", reads).Value(),
+		child.Counter("core_requests_total", reads).Value(); got != want || want == 0 {
+		t.Fatalf("merge lost the job's counts: parent %d, child %d", got, want)
+	}
+
+	// A completed job's snapshot coexists with live observation at zero
+	// cost: resolve the hot-loop handles once (as the replay loop does),
+	// cut a snapshot, and the handles must still allocate nothing.
+	c := child.Counter("core_requests_total", reads)
+	h := child.Histogram("core_response_ns", nil, reads)
+	g := child.Gauge("sim_queue_depth")
+	snap := child.Snapshot()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(123_456)
+		g.Set(4)
+	}); n != 0 {
+		t.Errorf("hot-path ops allocate %.1f/op after a snapshot, want 0", n)
+	}
+	// And the snapshot stayed a fixed record while the source moved on.
+	if snap.Counter("core_requests_total", reads).Value() == c.Value() {
+		t.Error("snapshot tracked the live registry; it must be a deep copy")
+	}
+}
+
 func BenchmarkReplayTelemetryOff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		replayTwitter(b, nil, nil)
