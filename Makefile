@@ -9,7 +9,7 @@ GO ?= go
 # regression between the two newest BENCH_*.json snapshots; it is a no-op
 # until a second snapshot exists).
 .PHONY: check
-check: vet build runner-race faults-race stream-race server-race race overhead bench-gate
+check: vet build runner-race faults-race stream-race server-race device-race race overhead bench-gate
 
 .PHONY: vet
 vet:
@@ -46,6 +46,15 @@ faults-race:
 .PHONY: stream-race
 stream-race:
 	$(GO) test -race -run 'Stream|Online|Accumulator|Repeat|Merge' ./internal/trace ./internal/core ./internal/stats ./internal/analysis ./internal/experiments
+
+# The device layer under the race detector: the backend-neutral storage
+# seam, the UFS command-queue/booster model, the blockdev driver's
+# capability-gated packing, and the cross-backend determinism suite (which
+# replays all three backends in parallel subtests).
+.PHONY: device-race
+device-race:
+	$(GO) test -race ./internal/storage ./internal/ufs ./internal/blockdev
+	$(GO) test -race -run 'CrossBackend|Golden|BackendsDiverge|UFS' ./internal/core
 
 # The job service under the race detector: queue backpressure, mid-replay
 # cancellation, drain-on-shutdown, and the 64-way concurrent submission

@@ -37,7 +37,7 @@ import (
 // device submit paths, trace generation, and the parallel sweep runner
 // (its serial twin is skipped to keep the gate fast; the ratio belongs to
 // BenchmarkSweepRunner's own output).
-const defaultBench = "ReplayTelemetryOff|ReplayTelemetryOn|ReplayStream1k|ReplaySlice1k|DeviceWrite4K|DeviceRead64K|TraceGeneration|SweepRunner/parallel"
+const defaultBench = "ReplayTelemetryOff|ReplayTelemetryOn|ReplayStream1k|ReplaySlice1k|ReplayUFS1k|DeviceWrite4K|DeviceRead64K|TraceGeneration|SweepRunner/parallel"
 
 const defaultPkgs = ".,./internal/core"
 
@@ -105,7 +105,10 @@ func main() {
 		Count:     *count,
 		Results:   results,
 	}
-	path := filepath.Join(*dir, "BENCH_"+day+".json")
+	path, err := snapshotPath(*dir, day)
+	if err != nil {
+		fatal(err)
+	}
 	b, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -114,6 +117,43 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchsnap: wrote %s (%d benchmarks)\n", path, len(results))
+}
+
+// snapshotPath picks the file name for day's snapshot. The first snapshot
+// of a day is BENCH_<day>.json; later ones the same day get a -2, -3, ...
+// suffix instead of overwriting, so multiple points recorded between
+// commits (e.g. before and after an optimization) all stay on the
+// trajectory.
+func snapshotPath(dir, day string) (string, error) {
+	for n := 1; ; n++ {
+		name := "BENCH_" + day + ".json"
+		if n > 1 {
+			name = fmt.Sprintf("BENCH_%s-%d.json", day, n)
+		}
+		path := filepath.Join(dir, name)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+}
+
+// snapshotKey orders snapshot paths chronologically: by date, then by the
+// same-day suffix. A plain string sort gets this wrong — "-2.json" sorts
+// *before* ".json", so BENCH_2026-08-08-2.json would look older than
+// BENCH_2026-08-08.json when it is newer.
+func snapshotKey(path string) (date string, suffix int) {
+	name := strings.TrimSuffix(filepath.Base(path), ".json")
+	name = strings.TrimPrefix(name, "BENCH_")
+	suffix = 1
+	if len(name) > 10 && name[10] == '-' {
+		if n, err := strconv.Atoi(name[11:]); err == nil {
+			date, suffix = name[:10], n
+			return date, suffix
+		}
+	}
+	return name, suffix
 }
 
 // runBenchmarks shells out to `go test -bench` once and folds the -count
@@ -212,7 +252,14 @@ func compareLatest(dir string, thresholdPct float64) int {
 	if err != nil {
 		fatal(err)
 	}
-	sort.Strings(paths) // ISO dates sort chronologically
+	sort.SliceStable(paths, func(i, j int) bool {
+		di, si := snapshotKey(paths[i])
+		dj, sj := snapshotKey(paths[j])
+		if di != dj {
+			return di < dj // ISO dates sort chronologically
+		}
+		return si < sj // then the intra-day -2, -3, ... suffix
+	})
 	if len(paths) < 2 {
 		fmt.Printf("benchsnap: %d snapshot(s) in %s; need two to compare — skipping gate\n", len(paths), dir)
 		return 0

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -100,5 +103,70 @@ func TestCompareGate(t *testing.T) {
 	}
 	if !strings.Contains(report, "new benchmark") || !strings.Contains(report, "dropped") {
 		t.Errorf("report missing new/dropped notes:\n%s", report)
+	}
+}
+
+// TestSnapshotPathCollision: recording twice on the same date must produce
+// distinct files (-2, -3, ...), never overwrite an existing point.
+func TestSnapshotPathCollision(t *testing.T) {
+	dir := t.TempDir()
+	day := "2026-08-08"
+	p1, err := snapshotPath(dir, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_2026-08-08.json" {
+		t.Fatalf("first path = %s", p1)
+	}
+	if err := os.WriteFile(p1, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := snapshotPath(dir, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_2026-08-08-2.json" {
+		t.Fatalf("second path = %s, want -2 suffix", p2)
+	}
+	if err := os.WriteFile(p2, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := snapshotPath(dir, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p3) != "BENCH_2026-08-08-3.json" {
+		t.Fatalf("third path = %s, want -3 suffix", p3)
+	}
+}
+
+// TestSnapshotKeyOrder: the -2 suffix sorts *after* the unsuffixed file of
+// the same day (a plain string sort puts "-2.json" first) and before the
+// next day.
+func TestSnapshotKeyOrder(t *testing.T) {
+	paths := []string{
+		"BENCH_2026-08-08-2.json",
+		"BENCH_2026-08-09.json",
+		"BENCH_2026-08-08.json",
+		"BENCH_2026-08-08-10.json",
+	}
+	sort.SliceStable(paths, func(i, j int) bool {
+		di, si := snapshotKey(paths[i])
+		dj, sj := snapshotKey(paths[j])
+		if di != dj {
+			return di < dj
+		}
+		return si < sj
+	})
+	want := []string{
+		"BENCH_2026-08-08.json",
+		"BENCH_2026-08-08-2.json",
+		"BENCH_2026-08-08-10.json",
+		"BENCH_2026-08-09.json",
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, paths[i], want[i], paths)
+		}
 	}
 }

@@ -27,9 +27,9 @@ import (
 
 	"emmcio/internal/cliutil"
 	"emmcio/internal/core"
-	"emmcio/internal/emmc"
 	"emmcio/internal/report"
 	"emmcio/internal/runner"
+	"emmcio/internal/storage"
 	"emmcio/internal/trace"
 	"emmcio/internal/workload"
 )
@@ -86,13 +86,17 @@ func main() {
 			}
 			defer done()
 			st = spec.PrepareStream(st)
-			var dev *emmc.Device
+			var dev storage.Device
 			if *loadDev != "" {
+				backend, err := spec.Backend()
+				if err != nil {
+					return core.Metrics{}, err
+				}
 				f, err := os.Open(*loadDev)
 				if err != nil {
 					return core.Metrics{}, err
 				}
-				dev, err = emmc.RestoreSnapshot(f)
+				dev, err = core.RestoreDevice(backend, f)
 				f.Close()
 				if err != nil {
 					return core.Metrics{}, err

@@ -40,6 +40,8 @@ func main() {
 	obs.Bind(flag.CommandLine)
 	var faultFlags cliutil.FaultFlags
 	faultFlags.Bind(flag.CommandLine)
+	var devFlags cliutil.DeviceSpec
+	devFlags.BindFlags(flag.CommandLine)
 	showVersion := cliutil.VersionFlag(flag.CommandLine)
 	flag.Parse()
 	if *showVersion {
@@ -76,6 +78,9 @@ func main() {
 	env := experiments.NewEnv(*seed)
 	env.Workers = obs.Workers
 	env.Faults = faultCfg
+	if err := devFlags.ApplyEnv(env); err != nil {
+		fatal(err)
+	}
 	env.Telemetry = obs.Registry()
 	env.Tracer = obs.Tracer()
 	out := os.Stdout

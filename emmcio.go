@@ -42,6 +42,7 @@ import (
 	"emmcio/internal/ftl"
 	"emmcio/internal/paper"
 	"emmcio/internal/reliability"
+	"emmcio/internal/storage"
 	"emmcio/internal/trace"
 	"emmcio/internal/workload"
 )
@@ -140,6 +141,15 @@ func GenerateTrace(name string, seed uint64) *Trace {
 
 // Device model.
 type (
+	// StorageDevice is the backend-neutral device interface every backend
+	// implements; NewDevice returns one. Concrete eMMC state (snapshots,
+	// utilization breakdowns) stays on Device.
+	StorageDevice = storage.Device
+	// Backend selects a device implementation: "emmc" (default), "sd", "ufs".
+	Backend = storage.Backend
+	// DeviceCaps describes a backend's capabilities (packed-command
+	// support, queue depth).
+	DeviceCaps = storage.Caps
 	// Device is a simulated eMMC device.
 	Device = emmc.Device
 	// DeviceConfig configures a device.
@@ -152,6 +162,13 @@ type (
 	Metrics = core.Metrics
 	// GCPolicy selects foreground or idle garbage collection.
 	GCPolicy = emmc.GCPolicy
+)
+
+// The built-in device backends.
+const (
+	BackendEMMC = storage.BackendEMMC
+	BackendSD   = storage.BackendSD
+	BackendUFS  = storage.BackendUFS
 )
 
 // The three Table V schemes.
@@ -235,11 +252,11 @@ type Tracer = biotracer.Tracer
 type TracerOverheadReport = biotracer.Overhead
 
 // NewTracer wraps a device with a BIOtracer monitor.
-func NewTracer(dev *Device) *Tracer { return biotracer.New(dev) }
+func NewTracer(dev StorageDevice) *Tracer { return biotracer.New(dev) }
 
 // CollectTrace replays a trace through a tracer on the device, filling all
 // timestamps and returning the tracer overhead.
-func CollectTrace(dev *Device, tr *Trace) (TracerOverheadReport, error) {
+func CollectTrace(dev StorageDevice, tr *Trace) (TracerOverheadReport, error) {
 	return biotracer.Collect(dev, tr)
 }
 
@@ -345,8 +362,11 @@ func RunAging(env *ExperimentEnv, app string, lifeFractions []float64) ([]AgingP
 
 // Device persistence: archive an aged device and resume it later.
 var (
-	// RestoreDevice rebuilds a device from a Snapshot stream.
-	RestoreDevice = emmc.RestoreSnapshot
+	// RestoreDevice rebuilds a device of the given backend from a Snapshot
+	// stream (snapshot layouts are backend-specific; "" means eMMC).
+	RestoreDevice = core.RestoreDevice
+	// RestoreEMMCDevice rebuilds a concrete *Device from an eMMC snapshot.
+	RestoreEMMCDevice = emmc.RestoreSnapshot
 )
 
 // Additional trace tooling.

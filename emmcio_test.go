@@ -164,7 +164,11 @@ func TestWearPolicyFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dev.Config().Wear != WearStatic {
+	em, ok := dev.(*Device)
+	if !ok {
+		t.Fatalf("default backend is %T, want the eMMC device", dev)
+	}
+	if em.Config().Wear != WearStatic {
 		t.Fatal("wear policy not plumbed through")
 	}
 }

@@ -13,7 +13,7 @@ package biotracer
 import (
 	"fmt"
 
-	"emmcio/internal/emmc"
+	"emmcio/internal/storage"
 	"emmcio/internal/trace"
 )
 
@@ -34,7 +34,7 @@ var flushOpSizes = []uint32{4096, 4096, 8192, 4096, 4096, 4096, 4096}
 // Tracer monitors a device, collecting timestamped records while injecting
 // its own logging I/O into the request stream.
 type Tracer struct {
-	dev *emmc.Device
+	dev storage.Device
 
 	buffered int // records currently in the RAM buffer
 	logLBA   uint64
@@ -49,7 +49,7 @@ type Tracer struct {
 const LogRegionLBA = uint64(30) << 30 / trace.SectorSize // 30 GB offset
 
 // New wraps a device with a tracer.
-func New(dev *emmc.Device) *Tracer {
+func New(dev storage.Device) *Tracer {
 	return &Tracer{dev: dev, logLBA: LogRegionLBA}
 }
 
@@ -132,7 +132,7 @@ func (t *Tracer) Overhead() Overhead {
 // Collect replays a whole trace through a fresh tracer on the given device,
 // filling in all timestamps, and returns the tracer overhead report.
 // This is the reproduction's equivalent of one §II collecting session.
-func Collect(dev *emmc.Device, tr *trace.Trace) (Overhead, error) {
+func Collect(dev storage.Device, tr *trace.Trace) (Overhead, error) {
 	i := 0
 	return CollectStream(dev, trace.FromSlice(tr), func(req trace.Request) error {
 		tr.Reqs[i].ServiceStart = req.ServiceStart
@@ -147,7 +147,7 @@ func Collect(dev *emmc.Device, tr *trace.Trace) (Overhead, error) {
 // the tracer's own log I/O as it goes), and hands every request with its
 // three timestamps filled to sink (when non-nil). Memory is O(1) in the
 // trace length — one §II collecting session of any duration.
-func CollectStream(dev *emmc.Device, st trace.Stream, sink func(trace.Request) error) (Overhead, error) {
+func CollectStream(dev storage.Device, st trace.Stream, sink func(trace.Request) error) (Overhead, error) {
 	t := New(dev)
 	for i := 0; ; i++ {
 		req, ok, err := st.Next()

@@ -246,3 +246,14 @@ func (d *Driver) Pack(batch []trace.Request) []PackedCommand {
 	}
 	return out
 }
+
+// Unpacked wraps each request of a batch in its own command — the dispatch
+// shape for devices whose Caps do not advertise packed-command support
+// (sdcard, UFS). No packing statistics accrue: nothing was packed.
+func (d *Driver) Unpacked(batch []trace.Request) []PackedCommand {
+	out := make([]PackedCommand, len(batch))
+	for i, r := range batch {
+		out[i] = PackedCommand{Reqs: []trace.Request{r}}
+	}
+	return out
+}

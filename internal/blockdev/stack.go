@@ -3,22 +3,25 @@ package blockdev
 import (
 	"fmt"
 
-	"emmcio/internal/emmc"
 	"emmcio/internal/mmc"
+	"emmcio/internal/storage"
 	"emmcio/internal/trace"
 )
 
 // Stack wires the block layer and driver in front of a device, modeling the
 // kernel half of Fig. 1: upper-layer requests enter the queue, sit in the
-// plug window for merging, and leave as (possibly packed) eMMC commands.
+// plug window for merging, and leave as (possibly packed) commands. Packing
+// is a device capability, not an assumption: the driver queries
+// Dev.Caps().PackedCommands and packs (and accounts mmc bus exchanges) only
+// for devices that advertise it — eMMC does, sdcard and UFS do not.
 type Stack struct {
 	Queue  *Queue
 	Driver *Driver
-	Dev    *emmc.Device
+	Dev    storage.Device
 }
 
 // NewStack assembles a stack.
-func NewStack(cfg Config, dev *emmc.Device) *Stack {
+func NewStack(cfg Config, dev storage.Device) *Stack {
 	return &Stack{Queue: NewQueue(cfg), Driver: NewDriver(cfg), Dev: dev}
 }
 
@@ -67,22 +70,33 @@ func (s *Stack) Run(tr *trace.Trace) (*trace.Trace, RunStats, error) {
 // with the trace length.
 func (s *Stack) RunStream(st trace.Stream, sink func(trace.Request) error) (RunStats, error) {
 	var stats RunStats
+	caps := s.Dev.Caps()
 
 	dispatch := func(now int64, batch []trace.Request) error {
 		if len(batch) == 0 {
 			return nil
 		}
-		for _, cmd := range s.Driver.Pack(batch) {
+		var cmds []PackedCommand
+		if caps.PackedCommands {
+			cmds = s.Driver.Pack(batch)
+		} else {
+			cmds = s.Driver.Unpacked(batch)
+		}
+		for _, cmd := range cmds {
 			stats.DeviceCommands++
 			stats.DeviceRequests += len(cmd.Reqs)
 			if p := cmd.Payload(); p > stats.MaxCommandBytes {
 				stats.MaxCommandBytes = p
 			}
 			// Account the wire exchange (CMD23 + CMD18/25, plus the packed
-			// header block when several writes share one transfer).
-			if seq, err := mmc.Encode(cmd.Reqs); err == nil {
-				stats.BusCommands += len(seq.Commands)
-				stats.BusDataBlocks += uint64(seq.DataBlocks)
+			// header block when several writes share one transfer). The mmc
+			// bus protocol is eMMC-specific; other backends move the payload
+			// over their own link, which the device model already charges.
+			if caps.PackedCommands {
+				if seq, err := mmc.Encode(cmd.Reqs); err == nil {
+					stats.BusCommands += len(seq.Commands)
+					stats.BusDataBlocks += uint64(seq.DataBlocks)
+				}
 			}
 			at := now
 			for _, r := range cmd.Reqs {

@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"strings"
@@ -224,5 +225,70 @@ func TestSweepSpecEnv(t *testing.T) {
 	}
 	if _, err := (&SweepSpec{Sweeps: []string{"nope"}}).Env(ctx); err == nil {
 		t.Error("Env accepted an invalid spec")
+	}
+}
+
+// TestUnknownDeviceDiagnostic: an unknown -device must fail before any
+// replay starts, with a single-line message that names the bad value and
+// lists the valid backends — identically on the flag path (cmd/emmcsim)
+// and the JSON path (the emmcd server's 400 body).
+func TestUnknownDeviceDiagnostic(t *testing.T) {
+	check := func(t *testing.T, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatal("unknown device accepted")
+		}
+		msg := err.Error()
+		if strings.Contains(msg, "\n") {
+			t.Errorf("diagnostic is not one line: %q", msg)
+		}
+		if !strings.Contains(msg, `"floppy"`) {
+			t.Errorf("diagnostic %q does not name the bad device", msg)
+		}
+		for _, want := range []string{"emmc", "sd", "ufs"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("diagnostic %q does not list valid backend %q", msg, want)
+			}
+		}
+	}
+
+	t.Run("replay flag path", func(t *testing.T) {
+		var spec ReplaySpec
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		spec.BindFlags(fs)
+		if err := fs.Parse([]string{"-app", paper.Twitter, "-device", "floppy"}); err != nil {
+			t.Fatal(err)
+		}
+		check(t, spec.Validate(nil))
+	})
+	t.Run("replay json path", func(t *testing.T) {
+		var spec ReplaySpec
+		if err := json.Unmarshal([]byte(`{"app":"Twitter","device":"floppy"}`), &spec); err != nil {
+			t.Fatal(err)
+		}
+		check(t, spec.Validate(nil))
+	})
+	t.Run("sweep json path", func(t *testing.T) {
+		var spec SweepSpec
+		if err := json.Unmarshal([]byte(`{"sweeps":["casestudy"],"device":"floppy"}`), &spec); err != nil {
+			t.Fatal(err)
+		}
+		check(t, spec.Validate())
+	})
+
+	// The valid names all parse, and the device field round-trips JSON.
+	var spec ReplaySpec
+	if err := json.Unmarshal([]byte(`{"app":"Twitter","device":"ufs","ufs_queue_depth":16}`), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(nil); err != nil {
+		t.Fatalf("valid device rejected: %v", err)
+	}
+	opt, err := spec.DeviceOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(opt.Backend) != "ufs" || opt.UFSQueueDepth != 16 {
+		t.Errorf("device fields did not reach core.Options: %+v", opt)
 	}
 }

@@ -47,6 +47,10 @@ type ReplaySpec struct {
 	// 0 in JSON means unset).
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
 
+	// DeviceSpec selects the storage backend (-device / "device") and its
+	// UFS-only sizing knobs; its fields promote into the JSON body.
+	DeviceSpec
+
 	fs *flag.FlagSet
 }
 
@@ -68,6 +72,7 @@ func (s *ReplaySpec) BindFlags(fs *flag.FlagSet) {
 	fs.IntVar(&s.Shrink, "shrink", 0, "divide per-plane block count (GC-pressure studies)")
 	fs.Float64Var(&s.Faults, "faults", 0, "fault-injection rate multiplier (0 = perfect hardware)")
 	fs.Uint64Var(&s.FaultSeed, "fault-seed", 1, "fault-injection decision seed (requires -faults > 0)")
+	s.DeviceSpec.BindFlags(fs)
 }
 
 // Normalize fills defaulted fields in place, so a JSON body that omits
@@ -156,6 +161,9 @@ func (s *ReplaySpec) DeviceOptions() (core.Options, error) {
 		opt.Wear = ftl.WearStatic
 	default:
 		return core.Options{}, fmt.Errorf("unknown wear policy %q", s.Wear)
+	}
+	if err := s.DeviceSpec.Apply(&opt); err != nil {
+		return core.Options{}, err
 	}
 	return opt, nil
 }

@@ -29,6 +29,9 @@ type SweepSpec struct {
 	// Traces, when non-empty, narrows per-trace sweeps to this roster
 	// (see experiments.RunSweepOn).
 	Traces []string `json:"traces,omitempty"`
+	// DeviceSpec selects the storage backend every replay in the sweep runs
+	// against (-device / "device"); unknown names 400 before queueing.
+	DeviceSpec
 }
 
 // Normalize fills defaulted fields in place.
@@ -59,6 +62,9 @@ func (s *SweepSpec) Validate() error {
 	if _, err := FaultConfig(s.Faults, s.FaultSeed, s.FaultSeed != 0); err != nil {
 		return err
 	}
+	if _, err := s.Backend(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -76,6 +82,9 @@ func (s *SweepSpec) Env(ctx context.Context) (*experiments.Env, error) {
 	env := experiments.NewEnv(s.Seed)
 	env.Workers = s.Workers
 	env.Faults = fc
+	if err := s.DeviceSpec.ApplyEnv(env); err != nil {
+		return nil, err
+	}
 	env.Ctx = ctx
 	return env, nil
 }

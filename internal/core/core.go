@@ -8,6 +8,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
+	"strings"
 
 	"emmcio/internal/emmc"
 	"emmcio/internal/faults"
@@ -15,8 +17,10 @@ import (
 	"emmcio/internal/ftl"
 	"emmcio/internal/reliability"
 	"emmcio/internal/runner"
+	"emmcio/internal/storage"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
+	"emmcio/internal/ufs"
 )
 
 // Scheme selects one of the three Table V device organizations.
@@ -83,6 +87,18 @@ func DefaultTiming() flash.Timing {
 
 // Options tweak a device configuration for ablation studies.
 type Options struct {
+	// Backend selects the device implementation ("" or "emmc" = the paper's
+	// eMMC model, "sd" = its external-card flavour, "ufs" = the command-
+	// queued UFS model). Scheme, faults, scaling, and wear apply to every
+	// backend; the eMMC-specific knobs below (PowerSaving, RAMBufferBytes,
+	// CommandQueue, WriteBufferBytes, MapCacheBytes) are ignored by UFS.
+	Backend storage.Backend
+	// UFSQueues and UFSQueueDepth size the UFS command queue (defaults 1
+	// queue × 32 slots). UFSBoosterBytes sizes the SLC write booster
+	// (default 64 MB; negative disables it). All ignored by other backends.
+	UFSQueues       int
+	UFSQueueDepth   int
+	UFSBoosterBytes int64
 	// PowerSaving enables the low-power mode model (Characteristic 4).
 	// The Fig. 8/9 replays run with it on; Fig. 3 microbenchmarks disable it.
 	PowerSaving bool
@@ -194,9 +210,121 @@ func DeviceConfig(s Scheme, opt Options) emmc.Config {
 	return cfg
 }
 
-// NewDevice builds a fresh device for the scheme.
-func NewDevice(s Scheme, opt Options) (*emmc.Device, error) {
-	return emmc.New(DeviceConfig(s, opt))
+// SDCardSlowdown is the paper's §IV-B observation that moving hot
+// partitions to the external SD card roughly triples I/O latency.
+const SDCardSlowdown = 3
+
+// SDCardTiming slows every timing component of DefaultTiming by
+// SDCardSlowdown: external cards sit on a slower bus with a slower
+// controller and slower flash.
+func SDCardTiming() flash.Timing {
+	t := DefaultTiming()
+	scaled := make(map[int]flash.OpTiming, len(t.PerPage))
+	for size, op := range t.PerPage {
+		scaled[size] = flash.OpTiming{
+			ReadNs:    op.ReadNs * SDCardSlowdown,
+			ProgramNs: op.ProgramNs * SDCardSlowdown,
+		}
+	}
+	t.PerPage = scaled
+	t.EraseNs *= SDCardSlowdown
+	t.TransferNsPerByte *= SDCardSlowdown
+	t.CmdOverheadNs *= SDCardSlowdown
+	t.RequestOverheadNs *= SDCardSlowdown
+	return t
+}
+
+// UFSTiming is the latency model of the UFS backend: the same Table V
+// flash underneath, but a serial high-speed link (HS-Gear3-class,
+// ~1.2 ns/byte) instead of the eMMC parallel bus, a 5 µs per-page-operation
+// command cost, a 20 µs controller dispatch, and an interleaving controller
+// that pipelines consecutive plane operations at 0.65×.
+func UFSTiming() flash.Timing {
+	t := DefaultTiming()
+	t.TransferNsPerByte = 1.2
+	t.CmdOverheadNs = 5_000
+	t.RequestOverheadNs = 20_000
+	t.PipelineFactor = 0.65
+	t.ChannelInterleave = true
+	return t
+}
+
+// ufsGeometry doubles the channel count of the eMMC part (4 × 1 × 2 × 2 =
+// 16 planes): UFS-class packages stack more independent channels, the
+// parallelism headroom Implication 1 asks for.
+func ufsGeometry() flash.Geometry {
+	return flash.Geometry{Channels: 4, ChipsPerChannel: 1, DiesPerChip: 2, PlanesPerDie: 2}
+}
+
+// UFSConfig builds the ufs.Config for a scheme: the scheme's page-size
+// pools (halved per plane — twice the planes, same 32 GB budget) on the UFS
+// geometry and timing, with the command queue and booster from Options.
+func UFSConfig(s Scheme, opt Options) ufs.Config {
+	base := DeviceConfig(s, opt)
+	timing := UFSTiming()
+	if opt.Timing != nil {
+		timing = *opt.Timing
+	}
+	pools := make([]flash.PoolSpec, len(base.Pools))
+	for i, p := range base.Pools {
+		p.BlocksPerPlane /= 2
+		if p.BlocksPerPlane < 4 {
+			p.BlocksPerPlane = 4
+		}
+		pools[i] = p
+	}
+	booster := opt.UFSBoosterBytes
+	if booster == 0 {
+		booster = 64 << 20
+	} else if booster < 0 {
+		booster = 0
+	}
+	return ufs.Config{
+		Geometry:          ufsGeometry(),
+		Timing:            timing,
+		Pools:             pools,
+		GCFreeBlocks:      base.GCFreeBlocks,
+		Wear:              opt.Wear,
+		Queues:            opt.UFSQueues,
+		QueueDepth:        opt.UFSQueueDepth,
+		WriteBoosterBytes: booster,
+		Faults:            opt.Faults,
+	}
+}
+
+// NewDevice builds a fresh device for the scheme on the backend selected by
+// opt.Backend (the zero value is the paper's eMMC model, so existing
+// callers are unchanged — and bit-identical).
+func NewDevice(s Scheme, opt Options) (storage.Device, error) {
+	switch opt.Backend {
+	case "", storage.BackendEMMC:
+		return emmc.New(DeviceConfig(s, opt))
+	case storage.BackendSD:
+		cfg := DeviceConfig(s, opt)
+		cfg.SDCard = true
+		if opt.Timing == nil {
+			cfg.Timing = SDCardTiming()
+		}
+		return emmc.New(cfg)
+	case storage.BackendUFS:
+		return ufs.New(UFSConfig(s, opt))
+	}
+	return nil, fmt.Errorf("core: unknown device backend %q (valid: %s)",
+		opt.Backend, strings.Join(storage.Backends(), ", "))
+}
+
+// RestoreDevice rebuilds a device from a Snapshot stream. Snapshots are
+// backend-specific gob layouts, so the caller says which backend wrote it
+// ("" = eMMC; the sd flavour shares the eMMC layout).
+func RestoreDevice(b storage.Backend, r io.Reader) (storage.Device, error) {
+	switch b {
+	case "", storage.BackendEMMC, storage.BackendSD:
+		return emmc.RestoreSnapshot(r)
+	case storage.BackendUFS:
+		return ufs.RestoreSnapshot(r)
+	}
+	return nil, fmt.Errorf("core: unknown device backend %q (valid: %s)",
+		b, strings.Join(storage.Backends(), ", "))
 }
 
 // Metrics summarizes one replay.
@@ -245,12 +373,12 @@ func ReplayContext(ctx context.Context, s Scheme, opt Options, tr *trace.Trace) 
 
 // ReplayOn replays a trace on an existing device (which may hold state from
 // prior traces — useful for aging studies).
-func ReplayOn(dev *emmc.Device, s Scheme, tr *trace.Trace) (Metrics, error) {
+func ReplayOn(dev storage.Device, s Scheme, tr *trace.Trace) (Metrics, error) {
 	return ReplayObserved(dev, s, tr, nil, nil)
 }
 
 // ReplayOnContext is ReplayOn with cancellation.
-func ReplayOnContext(ctx context.Context, dev *emmc.Device, s Scheme, tr *trace.Trace) (Metrics, error) {
+func ReplayOnContext(ctx context.Context, dev storage.Device, s Scheme, tr *trace.Trace) (Metrics, error) {
 	return ReplayObservedContext(ctx, dev, s, tr, nil, nil)
 }
 
@@ -284,12 +412,12 @@ func newCoreTel(reg *telemetry.Registry) *coreTel {
 // "request" span (arrival → finish) and one "service" span (service-start →
 // finish) per request on the requests/read or requests/write track, and
 // feeds the core_{response,service,wait}_ns histograms split by operation.
-func ReplayObserved(dev *emmc.Device, s Scheme, tr *trace.Trace, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
+func ReplayObserved(dev storage.Device, s Scheme, tr *trace.Trace, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
 	return ReplayObservedContext(context.Background(), dev, s, tr, reg, tc)
 }
 
 // ReplayObservedContext is ReplayObserved with cancellation.
-func ReplayObservedContext(ctx context.Context, dev *emmc.Device, s Scheme, tr *trace.Trace, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
+func ReplayObservedContext(ctx context.Context, dev storage.Device, s Scheme, tr *trace.Trace, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
 	return replayLoop(ctx, dev, s, trace.FromSlice(tr), reg, tc, writeBack(tr))
 }
 

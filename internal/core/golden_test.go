@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"emmcio/internal/cliutil"
+)
+
+// TestGoldenEMMCBitIdentity is the refactor's non-negotiable invariant:
+// the eMMC results must be bit-identical across the storage.Device seam.
+// The testdata snapshots were captured from `emmcsim -json` before the
+// backend-neutral device layer existed; this test replays the same specs
+// through today's code — the same cliutil.ReplaySpec path the CLI and the
+// emmcd server share — and byte-compares the encoded output. Any drift in
+// scheduling, GC, fault injection, or JSON shape fails here first.
+func TestGoldenEMMCBitIdentity(t *testing.T) {
+	cases := []struct {
+		file string
+		spec cliutil.ReplaySpec
+	}{
+		// emmcsim -app Twitter -json
+		{"golden_twitter.json", cliutil.ReplaySpec{App: "Twitter"}},
+		// emmcsim -app Booting -gc idle -faults 0.5 -fault-seed 7 -shrink 8 -json
+		{"golden_booting_faults.json", cliutil.ReplaySpec{
+			App: "Booting", GC: "idle", Faults: 0.5, FaultSeed: 7, Shrink: 8,
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			t.Parallel()
+			want, err := os.ReadFile(filepath.Join("testdata", c.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := c.spec.Run(context.Background(), 0, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Encode exactly as cmd/emmcsim -json does: two-space indent
+			// plus the encoder's trailing newline.
+			var buf bytes.Buffer
+			enc := json.NewEncoder(&buf)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(results); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("eMMC output drifted from pre-refactor baseline %s\ngot:\n%s\nwant:\n%s",
+					c.file, buf.Bytes(), want)
+			}
+		})
+	}
+}

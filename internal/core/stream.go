@@ -13,8 +13,8 @@ import (
 	"fmt"
 	"sort"
 
-	"emmcio/internal/emmc"
 	"emmcio/internal/sim"
+	"emmcio/internal/storage"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 )
@@ -38,18 +38,18 @@ func ReplayStreamContext(ctx context.Context, s Scheme, opt Options, st trace.St
 
 // ReplayStreamOn replays a stream on an existing device (which may hold
 // state from prior traces — useful for aging studies).
-func ReplayStreamOn(dev *emmc.Device, s Scheme, st trace.Stream) (Metrics, error) {
+func ReplayStreamOn(dev storage.Device, s Scheme, st trace.Stream) (Metrics, error) {
 	return ReplayStreamObserved(dev, s, st, nil, nil)
 }
 
 // ReplayStreamObserved is ReplayStreamOn with observability, the streaming
 // form of ReplayObserved.
-func ReplayStreamObserved(dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
+func ReplayStreamObserved(dev storage.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
 	return ReplayStreamSink(dev, s, st, reg, tc, nil)
 }
 
 // ReplayStreamObservedContext is ReplayStreamObserved with cancellation.
-func ReplayStreamObservedContext(ctx context.Context, dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
+func ReplayStreamObservedContext(ctx context.Context, dev storage.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer) (Metrics, error) {
 	return ReplayStreamSinkContext(ctx, dev, s, st, reg, tc, nil)
 }
 
@@ -57,7 +57,7 @@ func ReplayStreamObservedContext(ctx context.Context, dev *emmc.Device, s Scheme
 // (when non-nil) receives every request with its replayed ServiceStart and
 // Finish filled in, in arrival order — the hook online analysis and
 // streaming trace writers attach to. A sink error aborts the replay.
-func ReplayStreamSink(dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(trace.Request) error) (Metrics, error) {
+func ReplayStreamSink(dev storage.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(trace.Request) error) (Metrics, error) {
 	return ReplayStreamSinkContext(context.Background(), dev, s, st, reg, tc, sink)
 }
 
@@ -65,7 +65,7 @@ func ReplayStreamSink(dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetr
 // loop checks ctx between events, so long replays abort promptly (the
 // server's job cancellation and per-job deadlines rely on this). The check
 // costs nothing when ctx can never be canceled (Background/TODO).
-func ReplayStreamSinkContext(ctx context.Context, dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(trace.Request) error) (Metrics, error) {
+func ReplayStreamSinkContext(ctx context.Context, dev storage.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(trace.Request) error) (Metrics, error) {
 	if sink == nil {
 		return replayLoop(ctx, dev, s, st, reg, tc, nil)
 	}
@@ -76,7 +76,7 @@ func ReplayStreamSinkContext(ctx context.Context, dev *emmc.Device, s Scheme, st
 // ReplayObserved and their stream forms: pull, submit, observe, sink.
 // ctx is polled once per event; Background's nil Done channel skips the
 // check entirely, keeping the uncancellable hot path identical.
-func replayLoop(ctx context.Context, dev *emmc.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(i int, req trace.Request) error) (Metrics, error) {
+func replayLoop(ctx context.Context, dev storage.Device, s Scheme, st trace.Stream, reg *telemetry.Registry, tc *telemetry.Tracer, sink func(i int, req trace.Request) error) (Metrics, error) {
 	if reg != nil || tc != nil {
 		dev.SetTelemetry(reg, tc)
 	}
@@ -135,7 +135,7 @@ func replayLoop(ctx context.Context, dev *emmc.Device, s Scheme, st trace.Stream
 }
 
 // deviceMetrics assembles the full replay Metrics from device state.
-func deviceMetrics(dev *emmc.Device, name string, s Scheme) Metrics {
+func deviceMetrics(dev storage.Device, name string, s Scheme) Metrics {
 	dm := dev.Metrics()
 	fs := dev.FTLStats()
 	m := Metrics{

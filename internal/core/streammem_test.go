@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"emmcio/internal/storage"
 	"emmcio/internal/trace"
 )
 
@@ -111,6 +112,25 @@ func BenchmarkReplayStream1k(b *testing.B) {
 
 func BenchmarkReplaySlice1k(b *testing.B) {
 	benchReplay(b, false)
+}
+
+// BenchmarkReplayUFS1k replays the same synthetic workload on the UFS
+// backend, putting the command-queue admission and write-booster paths on
+// the regression trajectory next to the eMMC replays above.
+func BenchmarkReplayUFS1k(b *testing.B) {
+	const n = 1_000
+	opt := CaseStudyOptions()
+	opt.Backend = storage.BackendUFS
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dev, err := NewDevice(SchemeHPS, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReplayStreamOn(dev, SchemeHPS, newSynthStream(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchReplay(b *testing.B, streamed bool) {

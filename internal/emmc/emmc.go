@@ -29,6 +29,7 @@ import (
 	"emmcio/internal/ftl"
 	"emmcio/internal/reliability"
 	"emmcio/internal/sim"
+	"emmcio/internal/storage"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 )
@@ -108,6 +109,13 @@ type Config struct {
 	// and uncorrectable reads, wear-dependent). Nil or rate-zero models
 	// perfect hardware at zero simulated-time overhead.
 	Faults *faults.Config
+
+	// SDCard marks the device as the mmc/sdcard flavour: identical
+	// mechanics, but the device advertises no packed-command support, so
+	// the blockdev driver issues one command per request (the paper's
+	// Implication-1 external-card comparison). Timing carries the 3x
+	// slowdown; this bit only changes the advertised capabilities.
+	SDCard bool
 }
 
 // Validate reports unusable configurations.
@@ -141,76 +149,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Result reports the replayed timing of one request.
-type Result struct {
-	ServiceStart int64
-	Finish       int64
-	Waited       bool
-}
+// Result reports the replayed timing of one request. It is the shared
+// storage.Result: the seam's type, so every backend returns the same shape.
+type Result = storage.Result
 
-// Metrics aggregates a device's activity over a replay.
-type Metrics struct {
-	Served        int64
-	NoWait        int64
-	SumServiceNs  int64
-	SumResponseNs int64
-	SumWaitNs     int64
-
-	// GC accounting.
-	ForegroundGC ftl.GCWork
-	IdleGC       ftl.GCWork
-	GCStallNs    int64 // foreground/overflow GC time charged to requests
-	IdleGCNs     int64 // GC time absorbed by inter-arrival gaps
-
-	// Wake-up accounting (Characteristic 4).
-	LightWakes int64
-	DeepWakes  int64
-	WakeNs     int64
-
-	// Mapping-table cache accounting (DFTL-style map paging).
-	MapReads  int64 // translation-page fetches on cache misses
-	MapWrites int64 // dirty translation-page write-backs
-	MapNs     int64 // controller time spent on translation I/O
-
-	// Flush barriers served (fsync-driven cache flushes).
-	Flushes int64
-	FlushNs int64
-
-	// Fault recovery accounting. ReadFaults counts uncorrectable reads; each
-	// one pays the retry ladder plus a read-scrub block retirement, totalled
-	// in RecoveryNs. Program/erase fault totals live in the FTL stats.
-	ReadFaults int64
-	RecoveryNs int64
-
-	// Write-buffer accounting (SSDsim's RAM buffer layer).
-	BufferedWrites int64 // writes acknowledged from RAM
-	DestageIdleNs  int64 // destage time hidden in idle gaps
-	DestageStallNs int64 // destage time charged to waiting requests
-}
-
-// NoWaitRatio returns the fraction of requests served immediately.
-func (m Metrics) NoWaitRatio() float64 {
-	if m.Served == 0 {
-		return 0
-	}
-	return float64(m.NoWait) / float64(m.Served)
-}
-
-// MeanServiceNs returns the mean service time.
-func (m Metrics) MeanServiceNs() float64 {
-	if m.Served == 0 {
-		return 0
-	}
-	return float64(m.SumServiceNs) / float64(m.Served)
-}
-
-// MeanResponseNs returns the mean response time (the paper's MRT).
-func (m Metrics) MeanResponseNs() float64 {
-	if m.Served == 0 {
-		return 0
-	}
-	return float64(m.SumResponseNs) / float64(m.Served)
-}
+// Metrics aggregates a device's activity over a replay (storage.Metrics —
+// the alias keeps the gob snapshot layout and every JSON field identical to
+// the pre-seam layout).
+type Metrics = storage.Metrics
 
 // Device is one simulated eMMC instance.
 type Device struct {
@@ -367,6 +313,21 @@ func New(cfg Config) (*Device, error) {
 	}, nil
 }
 
+// Caps advertises the device's capabilities to the driver layer: packed
+// commands unless configured as the sdcard flavour, and a queue depth of 1
+// (eMMC 4.51 serializes commands) unless the 5.1-style command queue is on.
+func (d *Device) Caps() storage.Caps {
+	c := storage.Caps{Backend: storage.BackendEMMC, PackedCommands: true, QueueDepth: 1}
+	if d.cfg.SDCard {
+		c.Backend = storage.BackendSD
+		c.PackedCommands = false
+	}
+	if d.cfg.CommandQueue {
+		c.QueueDepth = 32 // eMMC 5.1 CQE exposes 32 task slots
+	}
+	return c
+}
+
 // FaultCounts exposes the injector's per-kind fault totals (all zero when
 // injection is off).
 func (d *Device) FaultCounts() faults.Counts { return d.inj.Counts() }
@@ -468,6 +429,18 @@ func (d *Device) BufferHitRate() float64 {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// Geometry returns the flash array's shape.
+func (d *Device) Geometry() flash.Geometry { return d.cfg.Geometry }
+
+// CapacityBytes returns the device's physical flash capacity.
+func (d *Device) CapacityBytes() int64 {
+	var total int64
+	for _, p := range d.cfg.Pools {
+		total += p.BytesPerPlane() * int64(d.cfg.Geometry.Planes())
+	}
+	return total
+}
 
 // Metrics returns a copy of the accumulated metrics.
 func (d *Device) Metrics() Metrics { return d.metrics }

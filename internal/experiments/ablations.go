@@ -7,6 +7,7 @@ import (
 	"emmcio/internal/ftl"
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
+	"emmcio/internal/storage"
 	"emmcio/internal/trace"
 )
 
@@ -310,7 +311,7 @@ func Implication5SLCCache(env *Env, names ...string) ([]SLCCacheRow, error) {
 		jobs = append(jobs,
 			ReplayJob{Trace: name, Scheme: core.SchemeHPS, Options: core.CaseStudyOptions()},
 			// Each job builds its own device from a fresh config.
-			ReplayJob{Trace: name, Scheme: core.SchemeHPS, Device: func() (*emmc.Device, error) {
+			ReplayJob{Trace: name, Scheme: core.SchemeHPS, Device: func() (storage.Device, error) {
 				return emmc.New(SLCCacheConfig())
 			}},
 		)

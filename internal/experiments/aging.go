@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"emmcio/internal/core"
-	"emmcio/internal/emmc"
 	"emmcio/internal/paper"
 	"emmcio/internal/reliability"
 	"emmcio/internal/report"
+	"emmcio/internal/storage"
 )
 
 // AgingPoint is one wear level of the read-latency aging curve.
@@ -37,7 +37,7 @@ func Aging(env *Env, name string, lifeFractions []float64) ([]AgingPoint, error)
 		jobs[i] = ReplayJob{
 			Trace:  name,
 			Scheme: core.Scheme4PS,
-			Device: func() (*emmc.Device, error) {
+			Device: func() (storage.Device, error) {
 				opt := core.CaseStudyOptions()
 				opt.Reliability = model
 				dev, err := core.NewDevice(core.Scheme4PS, opt)
@@ -45,7 +45,7 @@ func Aging(env *Env, name string, lifeFractions []float64) ([]AgingPoint, error)
 					return nil, err
 				}
 				// Pre-age pool 0: average PE = lifeFraction × endurance.
-				cfg := dev.Config()
+				cfg := core.DeviceConfig(core.Scheme4PS, opt)
 				blocks := int64(cfg.Pools[0].BlocksPerPlane * cfg.Geometry.Planes())
 				dev.AddArtificialWear(0, int64(lf*model.Endurance*float64(blocks)))
 				return dev, nil

@@ -8,6 +8,7 @@ import (
 	"emmcio/internal/flash"
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
+	"emmcio/internal/storage"
 	"emmcio/internal/workload"
 )
 
@@ -96,7 +97,7 @@ func HPSPoolRatioSweep(env *Env, name string, splits [][2]int) ([]PoolRatioRow, 
 			Trace:         name,
 			Scheme:        core.SchemeHPS,
 			PrepareStream: doubledSession,
-			Device: func() (*emmc.Device, error) {
+			Device: func() (storage.Device, error) {
 				cfg := core.DeviceConfig(core.SchemeHPS, gcPressureOptions(emmc.GCForeground))
 				// Rebuild pools at the requested split, preserving the
 				// GC-pressure scaling (divide both counts like scalePool would).
@@ -236,7 +237,7 @@ func GeometrySweep(env *Env, name string, channels []int) ([]GeometryRow, error)
 		jobs[i] = ReplayJob{
 			Trace:  name,
 			Scheme: core.Scheme4PS,
-			Device: func() (*emmc.Device, error) {
+			Device: func() (storage.Device, error) {
 				cfg := core.DeviceConfig(core.Scheme4PS, core.CaseStudyOptions())
 				cfg.Geometry.Channels = ch
 				// Hold total capacity at 32 GB: blocks per plane scales
@@ -341,7 +342,7 @@ func ReadAheadStudy(env *Env, names ...string) ([]ReadAheadRow, error) {
 	if len(names) == 0 {
 		names = []string{paper.Movie, paper.Music, paper.Twitter}
 	}
-	readAheadDevice := func() (*emmc.Device, error) {
+	readAheadDevice := func() (storage.Device, error) {
 		cfg := core.DeviceConfig(core.Scheme4PS, MeasuredDeviceOptions())
 		cfg.RAMBufferBytes = 4 << 20
 		cfg.ReadAheadPages = 8

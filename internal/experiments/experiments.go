@@ -15,6 +15,7 @@ import (
 	"emmcio/internal/emmc"
 	"emmcio/internal/faults"
 	"emmcio/internal/flash"
+	"emmcio/internal/storage"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 	"emmcio/internal/workload"
@@ -43,6 +44,15 @@ type Env struct {
 	// its own fault config (the CLIs' -faults/-fault-seed flags). Jobs with a
 	// custom Device builder construct their own config and are not touched.
 	Faults *faults.Config
+
+	// Backend, when non-empty, selects the storage backend for every replay
+	// job that does not pick its own (the CLIs' -device flag). Jobs with a
+	// custom Device builder are not touched. The UFS* fields carry the UFS
+	// sizing knobs along with it (zero = backend defaults).
+	Backend         storage.Backend
+	UFSQueues       int
+	UFSQueueDepth   int
+	UFSBoosterBytes int64
 
 	// Ctx, when non-nil, bounds every sweep launched through this env:
 	// replay loops check it between events and the runner checks it between
@@ -192,6 +202,6 @@ func MeasuredDeviceOptions() core.Options {
 
 // NewMeasuredDevice builds the 4 KB-page device standing in for the
 // SanDisk iNAND the paper traced.
-func NewMeasuredDevice() (*emmc.Device, error) {
+func NewMeasuredDevice() (storage.Device, error) {
 	return core.NewDevice(core.Scheme4PS, MeasuredDeviceOptions())
 }

@@ -102,7 +102,7 @@ func FaultSweep(env *Env, name string, seed uint64, rates []float64) ([]FaultPoi
 		}
 		// Pre-age every pool to rated endurance: the steep region of the
 		// wear curves, where real devices grow bad blocks.
-		cfg := dev.Config()
+		cfg := core.DeviceConfig(c.scheme, opt)
 		for pool, spec := range cfg.Pools {
 			blocks := int64(spec.BlocksPerPlane * cfg.Geometry.Planes())
 			dev.AddArtificialWear(pool, int64(model.Endurance*float64(blocks)))

@@ -113,7 +113,7 @@ func TestDeepAgedReplayRecoversReads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := dev.Config()
+	cfg := core.DeviceConfig(core.Scheme4PS, opt)
 	for pool, spec := range cfg.Pools {
 		blocks := int64(spec.BlocksPerPlane * cfg.Geometry.Planes())
 		dev.AddArtificialWear(pool, int64(1.5*model.Endurance*float64(blocks)))

@@ -53,11 +53,7 @@ func Lifetime(env *Env, names ...string) ([]LifetimeRow, error) {
 			perDay := flashBytes / (2 * durationDays)
 
 			// Device capacity at this (scaled) size.
-			cfg := res.Device.Config()
-			var capBytes float64
-			for _, p := range cfg.Pools {
-				capBytes += float64(p.BytesPerPlane()) * float64(cfg.Geometry.Planes())
-			}
+			capBytes := float64(res.Device.CapacityBytes())
 			days := capBytes * EnduranceCycles / perDay
 			out = append(out, LifetimeRow{
 				Name:                 name,

@@ -66,7 +66,7 @@ func TestStreamingReplayEquivalence(t *testing.T) {
 			return outcome{}, err // config bug: fail loudly
 		}
 		if c.faulty {
-			cfg := dev.Config()
+			cfg := core.DeviceConfig(c.scheme, opt)
 			for pool, spec := range cfg.Pools {
 				blocks := int64(spec.BlocksPerPlane * cfg.Geometry.Planes())
 				dev.AddArtificialWear(pool, int64(opt.Reliability.Endurance*float64(blocks)))

@@ -6,8 +6,8 @@ import (
 	"emmcio/internal/analysis"
 	"emmcio/internal/biotracer"
 	"emmcio/internal/core"
-	"emmcio/internal/emmc"
 	"emmcio/internal/runner"
+	"emmcio/internal/storage"
 	"emmcio/internal/trace"
 )
 
@@ -39,7 +39,7 @@ type ReplayJob struct {
 	// Device, when non-nil, builds the device instead of core.NewDevice —
 	// for custom emmc.Configs or pre-aged devices. It must return a fresh
 	// device on every call.
-	Device func() (*emmc.Device, error)
+	Device func() (storage.Device, error)
 	// Policy selects host-side scheduling (core.ReplayScheduledStream)
 	// when not SchedFIFO. Scheduled replays build their own device: Device
 	// and Collect are ignored.
@@ -70,7 +70,7 @@ type ReplayResult struct {
 	Overhead biotracer.Overhead
 	Trace    *trace.Trace
 	Stats    *analysis.Accumulator
-	Device   *emmc.Device
+	Device   storage.Device
 }
 
 // Runner returns the env's sweep runner: Workers wide, observing the env's
@@ -101,6 +101,12 @@ func (e *Env) ReplaysContext(ctx context.Context, sweep string, jobs []ReplayJob
 func (e *Env) replay(ctx context.Context, j ReplayJob) (ReplayResult, error) {
 	if e.Faults != nil && j.Options.Faults == nil && j.Device == nil {
 		j.Options.Faults = e.Faults
+	}
+	if e.Backend != "" && j.Options.Backend == "" && j.Device == nil {
+		j.Options.Backend = e.Backend
+		j.Options.UFSQueues = e.UFSQueues
+		j.Options.UFSQueueDepth = e.UFSQueueDepth
+		j.Options.UFSBoosterBytes = e.UFSBoosterBytes
 	}
 	var st trace.Stream
 	if j.Prepare != nil {
@@ -151,7 +157,7 @@ func (e *Env) replay(ctx context.Context, j ReplayJob) (ReplayResult, error) {
 		}
 		return res, err
 	}
-	var dev *emmc.Device
+	var dev storage.Device
 	var err error
 	if j.Device != nil {
 		dev, err = j.Device()

@@ -7,6 +7,7 @@ import (
 	"emmcio/internal/analysis"
 	"emmcio/internal/biotracer"
 	"emmcio/internal/core"
+	"emmcio/internal/emmc"
 	"emmcio/internal/paper"
 	"emmcio/internal/report"
 	"emmcio/internal/runner"
@@ -88,7 +89,13 @@ func DeviceUtilization(env *Env, names ...string) ([]UtilizationRow, error) {
 	}
 	out := make([]UtilizationRow, len(names))
 	for i, name := range names {
-		u := results[i].Device.Utilization()
+		// Channel busy fractions are an eMMC-model detail (the measured
+		// device); other backends would report through their own telemetry.
+		dev, ok := results[i].Device.(*emmc.Device)
+		if !ok {
+			continue
+		}
+		u := dev.Utilization()
 		row := UtilizationRow{Name: name, DevicePct: u.Device * 100, NoWaitPct: results[i].Metrics.NoWaitRatio * 100}
 		for _, c := range u.Channels {
 			if c*100 > row.MaxChannelPct {

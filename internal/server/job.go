@@ -32,6 +32,10 @@ type job struct {
 	// "j9" instead of "j1".
 	seq  int64
 	kind string
+	// device is the storage backend the job replays against ("emmc", "sd",
+	// or "ufs"), resolved from the spec at admission so listings and logs
+	// carry it even while the job is still queued.
+	device string
 	// reqID is the HTTP request id that admitted the job, joining the
 	// job's lifecycle log lines back to the submission.
 	reqID string
@@ -64,9 +68,11 @@ type job struct {
 
 // JobStatus is the wire form of a job, served by GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID    string `json:"id"`
-	Kind  string `json:"kind"`
-	State string `json:"state"`
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Device is the storage backend the job runs against (emmc, sd, ufs).
+	Device string `json:"device,omitempty"`
+	State  string `json:"state"`
 	// Created/Started/Finished are RFC 3339 timestamps; Started and
 	// Finished are empty until the job reaches those states.
 	Created  string `json:"created"`
@@ -90,6 +96,7 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID:         j.id,
 		Kind:       j.kind,
+		Device:     j.device,
 		State:      j.state,
 		Created:    j.created.UTC().Format(time.RFC3339Nano),
 		Error:      j.err,

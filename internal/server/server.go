@@ -184,7 +184,7 @@ var (
 // run observes into those, never into the server-wide registry directly,
 // so concurrent jobs cannot contaminate each other's series and
 // /v1/jobs/{id}/metrics answers for exactly one job.
-func (s *Server) enqueue(ctx context.Context, kind string, run jobFunc) (*job, error) {
+func (s *Server) enqueue(ctx context.Context, kind, device string, run jobFunc) (*job, error) {
 	if s.draining.Load() {
 		return nil, errDraining
 	}
@@ -193,6 +193,7 @@ func (s *Server) enqueue(ctx context.Context, kind string, run jobFunc) (*job, e
 		id:      fmt.Sprintf("j%d", seq),
 		seq:     seq,
 		kind:    kind,
+		device:  device,
 		reqID:   requestID(ctx),
 		run:     run,
 		tel:     s.tel.Child(),
@@ -222,8 +223,8 @@ func (s *Server) enqueue(ctx context.Context, kind string, run jobFunc) (*job, e
 		s.admitMu.Unlock()
 		s.submitted.Inc()
 		s.queueDepth.Set(int64(len(s.queue)))
-		s.log.Info("job admitted", "job", j.id, "kind", kind, "req", j.reqID,
-			"queued", len(s.queue))
+		s.log.Info("job admitted", "job", j.id, "kind", kind, "device", j.device,
+			"req", j.reqID, "queued", len(s.queue))
 		return j, nil
 	default:
 		s.admitMu.Unlock()
@@ -277,7 +278,7 @@ func (s *Server) execute(j *job) {
 	queueWait := j.started.Sub(j.created)
 	j.mu.Unlock()
 
-	s.log.Info("job started", "job", j.id, "kind", j.kind, "req", j.reqID,
+	s.log.Info("job started", "job", j.id, "kind", j.kind, "device", j.device, "req", j.reqID,
 		"queue_wait", queueWait)
 	s.running.Add(1)
 	if s.beforeRun != nil {
@@ -478,7 +479,12 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.enqueue(r.Context(), "replay", func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error) {
+	backend, err := spec.Backend()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.enqueue(r.Context(), "replay", string(backend), func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error) {
 		return spec.Run(ctx, s.cfg.JobWorkers, reg, tc)
 	})
 	if err != nil {
@@ -505,7 +511,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.enqueue(r.Context(), "sweep", func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error) {
+	backend, err := spec.Backend()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.enqueue(r.Context(), "sweep", string(backend), func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error) {
 		env, err := spec.Env(ctx)
 		if err != nil {
 			return nil, err

@@ -156,7 +156,9 @@ func TestBadRequestsGet400(t *testing.T) {
 		{"unknown wear", "/v1/replays", `{"app":"Twitter","wear":"perfect"}`},
 		{"fault seed without faults", "/v1/replays", `{"app":"Twitter","fault_seed":7}`},
 		{"negative scale", "/v1/replays", `{"app":"Twitter","scale":-1}`},
+		{"unknown device", "/v1/replays", `{"app":"Twitter","device":"floppy"}`},
 		{"no sweeps", "/v1/sweeps", `{}`},
+		{"sweep unknown device", "/v1/sweeps", `{"sweeps":["casestudy"],"device":"floppy"}`},
 		{"unknown sweep", "/v1/sweeps", `{"sweeps":["fig99"]}`},
 		{"unknown sweep trace", "/v1/sweeps", `{"sweeps":["casestudy"],"traces":["NoSuchApp"]}`},
 		{"trace unknown app", "/v1/traces", `{"app":"NoSuchApp"}`},

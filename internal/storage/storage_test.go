@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestParseBackend(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"", BackendEMMC, true}, // empty = the pre-backend default
+		{"emmc", BackendEMMC, true},
+		{"EMMC", BackendEMMC, true}, // case-insensitive
+		{"sd", BackendSD, true},
+		{"ufs", BackendUFS, true},
+		{"UFS", BackendUFS, true},
+		{"floppy", "", false},
+		{"emmc ", "", false}, // no trimming: reject sloppy input loudly
+	}
+	for _, c := range cases {
+		got, err := ParseBackend(c.in)
+		if c.ok {
+			if err != nil || got != c.want {
+				t.Errorf("ParseBackend(%q) = %q, %v; want %q", c.in, got, err, c.want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParseBackend(%q) accepted, want error", c.in)
+			continue
+		}
+		msg := err.Error()
+		if strings.Contains(msg, "\n") {
+			t.Errorf("ParseBackend(%q) error is not one line: %q", c.in, msg)
+		}
+		for _, b := range Backends() {
+			if !strings.Contains(msg, b) {
+				t.Errorf("ParseBackend(%q) error %q does not list %q", c.in, msg, b)
+			}
+		}
+	}
+}
+
+func TestBackendsSorted(t *testing.T) {
+	b := Backends()
+	if !sort.StringsAreSorted(b) {
+		t.Errorf("Backends() = %v, want sorted", b)
+	}
+	if len(b) != 3 {
+		t.Errorf("Backends() = %v, want the three built-ins", b)
+	}
+}
+
+func TestMetricsRatios(t *testing.T) {
+	var zero Metrics
+	if zero.NoWaitRatio() != 0 || zero.MeanServiceNs() != 0 || zero.MeanResponseNs() != 0 {
+		t.Error("zero-served metrics must report zero ratios, not NaN")
+	}
+	m := Metrics{Served: 4, NoWait: 3, SumServiceNs: 400, SumResponseNs: 800}
+	if got := m.NoWaitRatio(); got != 0.75 {
+		t.Errorf("NoWaitRatio = %v, want 0.75", got)
+	}
+	if got := m.MeanServiceNs(); got != 100 {
+		t.Errorf("MeanServiceNs = %v, want 100", got)
+	}
+	if got := m.MeanResponseNs(); got != 200 {
+		t.Errorf("MeanResponseNs = %v, want 200", got)
+	}
+}

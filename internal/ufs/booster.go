@@ -1,0 +1,148 @@
+package ufs
+
+import (
+	"emmcio/internal/flash"
+	"emmcio/internal/trace"
+)
+
+// The write booster models UFS 3.1's WriteBooster: a slice of the flash
+// provisioned in SLC mode that absorbs host writes at fast-page program
+// latency. Content migrates to the main (MLC-priced) pools later — during
+// idle gaps, like the idle-GC policy, or synchronously when the booster
+// fills or a flush barrier arrives. It plays the role the RAM buffer plays
+// in the eMMC model, with flash persistence instead of volatile RAM, and
+// the same deterministic FIFO discipline (a slice queue plus a dirty-sector
+// index; no map iteration ever decides ordering).
+
+// boostedChunk is one admitted write chunk awaiting migration. The pool is
+// fixed at admission by the write splitter, so migration order cannot
+// change where data lands.
+type boostedChunk struct {
+	pool int
+	lpns []int64
+}
+
+type booster struct {
+	capBytes  int64
+	usedBytes int64
+	queue     []boostedChunk
+	// dirty indexes booster-held (not yet migrated) sectors for read hits.
+	dirty map[int64]bool
+
+	hits   int64
+	misses int64
+}
+
+// newBooster builds a booster, or returns nil (disabled) below one page.
+func newBooster(capBytes int64) *booster {
+	if capBytes < trace.PageSize {
+		return nil
+	}
+	return &booster{capBytes: capBytes, dirty: make(map[int64]bool)}
+}
+
+// holds reports whether the sector is dirty in the booster.
+func (b *booster) holds(lpn int64) bool { return b.dirty[lpn] }
+
+// spaceFor reports whether n more bytes fit.
+func (b *booster) spaceFor(n int64) bool { return b.usedBytes+n <= b.capBytes }
+
+// add stashes a chunk.
+func (b *booster) add(pool int, lpns []int64) {
+	cp := make([]int64, len(lpns))
+	copy(cp, lpns)
+	b.queue = append(b.queue, boostedChunk{pool: pool, lpns: cp})
+	for _, lpn := range cp {
+		b.dirty[lpn] = true
+	}
+	b.usedBytes += int64(len(cp)) * flash.SectorBytes
+}
+
+// pop removes the oldest chunk.
+func (b *booster) pop() (boostedChunk, bool) {
+	if len(b.queue) == 0 {
+		return boostedChunk{}, false
+	}
+	c := b.queue[0]
+	b.queue = b.queue[1:]
+	for _, lpn := range c.lpns {
+		delete(b.dirty, lpn)
+	}
+	b.usedBytes -= int64(len(c.lpns)) * flash.SectorBytes
+	return c, true
+}
+
+// hitRate returns the booster's read hit rate.
+func (b *booster) hitRate() float64 {
+	if b == nil || b.hits+b.misses == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.hits+b.misses)
+}
+
+// destageOne migrates the oldest booster chunk into its main pool and
+// returns the flash time consumed (SLC read + program + any GC), or 0 when
+// the booster is empty or disabled.
+func (d *Device) destageOne() int64 {
+	if d.booster == nil {
+		return 0
+	}
+	c, ok := d.booster.pop()
+	if !ok {
+		return 0
+	}
+	loc, gcWork, err := d.ftl.Write(d.rrPlane%len(d.planes), c.pool, c.lpns)
+	d.rrPlane++
+	if err != nil {
+		// Out of space mid-migration: surface as a stall the size of an
+		// erase so the condition is visible without failing the replay.
+		return d.cfg.Timing.EraseNs
+	}
+	ns := d.slcRead(d.cfg.Pools[c.pool].PageBytes) +
+		d.cfg.Timing.ProgramPool(d.cfg.Pools[c.pool], int(loc.Page))
+	if !gcWork.Zero() {
+		d.metrics.ForegroundGC.Add(gcWork)
+		ns += d.gcTime(gcWork, d.cfg.Pools[c.pool].PageBytes)
+	}
+	return ns
+}
+
+// destageIdle drains the booster into an inter-arrival gap: a chunk
+// migrates only when its estimated cost fits the remaining budget.
+func (d *Device) destageIdle(budget int64) {
+	for d.booster != nil && len(d.booster.queue) > 0 {
+		head := d.booster.queue[0]
+		estimate := d.slcRead(d.cfg.Pools[head.pool].PageBytes) +
+			d.cfg.Timing.Program(d.cfg.Pools[head.pool].PageBytes)
+		if estimate > budget {
+			break
+		}
+		ns := d.destageOne()
+		if ns <= 0 {
+			break
+		}
+		budget -= ns
+		d.metrics.DestageIdleNs += ns
+		if d.tel != nil {
+			d.tel.destageIdle.Inc()
+		}
+	}
+}
+
+// destageForSpace synchronously frees booster room for n bytes, returning
+// the stall charged to the waiting request.
+func (d *Device) destageForSpace(n int64) int64 {
+	var stall int64
+	for d.booster != nil && !d.booster.spaceFor(n) {
+		ns := d.destageOne()
+		if ns <= 0 {
+			break
+		}
+		stall += ns
+		d.metrics.DestageStallNs += ns
+		if d.tel != nil {
+			d.tel.destageSpace.Inc()
+		}
+	}
+	return stall
+}

@@ -1,0 +1,147 @@
+package ufs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"emmcio/internal/faults"
+	"emmcio/internal/ftl"
+	"emmcio/internal/sim"
+	"emmcio/internal/storage"
+)
+
+// BoosterChunk is the gob form of one pending booster migration.
+type BoosterChunk struct {
+	Pool int
+	LPNs []int64
+}
+
+// deviceSnapshot is the gob layout of a device's dynamic state. Unlike the
+// eMMC model's RAM buffer (a cache that restarts cold), the booster holds
+// the only copy of its dirty sectors, so its queue is part of the snapshot:
+// a restored device still answers booster reads at SLC latency and still
+// owes the same migrations.
+type deviceSnapshot struct {
+	Config      Config
+	FTL         *ftl.SnapshotData
+	Slots       []int64
+	LastEnd     int64
+	RRPlane     int
+	Metrics     storage.Metrics
+	ChannelFree []int64
+	ChannelBusy []int64
+	PlaneFree   []int64
+	PlaneBusy   []int64
+	// Booster state: the pending-migration queue in order, plus hit
+	// accounting. The dirty-sector index is rebuilt from the queue.
+	BoosterQueue  []BoosterChunk
+	BoosterHits   int64
+	BoosterMisses int64
+	// FaultDraws archives the injector's decision-stream position so a
+	// restored device resumes the exact fault sequence (Skip fast-forward).
+	FaultDraws int64
+}
+
+// Snapshot archives the device (configuration, FTL state, command-slot and
+// resource timing cursors, booster content, metrics) to w, so an aged
+// device can be resumed later without replaying its history.
+func (d *Device) Snapshot(w io.Writer) error {
+	snap := deviceSnapshot{
+		Config:     d.cfg,
+		FTL:        d.ftl.SnapshotData(),
+		Slots:      append([]int64(nil), d.slots...),
+		LastEnd:    d.lastEnd,
+		RRPlane:    d.rrPlane,
+		Metrics:    d.metrics,
+		FaultDraws: d.inj.Draws(),
+	}
+	if d.booster != nil {
+		snap.BoosterHits = d.booster.hits
+		snap.BoosterMisses = d.booster.misses
+		for _, c := range d.booster.queue {
+			snap.BoosterQueue = append(snap.BoosterQueue,
+				BoosterChunk{Pool: c.pool, LPNs: append([]int64(nil), c.lpns...)})
+		}
+	}
+	for i := range d.channels {
+		f, b := d.channels[i].State()
+		snap.ChannelFree = append(snap.ChannelFree, f)
+		snap.ChannelBusy = append(snap.ChannelBusy, b)
+	}
+	for i := range d.planes {
+		f, b := d.planes[i].State()
+		snap.PlaneFree = append(snap.PlaneFree, f)
+		snap.PlaneBusy = append(snap.PlaneBusy, b)
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("ufs: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreSnapshot rebuilds a device from a Snapshot stream.
+func RestoreSnapshot(r io.Reader) (*Device, error) {
+	var snap deviceSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ufs: decoding snapshot: %w", err)
+	}
+	if snap.Config.Queues == 0 {
+		snap.Config.Queues = 1
+	}
+	if snap.Config.QueueDepth == 0 {
+		snap.Config.QueueDepth = 32
+	}
+	if err := snap.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("ufs: snapshot config: %w", err)
+	}
+	if snap.FTL == nil {
+		return nil, fmt.Errorf("ufs: snapshot missing FTL state")
+	}
+	f, err := ftl.RestoreFromData(snap.FTL)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.New(snap.Config.Faults)
+	if err != nil {
+		return nil, err
+	}
+	inj.Skip(snap.FaultDraws)
+	f.SetFaults(inj)
+	d := &Device{
+		cfg:      snap.Config,
+		ftl:      f,
+		inj:      inj,
+		channels: make([]sim.Resource, snap.Config.Geometry.Channels),
+		planes:   make([]sim.Resource, snap.Config.Geometry.Planes()),
+		slots:    make([]int64, snap.Config.slots()),
+		booster:  newBooster(snap.Config.WriteBoosterBytes),
+		lastEnd:  snap.LastEnd,
+		rrPlane:  snap.RRPlane,
+		metrics:  snap.Metrics,
+	}
+	if len(snap.Slots) != len(d.slots) {
+		return nil, fmt.Errorf("ufs: snapshot slot count mismatch")
+	}
+	copy(d.slots, snap.Slots)
+	if len(snap.ChannelFree) != len(d.channels) || len(snap.PlaneFree) != len(d.planes) {
+		return nil, fmt.Errorf("ufs: snapshot resource counts mismatch")
+	}
+	for i := range d.channels {
+		d.channels[i].SetState(snap.ChannelFree[i], snap.ChannelBusy[i])
+	}
+	for i := range d.planes {
+		d.planes[i].SetState(snap.PlaneFree[i], snap.PlaneBusy[i])
+	}
+	if len(snap.BoosterQueue) > 0 && d.booster == nil {
+		return nil, fmt.Errorf("ufs: snapshot has booster content but no booster capacity")
+	}
+	if d.booster != nil {
+		d.booster.hits = snap.BoosterHits
+		d.booster.misses = snap.BoosterMisses
+		for _, c := range snap.BoosterQueue {
+			d.booster.add(c.Pool, c.LPNs)
+		}
+	}
+	return d, nil
+}

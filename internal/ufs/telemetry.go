@@ -1,0 +1,85 @@
+package ufs
+
+import (
+	"fmt"
+
+	"emmcio/internal/telemetry"
+	"emmcio/internal/trace"
+)
+
+// devTel holds the device's metric handles, resolved once at attach time.
+type devTel struct {
+	reads, writes *telemetry.Counter
+	readServNs    *telemetry.Histogram
+	writeServNs   *telemetry.Histogram
+	waitNs        *telemetry.Histogram
+	flushes       *telemetry.Counter
+	destageIdle   *telemetry.Counter
+	destageSpace  *telemetry.Counter
+	boosterBytes  *telemetry.Gauge
+	readFaults    *telemetry.Counter
+}
+
+// SetTelemetry attaches metrics and span tracing to the device (nil values
+// detach). Metrics: ufs_requests_total{op}, ufs_service_ns{op} and
+// ufs_wait_ns latency histograms, flush and booster-migration counters, and
+// booster occupancy. Spans: flash transfers/programs/reads on channel and
+// plane tracks, plus flush barriers and fault-recovery markers. The FTL and
+// fault injector wire through the same registry.
+func (d *Device) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	d.tracer = tr
+	d.ftl.SetTelemetry(reg)
+	d.inj.SetTelemetry(reg)
+	if reg == nil {
+		d.tel = nil
+		return
+	}
+	d.tel = &devTel{
+		reads:        reg.Counter("ufs_requests_total", telemetry.L("op", "read")),
+		writes:       reg.Counter("ufs_requests_total", telemetry.L("op", "write")),
+		readServNs:   reg.Histogram("ufs_service_ns", nil, telemetry.L("op", "read")),
+		writeServNs:  reg.Histogram("ufs_service_ns", nil, telemetry.L("op", "write")),
+		waitNs:       reg.Histogram("ufs_wait_ns", nil),
+		flushes:      reg.Counter("ufs_flushes_total"),
+		destageIdle:  reg.Counter("ufs_booster_destages_total", telemetry.L("cause", "idle")),
+		destageSpace: reg.Counter("ufs_booster_destages_total", telemetry.L("cause", "space")),
+		boosterBytes: reg.Gauge("ufs_booster_bytes"),
+		readFaults:   reg.Counter("ufs_read_faults_total"),
+	}
+}
+
+// observeRequest records one served command's latency breakdown.
+func (d *Device) observeRequest(op trace.Op, serviceNs, waitNs int64) {
+	if d.tel == nil {
+		return
+	}
+	if op == trace.Write {
+		d.tel.writes.Inc()
+		d.tel.writeServNs.Observe(serviceNs)
+	} else {
+		d.tel.reads.Inc()
+		d.tel.readServNs.Observe(serviceNs)
+	}
+	d.tel.waitNs.Observe(waitNs)
+}
+
+// observeBooster publishes the booster's occupancy.
+func (d *Device) observeBooster() {
+	if d.tel == nil || d.booster == nil {
+		return
+	}
+	d.tel.boosterBytes.Set(d.booster.usedBytes)
+}
+
+// trackChannel/trackPlane format Perfetto track names; only reached when a
+// tracer is attached.
+func trackChannel(ch int) string { return fmt.Sprintf("channel/%d", ch) }
+func trackPlane(pl int) string   { return fmt.Sprintf("plane/%d", pl) }
+
+// pageLabel names the pool size in span labels.
+func pageLabel(pageBytes int) string {
+	if pageBytes >= 8192 {
+		return "8K"
+	}
+	return "4K"
+}
