@@ -9,7 +9,7 @@ GO ?= go
 # regression between the two newest BENCH_*.json snapshots; it is a no-op
 # until a second snapshot exists).
 .PHONY: check
-check: vet build runner-race faults-race stream-race server-race device-race race overhead bench-gate
+check: vet build runner-race faults-race stream-race server-race coord-race device-race race overhead bench-gate
 
 .PHONY: vet
 vet:
@@ -62,6 +62,14 @@ device-race:
 .PHONY: server-race
 server-race:
 	$(GO) test -race -count=2 ./internal/server
+
+# The sweep coordinator under the race detector: shard fan-out determinism,
+# the chaos harness (429-saturated, stalling, and dying workers), local
+# degradation, and cancel-mid-sweep propagation (scheduling and failure
+# interleavings vary between runs, hence -count=2).
+.PHONY: coord-race
+coord-race:
+	$(GO) test -race -count=2 ./internal/coord
 
 .PHONY: overhead
 overhead:

@@ -34,12 +34,13 @@ import (
 
 // defaultBench selects the stream/sweep/replay benchmarks: the replay hot
 // loop with telemetry off/on, the streaming-vs-slice replay pair, the
-// device submit paths, trace generation, and the parallel sweep runner
-// (its serial twin is skipped to keep the gate fast; the ratio belongs to
-// BenchmarkSweepRunner's own output).
-const defaultBench = "ReplayTelemetryOff|ReplayTelemetryOn|ReplayStream1k|ReplaySlice1k|ReplayUFS1k|DeviceWrite4K|DeviceRead64K|TraceGeneration|SweepRunner/parallel"
+// device submit paths, trace generation, the parallel sweep runner (its
+// serial twin is skipped to keep the gate fast; the ratio belongs to
+// BenchmarkSweepRunner's own output), and the distributed sweep fabric
+// end to end (shard → HTTP workers → merge).
+const defaultBench = "ReplayTelemetryOff|ReplayTelemetryOn|ReplayStream1k|ReplaySlice1k|ReplayUFS1k|DeviceWrite4K|DeviceRead64K|TraceGeneration|SweepRunner/parallel|CoordinatorSweep"
 
-const defaultPkgs = ".,./internal/core"
+const defaultPkgs = ".,./internal/core,./internal/coord"
 
 // Snapshot is the persisted form of one trajectory point.
 type Snapshot struct {

@@ -2,10 +2,13 @@ package cliutil
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"strings"
 
 	"emmcio/internal/experiments"
+	"emmcio/internal/report"
+	"emmcio/internal/telemetry"
 	"emmcio/internal/workload"
 )
 
@@ -32,6 +35,49 @@ type SweepSpec struct {
 	// DeviceSpec selects the storage backend every replay in the sweep runs
 	// against (-device / "device"); unknown names 400 before queueing.
 	DeviceSpec
+}
+
+// BindFlags registers the spec's fields as CLI flags on fs — the
+// coordinator CLI's interface; the JSON tags above remain emmcd's. The
+// fault-seed default of 0 means "unset", matching the JSON semantics
+// (FaultConfig treats a zero seed with a non-zero rate as seed 1).
+func (s *SweepSpec) BindFlags(fs *flag.FlagSet) {
+	fs.Var(csvValue{&s.Sweeps}, "sweeps",
+		"comma-separated sweeps to run ("+strings.Join(experiments.SweepNames(), ", ")+")")
+	fs.Var(csvValue{&s.Traces}, "traces",
+		"comma-separated trace roster narrowing per-trace sweeps (empty = every trace)")
+	fs.Uint64Var(&s.Seed, "seed", workload.DefaultSeed, "workload generation seed")
+	fs.IntVar(&s.Workers, "j", 0, "per-sweep worker pool width (0 = GOMAXPROCS)")
+	fs.Float64Var(&s.Faults, "faults", 0, "fault-injection rate multiplier (0 = perfect hardware)")
+	fs.Uint64Var(&s.FaultSeed, "fault-seed", 0, "fault-injection decision seed (requires -faults > 0; 0 = unset)")
+	s.DeviceSpec.BindFlags(fs)
+}
+
+// csvValue adapts a []string field to flag.Value as a comma-separated
+// list; an empty argument clears the list.
+type csvValue struct{ dst *[]string }
+
+func (v csvValue) String() string {
+	if v.dst == nil {
+		return ""
+	}
+	return strings.Join(*v.dst, ",")
+}
+
+func (v csvValue) Set(s string) error {
+	if s == "" {
+		*v.dst = nil
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	*v.dst = out
+	return nil
 }
 
 // Normalize fills defaulted fields in place.
@@ -87,4 +133,43 @@ func (s *SweepSpec) Env(ctx context.Context) (*experiments.Env, error) {
 	}
 	env.Ctx = ctx
 	return env, nil
+}
+
+// SweepResult is one named sweep's rendered tables — the unit of a sweep
+// job's result. The emmcd server marshals a []SweepResult as the job
+// payload and the coordinator decodes, merges, and re-marshals the same
+// type, which makes "sharded equals single-process" a byte comparison.
+type SweepResult struct {
+	Name   string          `json:"name"`
+	Tables []*report.Table `json:"tables"`
+}
+
+// Run executes every named sweep in order on an env bounded by ctx.
+// defaultWorkers applies when the spec does not set its own worker width
+// (the server passes its per-job pool width here). This is the one sweep
+// execution path shared by the emmcd server's sweep jobs and the
+// coordinator's degrade-to-local fallback, so a shard produces the same
+// bytes whether it ran on a remote worker or in process.
+func (s *SweepSpec) Run(ctx context.Context, defaultWorkers int, reg *telemetry.Registry, tracer *telemetry.Tracer) ([]SweepResult, error) {
+	env, err := s.Env(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if s.Workers == 0 {
+		env.Workers = defaultWorkers
+	}
+	env.Telemetry = reg
+	env.Tracer = tracer
+	out := make([]SweepResult, 0, len(s.Sweeps))
+	for _, name := range s.Sweeps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tables, err := experiments.RunSweepOn(env, name, s.Traces)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepResult{Name: name, Tables: tables})
+	}
+	return out, nil
 }

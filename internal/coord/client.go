@@ -1,0 +1,185 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"emmcio/internal/cliutil"
+	"emmcio/internal/server"
+)
+
+// Client is the coordinator's HTTP view of one emmcd worker: health
+// probes, sweep submission, job polling, and cancellation over the
+// server's existing /healthz and /v1 surfaces. Every request carries the
+// client's timeout, so a hung worker costs bounded wall clock, never a
+// stuck coordinator goroutine.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a worker client for the given base URL ("http://host:
+// port", trailing slash tolerated) with a per-request timeout.
+func NewClient(base string, timeout time.Duration) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: timeout},
+	}
+}
+
+// Base returns the worker's base URL; logs and errors name workers by it.
+func (c *Client) Base() string { return c.base }
+
+// BackpressureError is a worker's 429: the queue is full. After is the
+// server's Retry-After hint (0 when absent); Queued/QueueCapacity echo
+// the JSON body's queue state so backoff can be informed rather than
+// blind.
+type BackpressureError struct {
+	After         time.Duration
+	Queued        int
+	QueueCapacity int
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("worker queue full (%d/%d queued, retry after %s)",
+		e.Queued, e.QueueCapacity, e.After)
+}
+
+// StatusError is any other non-2xx worker response.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("worker returned %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// Retryable reports whether the failure is a worker-side condition a
+// different (or later) worker could serve: 5xx and 503-draining are;
+// 4xx spec rejections are not — the same spec fails everywhere.
+func (e *StatusError) Retryable() bool { return e.Code >= 500 }
+
+// Health probes GET /healthz. A draining worker answers 503, which reads
+// as unhealthy here — exactly right for routing: it is finishing old work
+// but must not receive new shards.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{Code: resp.StatusCode, Body: readSnippet(resp.Body)}
+	}
+	return nil
+}
+
+// SubmitSweep POSTs a shard's spec to /v1/sweeps and returns the job id.
+// A 429 comes back as *BackpressureError carrying the Retry-After header
+// and queue state; other non-202s as *StatusError.
+func (c *Client) SubmitSweep(ctx context.Context, spec cliutil.SweepSpec) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweeps", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer drain(resp)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		be := &BackpressureError{}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			be.After = time.Duration(secs) * time.Second
+		}
+		var qf server.QueueFullError
+		if err := json.NewDecoder(resp.Body).Decode(&qf); err == nil {
+			be.Queued, be.QueueCapacity = qf.Queued, qf.QueueCapacity
+		}
+		return "", be
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", &StatusError{Code: resp.StatusCode, Body: readSnippet(resp.Body)}
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return "", fmt.Errorf("decoding submit response: %w", err)
+	}
+	if sub.ID == "" {
+		return "", errors.New("submit response carried no job id")
+	}
+	return sub.ID, nil
+}
+
+// JobStatus GETs /v1/jobs/{id}.
+func (c *Client) JobStatus(ctx context.Context, id string) (server.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return server.JobStatus{}, &StatusError{Code: resp.StatusCode, Body: readSnippet(resp.Body)}
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return server.JobStatus{}, fmt.Errorf("decoding job status: %w", err)
+	}
+	return st, nil
+}
+
+// CancelJob DELETEs /v1/jobs/{id} — queued jobs terminate immediately,
+// running ones abort between replay events. 404 is success for our
+// purposes: the worker no longer knows the job, so nothing is running.
+func (c *Client) CancelJob(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return &StatusError{Code: resp.StatusCode, Body: readSnippet(resp.Body)}
+	}
+	return nil
+}
+
+// drain discards the remaining body so the keep-alive connection is
+// reusable, then closes it.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck // best-effort drain
+	resp.Body.Close()
+}
+
+// readSnippet captures the head of an error body for diagnostics.
+func readSnippet(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 512))
+	return string(b)
+}

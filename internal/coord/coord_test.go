@@ -1,0 +1,401 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"emmcio/internal/cliutil"
+	"emmcio/internal/paper"
+	"emmcio/internal/server"
+)
+
+// testSpec is the cheap three-trace casestudy sweep every coordinator test
+// shards: three per-trace shards at the default grain, each replaying a
+// short synthetic trace under three schemes.
+func testSpec() cliutil.SweepSpec {
+	return cliutil.SweepSpec{
+		Sweeps: []string{"casestudy"},
+		Traces: []string{paper.Idle, paper.CallIn, paper.CallOut},
+	}
+}
+
+// localBaseline runs spec single-process and returns its marshaled bytes —
+// the ground truth every fabric configuration must reproduce exactly.
+func localBaseline(t *testing.T, spec cliutil.SweepSpec) []byte {
+	t.Helper()
+	res, err := spec.Run(context.Background(), 0, nil, nil)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal baseline: %v", err)
+	}
+	return b
+}
+
+// newWorker starts a real emmcd job service behind an httptest listener.
+func newWorker(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+	})
+	return ts
+}
+
+// fastConfig is a Config tuned for test wall clock: millisecond backoffs
+// and tight polling. The shard deadline stays generous — real replays can
+// take seconds under -race; tests that need deadline-driven escapes (the
+// stalling chaos worker) tighten it themselves.
+func fastConfig(workers []string) Config {
+	return Config{
+		Workers:        workers,
+		TracesPerShard: 1,
+		ShardTimeout:   30 * time.Second,
+		HTTPTimeout:    2 * time.Second,
+		PollInterval:   5 * time.Millisecond,
+		PollFailures:   2,
+		HealthInterval: 25 * time.Millisecond,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     5 * time.Millisecond,
+	}
+}
+
+func counters(c *Coordinator) map[string]int64 {
+	m := map[string]int64{}
+	c.Telemetry().EachCounter(func(name string, v int64) { m[name] = v })
+	return m
+}
+
+// TestCoordinatorMatchesSingleProcess is the happy-path determinism
+// contract: a sweep sharded across three healthy workers merges to the
+// byte-exact single-process result.
+func TestCoordinatorMatchesSingleProcess(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+
+	urls := []string{
+		newWorker(t, server.Config{}).URL,
+		newWorker(t, server.Config{}).URL,
+		newWorker(t, server.Config{}).URL,
+	}
+	cfg := fastConfig(urls)
+	cfg.DisableLocal = true // success must come through the fleet
+	c := New(cfg)
+	res, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("coordinator run: %v", err)
+	}
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("sharded sweep diverged from single-process run:\n got %s\nwant %s", got, want)
+	}
+	st := counters(c)
+	if st["coord_shards_planned_total"] != 3 || st["coord_shards_completed_total"] != 3 {
+		t.Errorf("shard accounting = %d planned / %d completed, want 3/3",
+			st["coord_shards_planned_total"], st["coord_shards_completed_total"])
+	}
+	if st["coord_local_runs_total"] != 0 {
+		t.Errorf("healthy fleet fell back to local %d times", st["coord_local_runs_total"])
+	}
+}
+
+// chaosMode selects a stub worker's failure behavior.
+type chaosMode int
+
+const (
+	// chaos429 accepts nothing: every submission is a 429 with Retry-After,
+	// like a worker whose queue never drains.
+	chaos429 chaosMode = iota
+	// chaosStall accepts jobs that never finish: every poll says running.
+	// Only the shard deadline gets a coordinator off this worker — and on
+	// the way out it must DELETE the abandoned job.
+	chaosStall
+	// chaosDie accepts a job, answers one poll, then drops every connection
+	// unread — a worker killed mid-shard.
+	chaosDie
+)
+
+// chaosWorker is an httptest stub speaking just enough of the emmcd API to
+// misbehave in controlled ways, counting what the coordinator does to it.
+type chaosWorker struct {
+	mode chaosMode
+	ts   *httptest.Server
+
+	mu      sync.Mutex
+	submits int
+	polls   int
+	deletes int
+	dead    bool
+}
+
+func newChaosWorker(t *testing.T, mode chaosMode) *chaosWorker {
+	t.Helper()
+	w := &chaosWorker{mode: mode}
+	w.ts = httptest.NewServer(http.HandlerFunc(w.serve))
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+func (w *chaosWorker) serve(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	dead := w.dead
+	w.mu.Unlock()
+	if dead {
+		// A killed process doesn't write HTTP errors; it drops the socket.
+		if hj, ok := rw.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		rw.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	switch {
+	case r.URL.Path == "/healthz":
+		rw.WriteHeader(http.StatusOK)
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/sweeps":
+		w.mu.Lock()
+		w.submits++
+		w.mu.Unlock()
+		if w.mode == chaos429 {
+			rw.Header().Set("Retry-After", "0")
+			rw.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(rw).Encode(server.QueueFullError{ //nolint:errcheck
+				Error: "queue full", Queued: 1, QueueCapacity: 1,
+			})
+			return
+		}
+		rw.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(rw, `{"id":"c1"}`)
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+		w.mu.Lock()
+		w.polls++
+		if w.mode == chaosDie && w.polls >= 2 {
+			w.dead = true
+		}
+		w.mu.Unlock()
+		fmt.Fprint(rw, `{"id":"c1","state":"running"}`)
+	case r.Method == http.MethodDelete && strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+		w.mu.Lock()
+		w.deletes++
+		w.mu.Unlock()
+		rw.WriteHeader(http.StatusOK)
+	default:
+		rw.WriteHeader(http.StatusNotFound)
+	}
+}
+
+func (w *chaosWorker) stats() (submits, deletes int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.submits, w.deletes
+}
+
+// TestCoordinatorSurvivesChaos is the fault-tolerance acceptance test: a
+// fleet of five where the first three picks are guaranteed poison — a
+// saturated 429er, a stalling blackhole, and a worker that dies mid-shard
+// — must still complete the sweep byte-identical to single-process,
+// entirely remotely (local fallback disabled), with the retries,
+// re-routes, backpressure, and remote cancels visible in telemetry.
+func TestCoordinatorSurvivesChaos(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+
+	flaky := newChaosWorker(t, chaos429)
+	stall := newChaosWorker(t, chaosStall)
+	dying := newChaosWorker(t, chaosDie)
+	// Round-robin pick hands the three shards to the three chaos workers
+	// first; the two real workers only see re-routed traffic.
+	cfg := fastConfig([]string{flaky.ts.URL, stall.ts.URL, dying.ts.URL,
+		newWorker(t, server.Config{}).URL, newWorker(t, server.Config{}).URL})
+	// Tight enough that a shard routed to the stalling worker escapes in
+	// seconds, loose enough that a real replay finishes even under -race
+	// on a loaded machine; the generous attempt budget keeps deadline
+	// flakes from exhausting into a spurious failure.
+	cfg.ShardTimeout = 5 * time.Second
+	cfg.MaxAttempts = 10
+	cfg.DisableLocal = true
+	c := New(cfg)
+
+	res, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("coordinator run under chaos: %v", err)
+	}
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("chaos sweep diverged from single-process run:\n got %s\nwant %s", got, want)
+	}
+
+	st := counters(c)
+	if st["coord_shards_completed_total"] != 3 {
+		t.Errorf("completed = %d, want 3", st["coord_shards_completed_total"])
+	}
+	if st["coord_shard_retries_total"] == 0 {
+		t.Error("no retries recorded despite a poisoned fleet")
+	}
+	if st["coord_shard_reroutes_total"] == 0 {
+		t.Error("no re-routes recorded despite a poisoned fleet")
+	}
+	if st["coord_backpressure_429_total"] == 0 {
+		t.Error("no 429 backpressure recorded despite a saturated worker")
+	}
+	if st["coord_local_runs_total"] != 0 {
+		t.Errorf("local fallback ran %d times with DisableLocal set", st["coord_local_runs_total"])
+	}
+	if subs, _ := flaky.stats(); subs == 0 {
+		t.Error("the 429 worker was never offered a shard")
+	}
+	if _, dels := stall.stats(); dels == 0 {
+		t.Error("the stalled worker's abandoned job was never DELETEd")
+	}
+}
+
+// TestCoordinatorDegradesToLocal covers the no-fleet end of the spectrum:
+// with zero workers — or only an unreachable one — every shard runs in
+// process and the merged result is still byte-identical.
+func TestCoordinatorDegradesToLocal(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+
+	t.Run("no_workers", func(t *testing.T) {
+		c := New(fastConfig(nil))
+		res, err := c.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		got, _ := json.Marshal(res)
+		if string(got) != string(want) {
+			t.Errorf("local degrade diverged:\n got %s\nwant %s", got, want)
+		}
+		if st := counters(c); st["coord_local_runs_total"] != 3 {
+			t.Errorf("local runs = %d, want 3", st["coord_local_runs_total"])
+		}
+	})
+
+	t.Run("unreachable_worker", func(t *testing.T) {
+		// A listener that closed before the sweep: probes fail, the worker
+		// never becomes available, and shards go straight to local without
+		// burning the attempt budget on it.
+		gone := httptest.NewServer(http.NotFoundHandler())
+		gone.Close()
+		c := New(fastConfig([]string{gone.URL}))
+		res, err := c.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		got, _ := json.Marshal(res)
+		if string(got) != string(want) {
+			t.Errorf("local degrade diverged:\n got %s\nwant %s", got, want)
+		}
+		st := counters(c)
+		if st["coord_local_runs_total"] != 3 {
+			t.Errorf("local runs = %d, want 3", st["coord_local_runs_total"])
+		}
+		if st["coord_shard_attempts_total"] != 0 {
+			t.Errorf("attempts = %d on a provably-down worker, want 0", st["coord_shard_attempts_total"])
+		}
+	})
+
+	t.Run("disable_local_fails", func(t *testing.T) {
+		cfg := fastConfig(nil)
+		cfg.DisableLocal = true
+		if _, err := New(cfg).Run(context.Background(), spec); err == nil {
+			t.Error("no workers + DisableLocal succeeded, want error")
+		}
+	})
+}
+
+// TestCoordinatorCancelMidSweep pins cancellation propagation: canceling
+// the coordinator's context while shards are in flight returns promptly
+// with ctx.Err() and DELETEs the in-flight worker jobs — no orphaned
+// sweeps keep running on the fleet.
+func TestCoordinatorCancelMidSweep(t *testing.T) {
+	stall := newChaosWorker(t, chaosStall)
+	cfg := fastConfig([]string{stall.ts.URL})
+	cfg.ShardTimeout = time.Minute // only cancellation can end the attempt
+	cfg.DisableLocal = true
+	c := New(cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, testSpec())
+		errc <- err
+	}()
+
+	// Wait for at least one shard to be in flight on the worker, then pull
+	// the plug.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if subs, _ := stall.stats(); subs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no shard reached the worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Errorf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	if _, dels := stall.stats(); dels == 0 {
+		t.Error("in-flight job was not DELETEd on cancellation")
+	}
+}
+
+// BenchmarkCoordinatorSweep measures the fabric's end-to-end overhead on a
+// healthy three-worker fleet: shard planning, HTTP submission, polling,
+// and the plan-order merge around the same three-trace casestudy sweep the
+// other benchmarks replay.
+func BenchmarkCoordinatorSweep(b *testing.B) {
+	urls := make([]string, 3)
+	for i := range urls {
+		s := server.New(server.Config{})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Shutdown(ctx) //nolint:errcheck
+		}()
+		urls[i] = ts.URL
+	}
+	spec := testSpec()
+	cfg := fastConfig(urls)
+	cfg.DisableLocal = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New(cfg)
+		if _, err := c.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

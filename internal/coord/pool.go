@@ -1,0 +1,137 @@
+package coord
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// workerState tracks one emmcd instance's routing state: liveness from
+// the health prober, and a consecutive-failure circuit breaker fed by
+// shard outcomes. Both gates must be open for the worker to receive
+// shards.
+type workerState struct {
+	name string
+	cli  *Client
+
+	mu sync.Mutex
+	// healthy is the last health-probe verdict. Workers start unhealthy
+	// until the first probe passes, so an unreachable fleet degrades to
+	// local execution instead of burning the attempt budget on it.
+	healthy bool
+	// consecFails counts consecutive shard-level failures (submit errors,
+	// lost polls, stalls); any success resets it.
+	consecFails int
+	// trippedUntil is the circuit breaker: while in the future, the worker
+	// is out of rotation even if probes pass. A passing probe after expiry
+	// closes the breaker (half-open → closed in one step, since a probe is
+	// itself the trial request).
+	trippedUntil time.Time
+}
+
+// available reports whether the worker may receive a shard now.
+func (w *workerState) available(now time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy && !now.Before(w.trippedUntil)
+}
+
+// ok records a shard success, closing the failure streak.
+func (w *workerState) ok() {
+	w.mu.Lock()
+	w.consecFails = 0
+	w.mu.Unlock()
+}
+
+// fail records a shard failure; once the streak reaches threshold the
+// breaker trips for cooldown. Returns true when this call tripped it.
+func (w *workerState) fail(threshold int, cooldown time.Duration, now time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.consecFails++
+	if w.consecFails >= threshold && now.After(w.trippedUntil) {
+		w.trippedUntil = now.Add(cooldown)
+		w.consecFails = 0
+		return true
+	}
+	return false
+}
+
+// setHealthy records a probe verdict. A passing probe past the breaker
+// window also closes the breaker.
+func (w *workerState) setHealthy(up bool, now time.Time) {
+	w.mu.Lock()
+	w.healthy = up
+	if up && !w.trippedUntil.IsZero() && now.After(w.trippedUntil) {
+		w.trippedUntil = time.Time{}
+		w.consecFails = 0
+	}
+	w.mu.Unlock()
+}
+
+// pool is the coordinator's routing table: round-robin over workers that
+// are both probe-healthy and breaker-closed.
+type pool struct {
+	workers []*workerState
+	mu      sync.Mutex
+	next    int
+}
+
+func newPool(urls []string, timeout time.Duration) *pool {
+	p := &pool{}
+	for _, u := range urls {
+		p.workers = append(p.workers, &workerState{name: u, cli: NewClient(u, timeout)})
+	}
+	return p
+}
+
+// pick returns the next available worker in round-robin order, or nil
+// when none is — the caller's cue to degrade to local execution. The
+// cursor advances on every pick, so consecutive attempts of a re-routed
+// shard land on different workers whenever more than one is available.
+func (p *pool) pick(now time.Time) *workerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for range p.workers {
+		w := p.workers[p.next%len(p.workers)]
+		p.next++
+		if w.available(now) {
+			return w
+		}
+	}
+	return nil
+}
+
+// healthyCount reports how many workers are currently available.
+func (p *pool) healthyCount(now time.Time) int {
+	n := 0
+	for _, w := range p.workers {
+		if w.available(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// probeAll probes every worker once, concurrently, and records verdicts.
+// It returns the number of failed probes.
+func (p *pool) probeAll(ctx context.Context) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failed := 0
+	for _, w := range p.workers {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			err := w.cli.Health(ctx)
+			w.setHealthy(err == nil, time.Now())
+			if err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return failed
+}

@@ -1,0 +1,76 @@
+package coord
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	w := &workerState{name: "w"}
+	now := time.Now()
+	w.setHealthy(true, now)
+
+	if !w.available(now) {
+		t.Fatal("healthy worker unavailable")
+	}
+	if w.fail(3, time.Minute, now) {
+		t.Error("breaker tripped after 1 failure, threshold is 3")
+	}
+	if w.fail(3, time.Minute, now) {
+		t.Error("breaker tripped after 2 failures, threshold is 3")
+	}
+	if !w.fail(3, time.Minute, now) {
+		t.Error("breaker did not trip at the threshold")
+	}
+	if w.available(now) {
+		t.Error("tripped worker still available")
+	}
+
+	// A passing probe during the cooldown must NOT close the breaker...
+	w.setHealthy(true, now.Add(time.Second))
+	if w.available(now.Add(time.Second)) {
+		t.Error("probe inside the cooldown closed the breaker")
+	}
+	// ...but one after expiry does (the probe is the half-open trial).
+	after := now.Add(2 * time.Minute)
+	w.setHealthy(true, after)
+	if !w.available(after) {
+		t.Error("passing probe after cooldown did not close the breaker")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	w := &workerState{name: "w"}
+	now := time.Now()
+	w.setHealthy(true, now)
+	w.fail(3, time.Minute, now)
+	w.fail(3, time.Minute, now)
+	w.ok() // a success between failures breaks the streak
+	if w.fail(3, time.Minute, now) {
+		t.Error("breaker tripped across a success, streak should have reset")
+	}
+}
+
+func TestPoolRoundRobinSkipsUnavailable(t *testing.T) {
+	p := newPool([]string{"a", "b", "c"}, time.Second)
+	now := time.Now()
+	// Nobody has passed a probe yet: an unprobed fleet yields nothing.
+	if w := p.pick(now); w != nil {
+		t.Fatalf("pick before any probe = %q, want nil", w.name)
+	}
+	for _, w := range p.workers {
+		w.setHealthy(true, now)
+	}
+	p.workers[1].setHealthy(false, now) // b is down
+
+	got := []string{p.pick(now).name, p.pick(now).name, p.pick(now).name}
+	want := []string{"a", "c", "a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin picks = %v, want %v", got, want)
+		}
+	}
+	if n := p.healthyCount(now); n != 2 {
+		t.Errorf("healthyCount = %d, want 2", n)
+	}
+}

@@ -15,6 +15,25 @@ func SweepNames() []string {
 	return []string{"tables", "figures", "casestudy", "faultsweep"}
 }
 
+// SweepTraceAxis returns the trace roster a sweep fans over when no
+// restriction is given — the axis a distributed coordinator may shard on —
+// or nil for sweeps with no shardable per-trace axis. This is the shard
+// execution seam's contract: for any roster subset S, RunSweepOn(env,
+// name, S) must produce exactly the rows the full-roster sweep produces
+// for those traces, in roster order, so a plan-order row-wise merge of
+// shard results is bit-identical to the unsharded sweep. casestudy
+// satisfies it because every replay's result depends only on its own
+// (trace, scheme, options, seed). tables and figures iterate fixed app
+// sets inside one plan, and faultsweep's per-cell fault seeds mix the plan
+// index — splitting any of them would change results, so they stay atomic.
+func SweepTraceAxis(name string) []string {
+	switch strings.ToLower(name) {
+	case "casestudy":
+		return append([]string(nil), paper.IndividualApps...)
+	}
+	return nil
+}
+
 // KnownSweep reports whether name is one of SweepNames (case-insensitive).
 func KnownSweep(name string) bool {
 	name = strings.ToLower(name)

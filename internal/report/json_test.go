@@ -1,0 +1,65 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestTableJSONRoundTrip pins the wire property the sweep fabric leans on:
+// cells are pre-formatted strings, so marshal → unmarshal → marshal is
+// byte-identical and a table can hop between processes losslessly.
+func TestTableJSONRoundTrip(t *testing.T) {
+	tbl := NewTable("Fig. X: demo", "App", "ms")
+	tbl.AddRow("CallIn", "3.41")
+	tbl.AddRow("Idle", "0.10")
+
+	first, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Table
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	second, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("round trip changed bytes:\n first %s\nsecond %s", first, second)
+	}
+	if back.Rows() != 2 {
+		t.Errorf("decoded table has %d rows, want 2", back.Rows())
+	}
+}
+
+func TestTableUnmarshalRejectsRaggedRows(t *testing.T) {
+	raw := `{"title":"t","columns":["a","b"],"rows":[["only-one"]]}`
+	var tbl Table
+	if err := json.Unmarshal([]byte(raw), &tbl); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestAppendRowsGuardsShape(t *testing.T) {
+	a := NewTable("t", "x", "y")
+	a.AddRow("1", "2")
+	b := NewTable("t", "x", "y")
+	b.AddRow("3", "4")
+	if err := a.AppendRows(b); err != nil {
+		t.Fatalf("AppendRows: %v", err)
+	}
+	if a.Rows() != 2 {
+		t.Errorf("rows = %d, want 2", a.Rows())
+	}
+
+	if err := a.AppendRows(NewTable("other", "x", "y")); err == nil {
+		t.Error("title mismatch accepted")
+	}
+	if err := a.AppendRows(NewTable("t", "x")); err == nil {
+		t.Error("column-count mismatch accepted")
+	}
+	if err := a.AppendRows(NewTable("t", "x", "z")); err == nil {
+		t.Error("column-name mismatch accepted")
+	}
+}

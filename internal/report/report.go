@@ -90,6 +90,52 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 	}{t.Title, t.Columns, rows})
 }
 
+// UnmarshalJSON restores a table from its MarshalJSON wire form, so a
+// rendered table can round-trip through a job result: the sweep
+// coordinator decodes each shard's tables, merges them row-wise, and the
+// re-marshaled merge is byte-identical to a single-process render (every
+// cell is already a formatted string; nothing is re-computed).
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var wire struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	for i, row := range wire.Rows {
+		if len(row) != len(wire.Columns) {
+			return fmt.Errorf("report: table %q row %d has %d cells, header has %d",
+				wire.Title, i, len(row), len(wire.Columns))
+		}
+	}
+	t.Title = wire.Title
+	t.Columns = wire.Columns
+	t.rows = wire.Rows
+	return nil
+}
+
+// AppendRows appends o's data rows to t — the merge step for sharded
+// sweeps, where each shard renders the same table over a disjoint row
+// subset. The titles and headers must agree exactly; a mismatch means the
+// shards did not come from the same sweep.
+func (t *Table) AppendRows(o *Table) error {
+	if o.Title != t.Title {
+		return fmt.Errorf("report: cannot merge table %q into %q", o.Title, t.Title)
+	}
+	if len(o.Columns) != len(t.Columns) {
+		return fmt.Errorf("report: table %q merge: %d columns vs %d", t.Title, len(o.Columns), len(t.Columns))
+	}
+	for i := range t.Columns {
+		if o.Columns[i] != t.Columns[i] {
+			return fmt.Errorf("report: table %q merge: column %d is %q vs %q", t.Title, i, o.Columns[i], t.Columns[i])
+		}
+	}
+	t.rows = append(t.rows, o.rows...)
+	return nil
+}
+
 // WriteCSV renders the CSV form (header row first, no title).
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)

@@ -19,6 +19,22 @@ const (
 	JobCanceled = "canceled"
 )
 
+// Error kinds classify a job's terminal error machine-readably, so a
+// client (the sweep coordinator) can tell retryable failures from fatal
+// ones without parsing the human error string:
+//
+//   - canceled: DELETE or a server drain stopped the job — the work itself
+//     is fine and can run elsewhere;
+//   - deadline: the per-job deadline expired — a capacity symptom, worth
+//     retrying on a less loaded worker;
+//   - runtime: the job's own execution failed — deterministic, so a retry
+//     anywhere reproduces it.
+const (
+	ErrKindCanceled = "canceled"
+	ErrKindDeadline = "deadline"
+	ErrKindRuntime  = "runtime"
+)
+
 // jobFunc is a job's work function. It observes into the job's own child
 // registry and tracer — never the server-wide registry — so every metric
 // and span it emits is attributable to exactly this job.
@@ -52,9 +68,12 @@ type job struct {
 	// and tests wait on it.
 	done chan struct{}
 
-	mu       sync.Mutex
-	state    string
-	err      string
+	mu    sync.Mutex
+	state string
+	err   string
+	// errKind is the machine-readable abnormal-termination classification
+	// (one of the ErrKind constants; empty for queued/running/done jobs).
+	errKind  string
 	result   json.RawMessage
 	created  time.Time
 	started  time.Time
@@ -80,6 +99,10 @@ type JobStatus struct {
 	Finished string `json:"finished,omitempty"`
 	// Error is set for failed (and context-expired canceled) jobs.
 	Error string `json:"error,omitempty"`
+	// ErrorKind classifies Error machine-readably: canceled, deadline, or
+	// runtime (see the ErrKind constants). The human Error string is
+	// unchanged; clients branch on this field instead of parsing it.
+	ErrorKind string `json:"error_kind,omitempty"`
 	// MetricsURL and TraceURL point at the job's own observability
 	// surfaces: Prometheus text and Chrome-trace JSON scoped to this job.
 	MetricsURL string `json:"metrics_url,omitempty"`
@@ -100,6 +123,7 @@ func (j *job) status() JobStatus {
 		State:      j.state,
 		Created:    j.created.UTC().Format(time.RFC3339Nano),
 		Error:      j.err,
+		ErrorKind:  j.errKind,
 		MetricsURL: "/v1/jobs/" + j.id + "/metrics",
 		Result:     j.result,
 	}

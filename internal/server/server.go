@@ -21,13 +21,12 @@ import (
 	"net/http"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"emmcio/internal/cliutil"
-	"emmcio/internal/experiments"
-	"emmcio/internal/report"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 	"emmcio/internal/workload"
@@ -309,10 +308,20 @@ func (s *Server) execute(j *job) {
 	case j.canceled:
 		j.state = JobCanceled
 		j.err = err.Error()
+		j.errKind = ErrKindCanceled
 		s.canceledC.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-job deadline expired (the replay loops return a wrapped
+		// context error); distinguish it from the job's own failures so
+		// clients know a retry on idler capacity could succeed.
+		j.state = JobFailed
+		j.err = err.Error()
+		j.errKind = ErrKindDeadline
+		s.failed.Inc()
 	default:
 		j.state = JobFailed
 		j.err = err.Error()
+		j.errKind = ErrKindRuntime
 		s.failed.Inc()
 	}
 	state, errMsg := j.state, j.err
@@ -380,6 +389,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			}
 			j.canceled = true
 			j.state = JobCanceled
+			j.errKind = ErrKindCanceled
 			j.finished = time.Now()
 			j.mu.Unlock()
 			close(j.done)
@@ -439,11 +449,32 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// QueueFullError is the 429 response body: the human error string plus
+// the queue's depth and capacity at rejection time, so a client's backoff
+// can be informed rather than blind (the coordinator reads these to size
+// its retry delay and to prefer less-loaded workers).
+type QueueFullError struct {
+	Error         string `json:"error"`
+	Queued        int    `json:"queued"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
+// retryAfterSeconds is the Retry-After hint on 429 admission responses.
+// The queue is bounded and jobs run for seconds to minutes, so "ask again
+// in a second" is an honest floor without tracking per-job ETAs; clients
+// layer their own exponential backoff on top.
+const retryAfterSeconds = 1
+
 // submitError maps admission failures to their status codes.
-func submitError(w http.ResponseWriter, err error) {
+func (s *Server) submitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusTooManyRequests, QueueFullError{
+			Error:         err.Error(),
+			Queued:        len(s.queue),
+			QueueCapacity: s.cfg.QueueDepth,
+		})
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
@@ -488,18 +519,16 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		return spec.Run(ctx, s.cfg.JobWorkers, reg, tc)
 	})
 	if err != nil {
-		submitError(w, err)
+		s.submitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, submitted{ID: j.id, State: JobQueued, URL: "/v1/jobs/" + j.id})
 }
 
 // SweepOutput is one named sweep's rendered tables inside a sweep job's
-// result.
-type SweepOutput struct {
-	Name   string          `json:"name"`
-	Tables []*report.Table `json:"tables"`
-}
+// result. It is the coordinator-shared cliutil.SweepResult under the
+// server's historical name; the wire form is unchanged.
+type SweepOutput = cliutil.SweepResult
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var spec cliutil.SweepSpec
@@ -516,31 +545,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The job body is the same SweepSpec.Run the coordinator's local
+	// fallback calls, so a shard's result is identical either way.
 	j, err := s.enqueue(r.Context(), "sweep", string(backend), func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error) {
-		env, err := spec.Env(ctx)
-		if err != nil {
-			return nil, err
-		}
-		if spec.Workers == 0 {
-			env.Workers = s.cfg.JobWorkers
-		}
-		env.Telemetry = reg
-		env.Tracer = tc
-		out := make([]SweepOutput, 0, len(spec.Sweeps))
-		for _, name := range spec.Sweeps {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			tables, err := experiments.RunSweepOn(env, name, spec.Traces)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SweepOutput{Name: name, Tables: tables})
-		}
-		return out, nil
+		return spec.Run(ctx, s.cfg.JobWorkers, reg, tc)
 	})
 	if err != nil {
-		submitError(w, err)
+		s.submitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, submitted{ID: j.id, State: JobQueued, URL: "/v1/jobs/" + j.id})
@@ -643,6 +654,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	case JobQueued:
 		j.canceled = true
 		j.state = JobCanceled
+		j.errKind = ErrKindCanceled
 		j.finished = time.Now()
 		j.mu.Unlock()
 		close(j.done)
