@@ -9,7 +9,7 @@ GO ?= go
 # regression between the two newest BENCH_*.json snapshots; it is a no-op
 # until a second snapshot exists).
 .PHONY: check
-check: vet build runner-race faults-race stream-race server-race coord-race device-race race overhead bench-gate
+check: vet build runner-race faults-race stream-race server-race coord-race device-race perf-race race overhead bench-gate
 
 .PHONY: vet
 vet:
@@ -71,6 +71,15 @@ server-race:
 coord-race:
 	$(GO) test -race -count=2 ./internal/coord
 
+# The pooling layer under the race detector: the event engine's slot
+# recycling and the allocation-sensitive replay paths. Pools turn
+# would-be-fresh objects into shared mutable state, so this is where a
+# forgotten reset or an aliased scratch buffer shows up first.
+.PHONY: perf-race
+perf-race:
+	$(GO) test -race ./internal/sim
+	$(GO) test -race -run 'Alloc|Equivalence|Pool|Recycle|Scratch' ./internal/core ./internal/emmc ./internal/ufs ./internal/ftl
+
 .PHONY: overhead
 overhead:
 	$(GO) test -run TestTelemetryOverheadBudget -v .
@@ -78,6 +87,17 @@ overhead:
 .PHONY: bench
 bench:
 	$(GO) test -bench=. -benchtime=1x .
+
+# Capture CPU and heap profiles of the streaming replay hot loop into
+# ./prof/ for pprof inspection (`go tool pprof prof/replay.cpu`). See
+# docs/PERF.md for how to read them and for profiling a live server run.
+.PHONY: profile
+profile:
+	mkdir -p prof
+	$(GO) test -run '^$$' -bench 'ReplayStream1k|ReplayUFS1k' -benchtime=200x \
+		-cpuprofile=prof/replay.cpu -memprofile=prof/replay.mem \
+		-o prof/core.test ./internal/core
+	@echo "profiles written: prof/replay.cpu prof/replay.mem (binary prof/core.test)"
 
 # Record one point on the performance trajectory: run the stream/sweep/replay
 # benchmark set and write BENCH_<today>.json (commit it with the PR).

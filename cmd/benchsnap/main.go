@@ -34,13 +34,14 @@ import (
 
 // defaultBench selects the stream/sweep/replay benchmarks: the replay hot
 // loop with telemetry off/on, the streaming-vs-slice replay pair, the
-// device submit paths, trace generation, the parallel sweep runner (its
-// serial twin is skipped to keep the gate fast; the ratio belongs to
-// BenchmarkSweepRunner's own output), and the distributed sweep fabric
-// end to end (shard → HTTP workers → merge).
-const defaultBench = "ReplayTelemetryOff|ReplayTelemetryOn|ReplayStream1k|ReplaySlice1k|ReplayUFS1k|DeviceWrite4K|DeviceRead64K|TraceGeneration|SweepRunner/parallel|CoordinatorSweep"
+// device submit paths, trace generation, the event-engine schedule/step
+// cycle (the pooled core every replay event passes through), the parallel
+// sweep runner (its serial twin is skipped to keep the gate fast; the
+// ratio belongs to BenchmarkSweepRunner's own output), and the distributed
+// sweep fabric end to end (shard → HTTP workers → merge).
+const defaultBench = "ReplayTelemetryOff|ReplayTelemetryOn|ReplayStream1k|ReplaySlice1k|ReplayUFS1k|DeviceWrite4K|DeviceRead64K|TraceGeneration|SimEngine|SweepRunner/parallel|CoordinatorSweep"
 
-const defaultPkgs = ".,./internal/core,./internal/coord"
+const defaultPkgs = ".,./internal/core,./internal/coord,./internal/sim"
 
 // Snapshot is the persisted form of one trajectory point.
 type Snapshot struct {

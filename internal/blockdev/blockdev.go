@@ -52,6 +52,10 @@ func DefaultConfig() Config {
 type Queue struct {
 	cfg     Config
 	pending []trace.Request // sorted by arrival
+	// dispBuf is the scratch backing Dispatchable's result; the returned
+	// batch is valid until the next Dispatchable call, which every dispatch
+	// loop satisfies by consuming the batch before polling again.
+	dispBuf []trace.Request
 
 	// Statistics.
 	submitted   int
@@ -124,10 +128,11 @@ func (q *Queue) insert(r trace.Request) {
 }
 
 // Dispatchable pops every request whose plug window has expired by now,
-// in arrival order.
+// in arrival order. The returned slice is queue scratch, valid until the
+// next Dispatchable call.
 func (q *Queue) Dispatchable(now int64) []trace.Request {
-	var out []trace.Request
-	var keep []trace.Request
+	out := q.dispBuf[:0]
+	keep := q.pending[:0] // in-place filter: the write index never passes the read index
 	for _, r := range q.pending {
 		if now-r.Arrival >= q.cfg.MergeWindow {
 			out = append(out, r)
@@ -136,6 +141,7 @@ func (q *Queue) Dispatchable(now int64) []trace.Request {
 		}
 	}
 	q.pending = keep
+	q.dispBuf = out
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
 	return out
 }
@@ -187,6 +193,10 @@ func (c PackedCommand) Arrival() int64 {
 // Driver is the eMMC driver's pre-processing + packing stage.
 type Driver struct {
 	cfg Config
+	// cmdBuf is the scratch backing Pack/Unpacked results; a returned batch
+	// (and the batch subslices its commands alias) is valid until the next
+	// Pack or Unpacked call.
+	cmdBuf []PackedCommand
 
 	packedCommands int
 	packedWrites   int
@@ -211,21 +221,22 @@ func (d *Driver) Stats() DriverStats {
 // Pack groups a dispatch batch into eMMC commands: consecutive write
 // requests pack together (up to MaxPack requests / MaxPackedBytes); reads
 // always travel alone, as the eMMC packed-command feature the paper
-// references packs writes.
+// references packs writes. A pack's members are always consecutive in the
+// batch, so each command aliases a batch subslice — the returned commands
+// are valid as long as the batch is, and until the next Pack/Unpacked call.
 func (d *Driver) Pack(batch []trace.Request) []PackedCommand {
-	var out []PackedCommand
+	out := d.cmdBuf[:0]
 	i := 0
 	for i < len(batch) {
 		r := batch[i]
 		if r.Op != trace.Write || d.cfg.MaxPack <= 1 {
-			out = append(out, PackedCommand{Reqs: []trace.Request{r}})
+			out = append(out, PackedCommand{Reqs: batch[i : i+1 : i+1]})
 			i++
 			continue
 		}
-		pack := []trace.Request{r}
 		payload := int(r.Size)
 		j := i + 1
-		for j < len(batch) && len(pack) < d.cfg.MaxPack {
+		for j < len(batch) && j-i < d.cfg.MaxPack {
 			next := batch[j]
 			if next.Op != trace.Write {
 				break
@@ -233,27 +244,29 @@ func (d *Driver) Pack(batch []trace.Request) []PackedCommand {
 			if d.cfg.MaxPackedBytes > 0 && payload+int(next.Size) > d.cfg.MaxPackedBytes {
 				break
 			}
-			pack = append(pack, next)
 			payload += int(next.Size)
 			j++
 		}
-		if len(pack) > 1 {
+		if j-i > 1 {
 			d.packedCommands++
-			d.packedWrites += len(pack)
+			d.packedWrites += j - i
 		}
-		out = append(out, PackedCommand{Reqs: pack})
+		out = append(out, PackedCommand{Reqs: batch[i:j:j]})
 		i = j
 	}
+	d.cmdBuf = out
 	return out
 }
 
 // Unpacked wraps each request of a batch in its own command — the dispatch
 // shape for devices whose Caps do not advertise packed-command support
-// (sdcard, UFS). No packing statistics accrue: nothing was packed.
+// (sdcard, UFS). No packing statistics accrue: nothing was packed. Like
+// Pack, the commands alias the batch and share the driver's scratch.
 func (d *Driver) Unpacked(batch []trace.Request) []PackedCommand {
-	out := make([]PackedCommand, len(batch))
-	for i, r := range batch {
-		out[i] = PackedCommand{Reqs: []trace.Request{r}}
+	out := d.cmdBuf[:0]
+	for i := range batch {
+		out = append(out, PackedCommand{Reqs: batch[i : i+1 : i+1]})
 	}
+	d.cmdBuf = out
 	return out
 }

@@ -71,6 +71,7 @@ func (s *Stack) Run(tr *trace.Trace) (*trace.Trace, RunStats, error) {
 func (s *Stack) RunStream(st trace.Stream, sink func(trace.Request) error) (RunStats, error) {
 	var stats RunStats
 	caps := s.Dev.Caps()
+	var resOne [1]storage.Result // scratch for single-member commands
 
 	dispatch := func(now int64, batch []trace.Request) error {
 		if len(batch) == 0 {
@@ -93,9 +94,9 @@ func (s *Stack) RunStream(st trace.Stream, sink func(trace.Request) error) (RunS
 			// bus protocol is eMMC-specific; other backends move the payload
 			// over their own link, which the device model already charges.
 			if caps.PackedCommands {
-				if seq, err := mmc.Encode(cmd.Reqs); err == nil {
-					stats.BusCommands += len(seq.Commands)
-					stats.BusDataBlocks += uint64(seq.DataBlocks)
+				if ncmds, blocks, err := mmc.WireCost(cmd.Reqs); err == nil {
+					stats.BusCommands += ncmds
+					stats.BusDataBlocks += uint64(blocks)
 				}
 			}
 			at := now
@@ -104,9 +105,20 @@ func (s *Stack) RunStream(st trace.Stream, sink func(trace.Request) error) (RunS
 					at = r.Arrival
 				}
 			}
-			results, err := s.Dev.SubmitPacked(at, cmd.Reqs)
-			if err != nil {
-				return err
+			var results []storage.Result
+			if len(cmd.Reqs) == 1 {
+				res, err := s.Dev.SubmitAt(at, cmd.Reqs[0])
+				if err != nil {
+					return err
+				}
+				resOne[0] = res
+				results = resOne[:]
+			} else {
+				var err error
+				results, err = s.Dev.SubmitPacked(at, cmd.Reqs)
+				if err != nil {
+					return err
+				}
 			}
 			for i, r := range cmd.Reqs {
 				r.ServiceStart = results[i].ServiceStart

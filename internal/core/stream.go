@@ -259,14 +259,14 @@ func scheduledLoop(ctx context.Context, s Scheme, opt Options, st trace.Stream, 
 		if deviceFree > dispatchAt {
 			dispatchAt = deviceFree
 		}
-		res, err := dev.SubmitPacked(dispatchAt, []trace.Request{it.req})
+		res, err := dev.SubmitAt(dispatchAt, it.req)
 		if err != nil {
 			return Metrics{}, fmt.Errorf("core: scheduled replay of %s: %w", name, err)
 		}
-		deviceFree = res[0].Finish
+		deviceFree = res.Finish
 		if sink != nil {
-			it.req.ServiceStart = res[0].ServiceStart
-			it.req.Finish = res[0].Finish
+			it.req.ServiceStart = res.ServiceStart
+			it.req.Finish = res.Finish
 			if err := sink(it.idx, it.req); err != nil {
 				return Metrics{}, fmt.Errorf("core: sinking %s request %d: %w", name, it.idx, err)
 			}
@@ -311,6 +311,129 @@ func ReplayEventDrivenStreamContext(ctx context.Context, s Scheme, opt Options, 
 	return eventLoop(ctx, s, opt, st, func(_ int, req trace.Request) error { return sink(req) })
 }
 
+// Event kinds for eventReplay, carried as the sim.Handler arg.
+const (
+	evArrival  int64 = 0
+	evComplete int64 = 1
+)
+
+// eventEntry is one arrived request waiting for the device.
+type eventEntry struct {
+	idx int
+	req trace.Request
+}
+
+// eventReplay is the event-driven replay state machine. It implements
+// sim.Handler, so arrival and completion events reuse pooled engine slots
+// instead of allocating a closure per event; the event kind travels as the
+// handler arg. Only one arrival event is ever in flight (lazy lookahead),
+// so a single pending slot carries the request between schedule and fire.
+type eventReplay struct {
+	eng  sim.Engine
+	dev  storage.Device
+	st   trace.Stream
+	name string
+	done <-chan struct{}
+	ctx  context.Context
+	sink func(idx int, req trace.Request) error
+
+	// queue[head:] holds arrived requests in FIFO order; the drained prefix
+	// is compacted away once it dominates, keeping the backing array bounded
+	// by the peak waiting depth.
+	queue      []eventEntry
+	head       int
+	busy       bool
+	pulled     int
+	dispatched int
+
+	pending   eventEntry // the scheduled-but-not-fired arrival
+	pendingOK bool
+
+	err error
+}
+
+// scheduleNext pulls one request and schedules its arrival event.
+func (r *eventReplay) scheduleNext() {
+	if r.err != nil {
+		return
+	}
+	req, ok, err := r.st.Next()
+	if err != nil {
+		r.err = fmt.Errorf("core: reading %s request %d: %w", r.name, r.pulled, err)
+		return
+	}
+	if !ok {
+		return
+	}
+	r.pending = eventEntry{idx: r.pulled, req: req}
+	r.pendingOK = true
+	r.pulled++
+	r.eng.Schedule(req.Arrival, r, evArrival)
+}
+
+// OnEvent advances the state machine on an arrival or completion event.
+func (r *eventReplay) OnEvent(now sim.Time, arg int64) {
+	switch arg {
+	case evArrival:
+		r.queue = append(r.queue, r.pending)
+		r.pending = eventEntry{}
+		r.pendingOK = false
+		r.scheduleNext()
+	case evComplete:
+		r.busy = false
+	}
+	r.dispatch(now)
+}
+
+// dispatch submits the oldest waiting request when the device is free.
+func (r *eventReplay) dispatch(now sim.Time) {
+	if r.busy || r.head == len(r.queue) || r.err != nil {
+		return
+	}
+	if r.done != nil {
+		select {
+		case <-r.done:
+			r.err = fmt.Errorf("core: event replay of %s canceled after %d requests: %w", r.name, r.dispatched, r.ctx.Err())
+			return
+		default:
+		}
+	}
+	e := r.queue[r.head]
+	r.queue[r.head] = eventEntry{}
+	r.head++
+	if r.head == len(r.queue) {
+		r.queue = r.queue[:0]
+		r.head = 0
+	} else if r.head >= 64 && r.head*2 >= len(r.queue) {
+		n := copy(r.queue, r.queue[r.head:])
+		clearTail := r.queue[n:]
+		for i := range clearTail {
+			clearTail[i] = eventEntry{}
+		}
+		r.queue = r.queue[:n]
+		r.head = 0
+	}
+	r.busy = true
+	// Dispatch with the request's own arrival so the device's
+	// wait/no-wait accounting matches the tracer's semantics: the
+	// device computes serviceStart = max(arrival, freeAt) itself.
+	res, err := r.dev.SubmitAt(e.req.Arrival, e.req)
+	if err != nil {
+		r.err = fmt.Errorf("core: event replay of %s request %d: %w", r.name, e.idx, err)
+		return
+	}
+	r.dispatched++
+	if r.sink != nil {
+		e.req.ServiceStart = res.ServiceStart
+		e.req.Finish = res.Finish
+		if err := r.sink(e.idx, e.req); err != nil {
+			r.err = fmt.Errorf("core: sinking %s request %d: %w", r.name, e.idx, err)
+			return
+		}
+	}
+	r.eng.Schedule(res.Finish, r, evComplete)
+}
+
 // eventLoop is the event-driven replay behind ReplayEventDriven and its
 // stream form. Tie handling note: lazy arrival scheduling interleaves
 // arrival and completion events differently than scheduling every arrival
@@ -322,98 +445,27 @@ func eventLoop(ctx context.Context, s Scheme, opt Options, st trace.Stream, sink
 	if err != nil {
 		return Metrics{}, err
 	}
-	done := ctx.Done()
-
-	var eng sim.Engine
-	name := st.Name()
-	type entry struct {
-		idx int
-		req trace.Request
+	r := &eventReplay{
+		dev:  dev,
+		st:   st,
+		name: st.Name(),
+		done: ctx.Done(),
+		ctx:  ctx,
+		sink: sink,
 	}
-	type state struct {
-		queue      []entry // arrived, waiting for the device
-		busy       bool
-		dispatched int
+	r.scheduleNext()
+	r.eng.Run()
+	if r.err != nil {
+		return Metrics{}, r.err
 	}
-	stt := &state{}
-	var dispatch func(now sim.Time)
-	var replayErr error
-	pulled := 0
-
-	// scheduleNext pulls one request and schedules its arrival event.
-	var scheduleNext func()
-	scheduleNext = func() {
-		if replayErr != nil {
-			return
-		}
-		req, ok, err := st.Next()
-		if err != nil {
-			replayErr = fmt.Errorf("core: reading %s request %d: %w", name, pulled, err)
-			return
-		}
-		if !ok {
-			return
-		}
-		idx := pulled
-		pulled++
-		eng.Schedule(req.Arrival, func(now sim.Time) {
-			stt.queue = append(stt.queue, entry{idx: idx, req: req})
-			scheduleNext()
-			dispatch(now)
-		})
-	}
-
-	dispatch = func(now sim.Time) {
-		if stt.busy || len(stt.queue) == 0 || replayErr != nil {
-			return
-		}
-		if done != nil {
-			select {
-			case <-done:
-				replayErr = fmt.Errorf("core: event replay of %s canceled after %d requests: %w", name, stt.dispatched, ctx.Err())
-				return
-			default:
-			}
-		}
-		e := stt.queue[0]
-		stt.queue = stt.queue[1:]
-		stt.busy = true
-		// Dispatch with the request's own arrival so the device's
-		// wait/no-wait accounting matches the tracer's semantics: the
-		// device computes serviceStart = max(arrival, freeAt) itself.
-		res, err := dev.SubmitPacked(e.req.Arrival, []trace.Request{e.req})
-		if err != nil {
-			replayErr = fmt.Errorf("core: event replay of %s request %d: %w", name, e.idx, err)
-			return
-		}
-		stt.dispatched++
-		if sink != nil {
-			e.req.ServiceStart = res[0].ServiceStart
-			e.req.Finish = res[0].Finish
-			if err := sink(e.idx, e.req); err != nil {
-				replayErr = fmt.Errorf("core: sinking %s request %d: %w", name, e.idx, err)
-				return
-			}
-		}
-		eng.Schedule(res[0].Finish, func(t sim.Time) {
-			stt.busy = false
-			dispatch(t)
-		})
-	}
-
-	scheduleNext()
-	eng.Run()
-	if replayErr != nil {
-		return Metrics{}, replayErr
-	}
-	if stt.dispatched != pulled {
-		return Metrics{}, fmt.Errorf("core: event replay served %d of %d requests", stt.dispatched, pulled)
+	if r.dispatched != r.pulled {
+		return Metrics{}, fmt.Errorf("core: event replay served %d of %d requests", r.dispatched, r.pulled)
 	}
 
 	dm := dev.Metrics()
 	fs := dev.FTLStats()
 	m := Metrics{
-		Trace:            name,
+		Trace:            r.name,
 		Scheme:           s,
 		Served:           int(dm.Served),
 		MeanResponseNs:   dm.MeanResponseNs(),

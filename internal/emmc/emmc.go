@@ -188,6 +188,16 @@ type Device struct {
 	// hot paths pay one nil check when disabled.
 	tel    *devTel
 	tracer *telemetry.Tracer
+
+	// Per-request scratch, reused across submissions (the device is
+	// single-goroutine per the storage.Device contract). Contents are only
+	// meaningful within one submit call; every consumer that outlives the
+	// call (FTL reverse map, write buffer) copies what it keeps.
+	lpnBuf      []int64
+	chunkBuf    []chunk
+	readOps     []readOp
+	pendingLPNs []int64
+	unitOps     []int
 }
 
 // devTel holds the device's metric handles, resolved once at attach time.
@@ -462,8 +472,10 @@ type chunk struct {
 // splitWrite decomposes a write of the given sectors into page chunks:
 // whole large pages first, then smaller pools, the remainder padding the
 // smallest pool's page (the source of 8PS's wasted flash space, §V-A).
+// The returned slice is device scratch, valid until the next splitWrite
+// call; its chunks alias lpns.
 func (d *Device) splitWrite(lpns []int64) []chunk {
-	var out []chunk
+	out := d.chunkBuf[:0]
 	rest := lpns
 	for pi, pool := range d.cfg.Pools {
 		spp := pool.SectorsPerPage()
@@ -477,7 +489,22 @@ func (d *Device) splitWrite(lpns []int64) []chunk {
 			rest = rest[n:]
 		}
 	}
+	d.chunkBuf = out
 	return out
+}
+
+// resetUnitOps clears and returns the per-request pipelining counters (one
+// per serialization unit; plane indices are the superset of channel
+// indices, so one slice serves both keyings).
+func (d *Device) resetUnitOps() []int {
+	if d.unitOps == nil {
+		d.unitOps = make([]int, len(d.planes))
+	}
+	ops := d.unitOps
+	for i := range ops {
+		ops[i] = 0
+	}
+	return ops
 }
 
 // opCost applies the pipelining factor to the latency of the n-th (0-based)
@@ -586,11 +613,29 @@ func (d *Device) gcTime(w ftl.GCWork, pageBytes int) int64 {
 // Submit services one request and returns its timing. Requests must arrive
 // in nondecreasing arrival order.
 func (d *Device) Submit(req trace.Request) (Result, error) {
-	res, err := d.SubmitPacked(req.Arrival, []trace.Request{req})
+	return d.SubmitAt(req.Arrival, req)
+}
+
+// SubmitAt services one request dispatched at dispatchAt (at least its
+// arrival): Submit with an explicit dispatch time, the single-request fast
+// path of the replay loops. It allocates nothing in steady state.
+func (d *Device) SubmitAt(dispatchAt int64, req trace.Request) (Result, error) {
+	if req.Size == 0 || req.Size%trace.PageSize != 0 {
+		return Result{}, fmt.Errorf("emmc: request size %d not page aligned", req.Size)
+	}
+	if req.Arrival > dispatchAt {
+		return Result{}, fmt.Errorf("emmc: packed member arrives after dispatch")
+	}
+	serviceStart, opsStart, waited, err := d.beginCommand(dispatchAt)
 	if err != nil {
 		return Result{}, err
 	}
-	return res[0], nil
+	res, err := d.serveOne(req, serviceStart, opsStart, waited)
+	if err != nil {
+		return Result{}, err
+	}
+	d.finishCommand(res.Finish)
+	return res, nil
 }
 
 // SubmitPacked services several requests as one packed eMMC command
@@ -611,14 +656,39 @@ func (d *Device) SubmitPacked(dispatchAt int64, reqs []trace.Request) ([]Result,
 			return nil, fmt.Errorf("emmc: packed member arrives after dispatch")
 		}
 	}
-	waited := d.freeAt > dispatchAt
-	serviceStart := dispatchAt
+	serviceStart, opsStart, waited, err := d.beginCommand(dispatchAt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(reqs))
+	var cmdFinish int64
+	for _, req := range reqs {
+		res, err := d.serveOne(req, serviceStart, opsStart, waited)
+		if err != nil {
+			return nil, err
+		}
+		if res.Finish > cmdFinish {
+			cmdFinish = res.Finish
+		}
+		out = append(out, res)
+	}
+	d.finishCommand(cmdFinish)
+	return out, nil
+}
+
+// beginCommand runs the per-command preamble shared by every submit path:
+// the FIFO wait, the power-mode wake penalty, the controller overhead, and
+// the idle-gap GC/destage work. It returns when service starts and when
+// flash operations may begin.
+func (d *Device) beginCommand(dispatchAt int64) (serviceStart, opsStart int64, waited bool, err error) {
+	waited = d.freeAt > dispatchAt
+	serviceStart = dispatchAt
 	if waited && !d.cfg.CommandQueue {
 		serviceStart = d.freeAt
 	}
 
 	// Power-mode wake penalty: the device has been idle since lastEnd.
-	opsStart := serviceStart
+	opsStart = serviceStart
 	if d.cfg.PowerSaving && d.metrics.Served > 0 {
 		idle := serviceStart - d.lastEnd
 		switch {
@@ -645,9 +715,9 @@ func (d *Device) SubmitPacked(dispatchAt int64, reqs []trace.Request) ([]Result,
 	// Idle-policy GC: clean pools that hit the threshold, absorbing the cost
 	// into the gap the device just sat idle.
 	if d.cfg.GCPolicy == GCIdle {
-		over, err := d.runIdleGC(dispatchAt)
-		if err != nil {
-			return nil, err
+		over, gerr := d.runIdleGC(dispatchAt)
+		if gerr != nil {
+			return 0, 0, false, gerr
 		}
 		opsStart += over
 	}
@@ -658,51 +728,54 @@ func (d *Device) SubmitPacked(dispatchAt int64, reqs []trace.Request) ([]Result,
 			d.destageIdle(budget)
 		}
 	}
+	return serviceStart, opsStart, waited, nil
+}
 
-	out := make([]Result, 0, len(reqs))
-	var cmdFinish int64
-	for _, req := range reqs {
-		startLPN := int64(req.LBA) / trace.SectorsPerPage
-		nSectors := int(req.Size) / trace.PageSize
-		lpns := make([]int64, nSectors)
-		for i := range lpns {
-			lpns[i] = startLPN + int64(i)
-		}
+// serveOne services one member request of a command whose preamble already
+// ran, accumulating metrics and returning its Result.
+func (d *Device) serveOne(req trace.Request, serviceStart, opsStart int64, waited bool) (Result, error) {
+	startLPN := int64(req.LBA) / trace.SectorsPerPage
+	nSectors := int(req.Size) / trace.PageSize
+	lpns := d.lpnBuf[:0]
+	for i := 0; i < nSectors; i++ {
+		lpns = append(lpns, startLPN+int64(i))
+	}
+	d.lpnBuf = lpns
 
-		var finish int64
-		var err error
-		if req.Op == trace.Write {
-			finish, err = d.serveWrite(opsStart, lpns)
-		} else {
-			finish, err = d.serveRead(opsStart, lpns)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if finish > cmdFinish {
-			cmdFinish = finish
-		}
-
-		d.metrics.Served++
-		if !waited {
-			d.metrics.NoWait++
-		}
-		d.metrics.SumServiceNs += finish - serviceStart
-		d.metrics.SumResponseNs += finish - req.Arrival
-		d.metrics.SumWaitNs += serviceStart - req.Arrival
-		if d.tel != nil {
-			if req.Op == trace.Write {
-				d.tel.writes.Inc()
-				d.tel.writeServNs.Observe(finish - serviceStart)
-			} else {
-				d.tel.reads.Inc()
-				d.tel.readServNs.Observe(finish - serviceStart)
-			}
-			d.tel.waitNs.Observe(serviceStart - req.Arrival)
-		}
-		out = append(out, Result{ServiceStart: serviceStart, Finish: finish, Waited: waited})
+	var finish int64
+	var err error
+	if req.Op == trace.Write {
+		finish, err = d.serveWrite(opsStart, lpns)
+	} else {
+		finish, err = d.serveRead(opsStart, lpns)
+	}
+	if err != nil {
+		return Result{}, err
 	}
 
+	d.metrics.Served++
+	if !waited {
+		d.metrics.NoWait++
+	}
+	d.metrics.SumServiceNs += finish - serviceStart
+	d.metrics.SumResponseNs += finish - req.Arrival
+	d.metrics.SumWaitNs += serviceStart - req.Arrival
+	if d.tel != nil {
+		if req.Op == trace.Write {
+			d.tel.writes.Inc()
+			d.tel.writeServNs.Observe(finish - serviceStart)
+		} else {
+			d.tel.reads.Inc()
+			d.tel.readServNs.Observe(finish - serviceStart)
+		}
+		d.tel.waitNs.Observe(serviceStart - req.Arrival)
+	}
+	return Result{ServiceStart: serviceStart, Finish: finish, Waited: waited}, nil
+}
+
+// finishCommand advances the FIFO/idle cursors after a command's last
+// member finishes and refreshes the occupancy gauges.
+func (d *Device) finishCommand(cmdFinish int64) {
 	if !d.cfg.CommandQueue || cmdFinish > d.freeAt {
 		d.freeAt = cmdFinish
 	}
@@ -718,7 +791,6 @@ func (d *Device) SubmitPacked(dispatchAt int64, reqs []trace.Request) ([]Result,
 			d.tel.wbBytes.Set(d.writeBuf.usedBytes)
 		}
 	}
-	return out, nil
 }
 
 // serveWrite programs all chunks, striping across planes. With the write
@@ -755,7 +827,7 @@ func (d *Device) serveWrite(opsStart int64, lpns []int64) (int64, error) {
 		}
 		return finish, nil
 	}
-	perPlaneOps := make(map[int]int, len(d.planes))
+	perPlaneOps := d.resetUnitOps()
 	finish := opsStart
 	for _, c := range chunks {
 		plane := d.rrPlane % len(d.planes)
@@ -814,36 +886,42 @@ func (d *Device) readAhead(endLPN int64) {
 	}
 }
 
+// readOp is one physical page read derived from a host request. The
+// device's readOps scratch accumulates them per request.
+type readOp struct {
+	plane   int
+	pool    int
+	payload int
+	// loc/mapped identify the physical page for mapped reads — the
+	// fault-recovery path needs it to retire the failing block.
+	loc    ftl.Loc
+	mapped bool
+}
+
+// flushPendingReads converts the accumulated unmapped-sector run into read
+// ops laid out by the write splitter, then clears the run.
+func (d *Device) flushPendingReads() {
+	if len(d.pendingLPNs) == 0 {
+		return
+	}
+	for _, c := range d.splitWrite(d.pendingLPNs) {
+		plane := d.rrPlane % len(d.planes)
+		d.rrPlane++
+		d.readOps = append(d.readOps, readOp{plane: plane, pool: c.pool, payload: len(c.lpns) * flash.SectorBytes})
+	}
+	d.pendingLPNs = d.pendingLPNs[:0]
+}
+
 // serveRead reads the physical pages backing the request. Mapped sectors are
 // read wherever (and at whatever page size) they were written; unmapped
 // sectors — reads of never-written data — are charged as if laid out by the
 // write splitter.
 func (d *Device) serveRead(opsStart int64, lpns []int64) (int64, error) {
-	type readOp struct {
-		plane   int
-		pool    int
-		payload int
-		// loc/mapped identify the physical page for mapped reads — the
-		// fault-recovery path needs it to retire the failing block.
-		loc    ftl.Loc
-		mapped bool
-	}
 	for _, lpn := range lpns {
 		opsStart += d.mapAccess(lpn, false)
 	}
-	var ops []readOp
-	var pending []int64 // unmapped run
-	flushPending := func() {
-		if len(pending) == 0 {
-			return
-		}
-		for _, c := range d.splitWrite(pending) {
-			plane := d.rrPlane % len(d.planes)
-			d.rrPlane++
-			ops = append(ops, readOp{plane: plane, pool: c.pool, payload: len(c.lpns) * flash.SectorBytes})
-		}
-		pending = pending[:0]
-	}
+	d.readOps = d.readOps[:0]
+	d.pendingLPNs = d.pendingLPNs[:0] // unmapped run
 	var lastLoc ftl.Loc
 	haveLast := false
 	hitSectors := 0
@@ -864,27 +942,27 @@ func (d *Device) serveRead(opsStart int64, lpns []int64) (int64, error) {
 		}
 		loc, ok := d.ftl.Lookup(lpn)
 		if !ok {
-			pending = append(pending, lpn)
+			d.pendingLPNs = append(d.pendingLPNs, lpn)
 			continue
 		}
 		if haveLast && loc == lastLoc {
 			// Same physical page as the previous sector: one read covers it.
-			ops[len(ops)-1].payload += flash.SectorBytes
+			d.readOps[len(d.readOps)-1].payload += flash.SectorBytes
 			continue
 		}
-		flushPending()
-		ops = append(ops, readOp{plane: int(loc.Plane), pool: int(loc.Pool), payload: flash.SectorBytes,
+		d.flushPendingReads()
+		d.readOps = append(d.readOps, readOp{plane: int(loc.Plane), pool: int(loc.Pool), payload: flash.SectorBytes,
 			loc: loc, mapped: true})
 		lastLoc, haveLast = loc, true
 	}
-	flushPending()
+	d.flushPendingReads()
 
 	if n := len(lpns); n > 0 {
 		d.lastReadEnd = lpns[n-1] + 1
 		d.readAhead(d.lastReadEnd)
 	}
 
-	perPlaneOps := make(map[int]int, len(d.planes))
+	perPlaneOps := d.resetUnitOps()
 	finish := opsStart
 	if hitSectors > 0 {
 		ch := d.rrPlane % d.cfg.Geometry.Channels
@@ -896,7 +974,7 @@ func (d *Device) serveRead(opsStart int64, lpns []int64) (int64, error) {
 			finish = chEnd
 		}
 	}
-	for _, op := range ops {
+	for _, op := range d.readOps {
 		unit := d.serialUnit(op.plane)
 		rd := d.opCost(d.cfg.Timing.ReadPool(d.cfg.Pools[op.pool]), perPlaneOps[unit])
 		if f := d.readRetryFactor(op.pool); f > 1 {

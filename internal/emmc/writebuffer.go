@@ -22,13 +22,45 @@ type pendingWrite struct {
 type writeBuffer struct {
 	capBytes  int64
 	usedBytes int64
-	queue     []pendingWrite
+	// queue[head:] holds the pending chunks in FIFO order; popped slots are
+	// compacted away once the drained prefix dominates, so the backing array
+	// stays bounded by the peak queue depth.
+	queue []pendingWrite
+	head  int
+	// freeLPNs recycles the lpn storage of destaged chunks, so admitting a
+	// chunk allocates nothing in steady state.
+	freeLPNs [][]int64
 	// index of buffered (not yet destaged) sectors for read hits and
 	// overwrite coalescing.
 	dirty map[int64]bool
 
 	destagedPages int64
 	absorbed      int64 // writes acknowledged from RAM
+}
+
+// pending reports the queued chunk count.
+func (b *writeBuffer) pending() int { return len(b.queue) - b.head }
+
+// peek returns the oldest chunk without removing it.
+func (b *writeBuffer) peek() pendingWrite { return b.queue[b.head] }
+
+// grabLPNs returns a length-n slice, recycled when a fitting one is free.
+func (b *writeBuffer) grabLPNs(n int) []int64 {
+	if k := len(b.freeLPNs); k > 0 {
+		s := b.freeLPNs[k-1]
+		b.freeLPNs = b.freeLPNs[:k-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]int64, n)
+}
+
+// recycleLPNs returns a drained chunk's lpn storage to the free list.
+func (b *writeBuffer) recycleLPNs(s []int64) {
+	if cap(s) > 0 {
+		b.freeLPNs = append(b.freeLPNs, s[:0])
+	}
 }
 
 func newWriteBuffer(capBytes int64) *writeBuffer {
@@ -44,9 +76,9 @@ func (b *writeBuffer) holds(lpn int64) bool { return b.dirty[lpn] }
 // spaceFor reports whether n more bytes fit.
 func (b *writeBuffer) spaceFor(n int64) bool { return b.usedBytes+n <= b.capBytes }
 
-// add stashes a chunk.
+// add stashes a chunk, copying lpns into recycled storage.
 func (b *writeBuffer) add(pool int, lpns []int64) {
-	cp := make([]int64, len(lpns))
+	cp := b.grabLPNs(len(lpns))
 	copy(cp, lpns)
 	b.queue = append(b.queue, pendingWrite{pool: pool, lpns: cp})
 	for _, lpn := range cp {
@@ -56,13 +88,27 @@ func (b *writeBuffer) add(pool int, lpns []int64) {
 	b.absorbed++
 }
 
-// pop removes the oldest chunk.
+// pop removes the oldest chunk. The caller owns the returned lpns slice and
+// should hand it back via recycleLPNs when done.
 func (b *writeBuffer) pop() (pendingWrite, bool) {
-	if len(b.queue) == 0 {
+	if b.head == len(b.queue) {
 		return pendingWrite{}, false
 	}
-	pw := b.queue[0]
-	b.queue = b.queue[1:]
+	pw := b.queue[b.head]
+	b.queue[b.head] = pendingWrite{} // unpin the lpns storage
+	b.head++
+	if b.head == len(b.queue) {
+		b.queue = b.queue[:0]
+		b.head = 0
+	} else if b.head >= 64 && b.head*2 >= len(b.queue) {
+		n := copy(b.queue, b.queue[b.head:])
+		clearTail := b.queue[n:]
+		for i := range clearTail {
+			clearTail[i] = pendingWrite{}
+		}
+		b.queue = b.queue[:n]
+		b.head = 0
+	}
 	for _, lpn := range pw.lpns {
 		delete(b.dirty, lpn)
 	}
@@ -83,6 +129,7 @@ func (d *Device) destageOne() int64 {
 	if err != nil {
 		// Out of space mid-destage: surface as a stall the size of an
 		// erase so the condition is visible without failing the replay.
+		d.writeBuf.recycleLPNs(pw.lpns)
 		return d.cfg.Timing.EraseNs
 	}
 	ns := d.cfg.Timing.ProgramPool(d.cfg.Pools[pw.pool], int(loc.Page))
@@ -92,6 +139,7 @@ func (d *Device) destageOne() int64 {
 		ns += g
 	}
 	ns += d.cfg.Timing.Transfer(len(pw.lpns) * flash.SectorBytes)
+	d.writeBuf.recycleLPNs(pw.lpns)
 	return ns
 }
 
@@ -99,8 +147,8 @@ func (d *Device) destageOne() int64 {
 // idle-GC policy: an entry is destaged only when its estimated cost fits
 // the remaining gap. Returns unused budget.
 func (d *Device) destageIdle(budget int64) int64 {
-	for d.writeBuf != nil && len(d.writeBuf.queue) > 0 {
-		head := d.writeBuf.queue[0]
+	for d.writeBuf != nil && d.writeBuf.pending() > 0 {
+		head := d.writeBuf.peek()
 		estimate := d.cfg.Timing.Program(d.cfg.Pools[head.pool].PageBytes) +
 			d.cfg.Timing.Transfer(len(head.lpns)*flash.SectorBytes)
 		if estimate > budget {

@@ -194,6 +194,32 @@ type FTL struct {
 	// injector here via SetFaults.
 	inj *faults.Injector
 	tel *ftlTel
+
+	// freeRev recycles the backing arrays of reverse-map values: a page's
+	// LPN list returns here when the page dies and is reused by the next
+	// program, so the steady-state write path allocates nothing. freeSurv
+	// does the same for GC survivor buffers — a stack, because moveLive can
+	// re-enter itself through a failed relocation program.
+	freeRev  [][]int64
+	freeSurv [][]int64
+}
+
+// copyForRev returns a copy of lpns in recycled storage, for a reverse-map
+// value the FTL will own until the page dies.
+func (f *FTL) copyForRev(lpns []int64) []int64 {
+	var cp []int64
+	if n := len(f.freeRev); n > 0 {
+		cp = f.freeRev[n-1][:0]
+		f.freeRev = f.freeRev[:n-1]
+	}
+	return append(cp, lpns...)
+}
+
+// recycleRev returns a dead page's LPN-list storage to the free list.
+func (f *FTL) recycleRev(s []int64) {
+	if cap(s) > 0 {
+		f.freeRev = append(f.freeRev, s[:0])
+	}
 }
 
 // ftlTel holds the translation layer's metric handles. GC is rare relative
@@ -392,6 +418,7 @@ func (f *FTL) invalidate(lpn int64) {
 	}
 	if len(lpns) == 0 {
 		delete(f.rev, key)
+		f.recycleRev(lpns)
 	} else {
 		f.rev[key] = lpns
 	}
@@ -452,7 +479,7 @@ func (f *FTL) program(plane, pool int32, lpns []int64, gc *GCWork, inGC bool) (L
 		for _, lpn := range lpns {
 			f.fwd[lpn] = loc
 		}
-		f.rev[key] = append([]int64(nil), lpns...)
+		f.rev[key] = f.copyForRev(lpns)
 		return loc, nil
 	}
 }
@@ -643,21 +670,25 @@ func (f *FTL) staticLevel(plane, pool int32, gc *GCWork) error {
 func (f *FTL) moveLive(plane, pool, victim int32, gc *GCWork) error {
 	ps := &f.planes[plane].pools[pool]
 	blk := ps.blocks[victim]
-	// Gather every live sector first, then detach the source pages.
-	var survivors []int64
+	// Gather every live sector first, then detach the source pages. The
+	// buffer comes off a stack of recycled ones: moveLive can re-enter
+	// itself when a relocation program fails and retires its destination,
+	// so a single shared scratch would be clobbered mid-move.
+	survivors := f.grabSurvivors()
 	for page := 0; page < blk.Pages(); page++ {
 		if blk.PageLive(page) == 0 {
 			continue
 		}
 		src := Loc{Plane: plane, Pool: pool, Block: victim, Page: int32(page)}
 		key := src.pack()
-		lpns := append([]int64(nil), f.rev[key]...)
+		lpns := f.rev[key]
 		for _, lpn := range lpns {
 			delete(f.fwd, lpn)
 			blk.InvalidateSector(page)
 		}
 		delete(f.rev, key)
 		survivors = append(survivors, lpns...)
+		f.recycleRev(lpns)
 	}
 	spp := ps.spec.SectorsPerPage()
 	for off := 0; off < len(survivors); off += spp {
@@ -666,12 +697,31 @@ func (f *FTL) moveLive(plane, pool, victim int32, gc *GCWork) error {
 			end = len(survivors)
 		}
 		if _, err := f.program(plane, pool, survivors[off:end], gc, true); err != nil {
+			f.recycleSurvivors(survivors)
 			return fmt.Errorf("ftl: GC relocation stranded %d sectors: %w", len(survivors)-off, err)
 		}
 		gc.PageMoves++
 		gc.MoveBytes += int64(ps.spec.PageBytes)
 	}
+	f.recycleSurvivors(survivors)
 	return nil
+}
+
+// grabSurvivors pops a survivor scratch buffer off the recycle stack.
+func (f *FTL) grabSurvivors() []int64 {
+	if n := len(f.freeSurv); n > 0 {
+		s := f.freeSurv[n-1][:0]
+		f.freeSurv = f.freeSurv[:n-1]
+		return s
+	}
+	return nil
+}
+
+// recycleSurvivors pushes a finished survivor buffer back on the stack.
+func (f *FTL) recycleSurvivors(s []int64) {
+	if cap(s) > 0 {
+		f.freeSurv = append(f.freeSurv, s[:0])
+	}
 }
 
 // PoolAvgPE returns the pool's average program/erase cycles per block —

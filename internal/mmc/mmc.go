@@ -191,6 +191,38 @@ func Encode(reqs []trace.Request) (Sequence, error) {
 	}, nil
 }
 
+// WireCost is Encode's accounting twin: it returns the command count and
+// payload block count of the wire sequence Encode would build, applying the
+// same validation, without materializing the Sequence. Dispatch loops that
+// only tally bus traffic use it to stay allocation-free.
+func WireCost(reqs []trace.Request) (commands int, dataBlocks uint32, err error) {
+	if len(reqs) == 0 {
+		return 0, 0, fmt.Errorf("mmc: empty request group")
+	}
+	for _, r := range reqs {
+		if r.Size == 0 || r.Size%BlockSize != 0 {
+			return 0, 0, fmt.Errorf("mmc: size %d not block aligned", r.Size)
+		}
+		if r.LBA > 0xffffffff {
+			return 0, 0, fmt.Errorf("mmc: address %d beyond 32-bit block addressing", r.LBA)
+		}
+	}
+	if len(reqs) == 1 {
+		return 2, reqs[0].Size / BlockSize, nil
+	}
+	if len(reqs) > maxPackedEntries {
+		return 0, 0, fmt.Errorf("mmc: %d entries exceed the packed limit %d", len(reqs), maxPackedEntries)
+	}
+	total := uint32(1) // header block
+	for i, r := range reqs {
+		if r.Op != trace.Write {
+			return 0, 0, fmt.Errorf("mmc: request %d in a packed group is not a write", i)
+		}
+		total += r.Size / BlockSize
+	}
+	return 2, total, nil
+}
+
 // Decode reverses Encode, reconstructing the request group (sizes,
 // addresses, operations; timestamps are not on the wire).
 func Decode(seq Sequence) ([]trace.Request, error) {

@@ -15,7 +15,7 @@ func TestEventsRunInTimeOrder(t *testing.T) {
 	times := []Time{500, 100, 300, 200, 400}
 	for _, at := range times {
 		at := at
-		e.Schedule(at, func(now Time) { got = append(got, now) })
+		e.ScheduleFunc(at, func(now Time) { got = append(got, now) })
 	}
 	e.Run()
 	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
@@ -31,7 +31,7 @@ func TestFIFOAmongEqualTimestamps(t *testing.T) {
 	var got []int
 	for i := 0; i < 10; i++ {
 		i := i
-		e.Schedule(42, func(Time) { got = append(got, i) })
+		e.ScheduleFunc(42, func(Time) { got = append(got, i) })
 	}
 	e.Run()
 	for i, v := range got {
@@ -44,8 +44,8 @@ func TestFIFOAmongEqualTimestamps(t *testing.T) {
 func TestScheduleFromWithinEvent(t *testing.T) {
 	var e Engine
 	var fired []Time
-	e.Schedule(10, func(now Time) {
-		e.ScheduleAfter(5, func(now2 Time) { fired = append(fired, now2) })
+	e.ScheduleFunc(10, func(now Time) {
+		e.ScheduleFuncAfter(5, func(now2 Time) { fired = append(fired, now2) })
 	})
 	end := e.Run()
 	if len(fired) != 1 || fired[0] != 15 {
@@ -58,23 +58,23 @@ func TestScheduleFromWithinEvent(t *testing.T) {
 
 func TestSchedulePastPanics(t *testing.T) {
 	var e Engine
-	e.Schedule(10, func(Time) {})
+	e.ScheduleFunc(10, func(Time) {})
 	e.Run()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("scheduling in the past did not panic")
 		}
 	}()
-	e.Schedule(5, func(Time) {})
+	e.ScheduleFunc(5, func(Time) {})
 }
 
 func TestSchedulePastPanicDiagnostics(t *testing.T) {
 	var e Engine
-	e.Schedule(10, func(Time) {})
+	e.ScheduleFunc(10, func(Time) {})
 	e.Run()
 	// Leave two pending events so the message can report queue state.
-	e.Schedule(40, func(Time) {})
-	e.Schedule(20, func(Time) {})
+	e.ScheduleFunc(40, func(Time) {})
+	e.ScheduleFunc(20, func(Time) {})
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -90,7 +90,7 @@ func TestSchedulePastPanicDiagnostics(t *testing.T) {
 			}
 		}
 	}()
-	e.Schedule(5, func(Time) {})
+	e.ScheduleFunc(5, func(Time) {})
 }
 
 func TestEngineTelemetry(t *testing.T) {
@@ -98,7 +98,7 @@ func TestEngineTelemetry(t *testing.T) {
 	var e Engine
 	e.SetTelemetry(reg)
 	for i := 1; i <= 3; i++ {
-		e.Schedule(Time(i*10), func(Time) {})
+		e.ScheduleFunc(Time(i*10), func(Time) {})
 	}
 	if got := reg.Gauge("sim_queue_depth").Value(); got != 3 {
 		t.Fatalf("queue depth %d, want 3", got)
@@ -115,7 +115,7 @@ func TestEngineTelemetry(t *testing.T) {
 	}
 	// Detach: further events must not move the counters.
 	e.SetTelemetry(nil)
-	e.Schedule(40, func(Time) {})
+	e.ScheduleFunc(40, func(Time) {})
 	e.Run()
 	if got := reg.Counter("sim_events_dispatched_total").Value(); got != 3 {
 		t.Fatalf("detached engine still counted: %d", got)
@@ -125,9 +125,9 @@ func TestEngineTelemetry(t *testing.T) {
 func TestRunUntil(t *testing.T) {
 	var e Engine
 	ran := 0
-	e.Schedule(10, func(Time) { ran++ })
-	e.Schedule(20, func(Time) { ran++ })
-	e.Schedule(30, func(Time) { ran++ })
+	e.ScheduleFunc(10, func(Time) { ran++ })
+	e.ScheduleFunc(20, func(Time) { ran++ })
+	e.ScheduleFunc(30, func(Time) { ran++ })
 	e.RunUntil(20)
 	if ran != 2 {
 		t.Fatalf("RunUntil(20) ran %d events, want 2", ran)
@@ -198,7 +198,7 @@ func TestHeapStressOrdering(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		x = x*6364136223846793005 + 1442695040888963407
 		at := Time(x % 1000000)
-		e.Schedule(at, func(now Time) {
+		e.ScheduleFunc(at, func(now Time) {
 			if now < prev {
 				ok = false
 			}

@@ -164,6 +164,12 @@ type Device interface {
 	// Submit services one request and returns its timing. Requests must
 	// arrive in nondecreasing arrival order.
 	Submit(req trace.Request) (Result, error)
+	// SubmitAt services one request dispatched at dispatchAt (at least its
+	// arrival): Submit with an explicit dispatch time. It is the
+	// single-request fast path the replay loops use — semantically identical
+	// to SubmitPacked(dispatchAt, one-element batch), without forcing either
+	// side to allocate the batch or the result slice.
+	SubmitAt(dispatchAt int64, req trace.Request) (Result, error)
 	// SubmitPacked services several requests dispatched together at
 	// dispatchAt (at least the latest member arrival). Devices without
 	// packed-command support still accept multi-request batches — they

@@ -25,12 +25,47 @@ type boostedChunk struct {
 type booster struct {
 	capBytes  int64
 	usedBytes int64
-	queue     []boostedChunk
+	// queue[head:] holds the admitted chunks in FIFO order; popped slots are
+	// compacted away once the drained prefix dominates, so the backing array
+	// stays bounded by the peak queue depth.
+	queue []boostedChunk
+	head  int
+	// freeLPNs recycles the lpn storage of migrated chunks, so admitting a
+	// chunk allocates nothing in steady state.
+	freeLPNs [][]int64
 	// dirty indexes booster-held (not yet migrated) sectors for read hits.
 	dirty map[int64]bool
 
 	hits   int64
 	misses int64
+}
+
+// pending reports the queued chunk count.
+func (b *booster) pending() int { return len(b.queue) - b.head }
+
+// peek returns the oldest chunk without removing it.
+func (b *booster) peek() boostedChunk { return b.queue[b.head] }
+
+// pendingChunks returns the queued chunks in FIFO order (snapshots, tests).
+func (b *booster) pendingChunks() []boostedChunk { return b.queue[b.head:] }
+
+// grabLPNs returns a length-n slice, recycled when a fitting one is free.
+func (b *booster) grabLPNs(n int) []int64 {
+	if k := len(b.freeLPNs); k > 0 {
+		s := b.freeLPNs[k-1]
+		b.freeLPNs = b.freeLPNs[:k-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]int64, n)
+}
+
+// recycleLPNs returns a migrated chunk's lpn storage to the free list.
+func (b *booster) recycleLPNs(s []int64) {
+	if cap(s) > 0 {
+		b.freeLPNs = append(b.freeLPNs, s[:0])
+	}
 }
 
 // newBooster builds a booster, or returns nil (disabled) below one page.
@@ -47,9 +82,9 @@ func (b *booster) holds(lpn int64) bool { return b.dirty[lpn] }
 // spaceFor reports whether n more bytes fit.
 func (b *booster) spaceFor(n int64) bool { return b.usedBytes+n <= b.capBytes }
 
-// add stashes a chunk.
+// add stashes a chunk, copying lpns into recycled storage.
 func (b *booster) add(pool int, lpns []int64) {
-	cp := make([]int64, len(lpns))
+	cp := b.grabLPNs(len(lpns))
 	copy(cp, lpns)
 	b.queue = append(b.queue, boostedChunk{pool: pool, lpns: cp})
 	for _, lpn := range cp {
@@ -58,13 +93,27 @@ func (b *booster) add(pool int, lpns []int64) {
 	b.usedBytes += int64(len(cp)) * flash.SectorBytes
 }
 
-// pop removes the oldest chunk.
+// pop removes the oldest chunk. The caller owns the returned lpns slice and
+// should hand it back via recycleLPNs when done.
 func (b *booster) pop() (boostedChunk, bool) {
-	if len(b.queue) == 0 {
+	if b.head == len(b.queue) {
 		return boostedChunk{}, false
 	}
-	c := b.queue[0]
-	b.queue = b.queue[1:]
+	c := b.queue[b.head]
+	b.queue[b.head] = boostedChunk{} // unpin the lpns storage
+	b.head++
+	if b.head == len(b.queue) {
+		b.queue = b.queue[:0]
+		b.head = 0
+	} else if b.head >= 64 && b.head*2 >= len(b.queue) {
+		n := copy(b.queue, b.queue[b.head:])
+		clearTail := b.queue[n:]
+		for i := range clearTail {
+			clearTail[i] = boostedChunk{}
+		}
+		b.queue = b.queue[:n]
+		b.head = 0
+	}
 	for _, lpn := range c.lpns {
 		delete(b.dirty, lpn)
 	}
@@ -96,6 +145,7 @@ func (d *Device) destageOne() int64 {
 	if err != nil {
 		// Out of space mid-migration: surface as a stall the size of an
 		// erase so the condition is visible without failing the replay.
+		d.booster.recycleLPNs(c.lpns)
 		return d.cfg.Timing.EraseNs
 	}
 	ns := d.slcRead(d.cfg.Pools[c.pool].PageBytes) +
@@ -104,14 +154,15 @@ func (d *Device) destageOne() int64 {
 		d.metrics.ForegroundGC.Add(gcWork)
 		ns += d.gcTime(gcWork, d.cfg.Pools[c.pool].PageBytes)
 	}
+	d.booster.recycleLPNs(c.lpns)
 	return ns
 }
 
 // destageIdle drains the booster into an inter-arrival gap: a chunk
 // migrates only when its estimated cost fits the remaining budget.
 func (d *Device) destageIdle(budget int64) {
-	for d.booster != nil && len(d.booster.queue) > 0 {
-		head := d.booster.queue[0]
+	for d.booster != nil && d.booster.pending() > 0 {
+		head := d.booster.peek()
 		estimate := d.slcRead(d.cfg.Pools[head.pool].PageBytes) +
 			d.cfg.Timing.Program(d.cfg.Pools[head.pool].PageBytes)
 		if estimate > budget {

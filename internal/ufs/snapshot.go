@@ -59,7 +59,7 @@ func (d *Device) Snapshot(w io.Writer) error {
 	if d.booster != nil {
 		snap.BoosterHits = d.booster.hits
 		snap.BoosterMisses = d.booster.misses
-		for _, c := range d.booster.queue {
+		for _, c := range d.booster.pendingChunks() {
 			snap.BoosterQueue = append(snap.BoosterQueue,
 				BoosterChunk{Pool: c.pool, LPNs: append([]int64(nil), c.lpns...)})
 		}

@@ -119,6 +119,16 @@ type Device struct {
 
 	tel    *devTel
 	tracer *telemetry.Tracer
+
+	// Per-request scratch, reused across submissions (the device is
+	// single-goroutine per the storage.Device contract). Contents are only
+	// meaningful within one submit call; every consumer that outlives the
+	// call (FTL reverse map, booster) copies what it keeps.
+	lpnBuf      []int64
+	chunkBuf    []chunk
+	readOps     []readOp
+	pendingLPNs []int64
+	planeOps    []int
 }
 
 // New builds a fresh device.
@@ -230,9 +240,11 @@ type chunk struct {
 	pageSize int
 }
 
-// splitWrite decomposes a write into page chunks, largest pool first.
+// splitWrite decomposes a write into page chunks, largest pool first. The
+// returned slice is device scratch, valid until the next splitWrite call;
+// its chunks alias lpns.
 func (d *Device) splitWrite(lpns []int64) []chunk {
-	var out []chunk
+	out := d.chunkBuf[:0]
 	rest := lpns
 	for pi, pool := range d.cfg.Pools {
 		spp := pool.SectorsPerPage()
@@ -246,7 +258,21 @@ func (d *Device) splitWrite(lpns []int64) []chunk {
 			rest = rest[n:]
 		}
 	}
+	d.chunkBuf = out
 	return out
+}
+
+// resetPlaneOps clears and returns the per-request pipelining counters
+// (one per plane).
+func (d *Device) resetPlaneOps() []int {
+	if d.planeOps == nil {
+		d.planeOps = make([]int, len(d.planes))
+	}
+	ops := d.planeOps
+	for i := range ops {
+		ops[i] = 0
+	}
+	return ops
 }
 
 // opCost applies the pipelining factor to the n-th consecutive operation a
@@ -300,11 +326,20 @@ func (d *Device) scheduleRead(opsStart int64, plane int, opNs, transfer int64, p
 // Submit services one request and returns its timing. Requests must arrive
 // in nondecreasing arrival order.
 func (d *Device) Submit(req trace.Request) (storage.Result, error) {
-	res, err := d.SubmitPacked(req.Arrival, []trace.Request{req})
-	if err != nil {
-		return storage.Result{}, err
+	return d.SubmitAt(req.Arrival, req)
+}
+
+// SubmitAt services one request dispatched at dispatchAt (at least its
+// arrival): Submit with an explicit dispatch time, the single-request fast
+// path of the replay loops. It allocates nothing in steady state.
+func (d *Device) SubmitAt(dispatchAt int64, req trace.Request) (storage.Result, error) {
+	if req.Size == 0 || req.Size%trace.PageSize != 0 {
+		return storage.Result{}, fmt.Errorf("ufs: request size %d not page aligned", req.Size)
 	}
-	return res[0], nil
+	if req.Arrival > dispatchAt {
+		return storage.Result{}, fmt.Errorf("ufs: batch member arrives after dispatch")
+	}
+	return d.submitOne(dispatchAt, req)
 }
 
 // SubmitPacked services a batch dispatched together at dispatchAt. UFS has
@@ -345,10 +380,11 @@ func (d *Device) submitOne(dispatchAt int64, req trace.Request) (storage.Result,
 
 	startLPN := int64(req.LBA) / trace.SectorsPerPage
 	nSectors := int(req.Size) / trace.PageSize
-	lpns := make([]int64, nSectors)
-	for i := range lpns {
-		lpns[i] = startLPN + int64(i)
+	lpns := d.lpnBuf[:0]
+	for i := 0; i < nSectors; i++ {
+		lpns = append(lpns, startLPN+int64(i))
 	}
+	d.lpnBuf = lpns
 
 	var finish int64
 	var err error
@@ -384,7 +420,7 @@ func (d *Device) serveWrite(opsStart int64, lpns []int64) (int64, error) {
 	if d.booster != nil {
 		opsStart += d.destageForSpace(int64(len(lpns)) * flash.SectorBytes)
 		finish := opsStart
-		perPlane := make(map[int]int, len(d.planes))
+		perPlane := d.resetPlaneOps()
 		for _, c := range chunks {
 			plane := d.rrPlane % len(d.planes)
 			d.rrPlane++
@@ -401,7 +437,7 @@ func (d *Device) serveWrite(opsStart int64, lpns []int64) (int64, error) {
 		d.observeBooster()
 		return finish, nil
 	}
-	perPlane := make(map[int]int, len(d.planes))
+	perPlane := d.resetPlaneOps()
 	finish := opsStart
 	for _, c := range chunks {
 		plane := d.rrPlane % len(d.planes)
@@ -440,41 +476,47 @@ func (d *Device) slcRead(pageBytes int) int64 {
 	return d.cfg.Timing.ReadPool(p)
 }
 
+// readOp is one physical page read derived from a host request. The
+// device's readOps scratch accumulates them per request.
+type readOp struct {
+	plane   int
+	pool    int
+	payload int
+	loc     ftl.Loc
+	mapped  bool
+	slc     bool
+}
+
+// flushPendingReads converts the accumulated unmapped-sector run into read
+// ops laid out by the write splitter, then clears the run.
+func (d *Device) flushPendingReads() {
+	if len(d.pendingLPNs) == 0 {
+		return
+	}
+	for _, c := range d.splitWrite(d.pendingLPNs) {
+		plane := d.rrPlane % len(d.planes)
+		d.rrPlane++
+		d.readOps = append(d.readOps, readOp{plane: plane, pool: c.pool, payload: len(c.lpns) * flash.SectorBytes})
+	}
+	d.pendingLPNs = d.pendingLPNs[:0]
+}
+
 // serveRead reads the physical pages backing the request: booster-held
 // sectors at SLC latency, mapped sectors wherever they were written,
 // unmapped sectors as if laid out by the write splitter.
 func (d *Device) serveRead(opsStart int64, lpns []int64) (int64, error) {
-	type readOp struct {
-		plane   int
-		pool    int
-		payload int
-		loc     ftl.Loc
-		mapped  bool
-		slc     bool
-	}
-	var ops []readOp
-	var pending []int64 // unmapped run
-	flushPending := func() {
-		if len(pending) == 0 {
-			return
-		}
-		for _, c := range d.splitWrite(pending) {
-			plane := d.rrPlane % len(d.planes)
-			d.rrPlane++
-			ops = append(ops, readOp{plane: plane, pool: c.pool, payload: len(c.lpns) * flash.SectorBytes})
-		}
-		pending = pending[:0]
-	}
+	d.readOps = d.readOps[:0]
+	d.pendingLPNs = d.pendingLPNs[:0] // unmapped run
 	var lastLoc ftl.Loc
 	haveLast := false
 	for _, lpn := range lpns {
 		if d.booster != nil && d.booster.holds(lpn) {
 			// Dirty in the booster: an SLC read off a striped plane.
 			d.booster.hits++
-			flushPending()
+			d.flushPendingReads()
 			plane := d.rrPlane % len(d.planes)
 			d.rrPlane++
-			ops = append(ops, readOp{plane: plane, pool: len(d.cfg.Pools) - 1,
+			d.readOps = append(d.readOps, readOp{plane: plane, pool: len(d.cfg.Pools) - 1,
 				payload: flash.SectorBytes, slc: true})
 			haveLast = false
 			continue
@@ -484,23 +526,23 @@ func (d *Device) serveRead(opsStart int64, lpns []int64) (int64, error) {
 		}
 		loc, ok := d.ftl.Lookup(lpn)
 		if !ok {
-			pending = append(pending, lpn)
+			d.pendingLPNs = append(d.pendingLPNs, lpn)
 			continue
 		}
 		if haveLast && loc == lastLoc {
-			ops[len(ops)-1].payload += flash.SectorBytes
+			d.readOps[len(d.readOps)-1].payload += flash.SectorBytes
 			continue
 		}
-		flushPending()
-		ops = append(ops, readOp{plane: int(loc.Plane), pool: int(loc.Pool), payload: flash.SectorBytes,
+		d.flushPendingReads()
+		d.readOps = append(d.readOps, readOp{plane: int(loc.Plane), pool: int(loc.Pool), payload: flash.SectorBytes,
 			loc: loc, mapped: true})
 		lastLoc, haveLast = loc, true
 	}
-	flushPending()
+	d.flushPendingReads()
 
-	perPlane := make(map[int]int, len(d.planes))
+	perPlane := d.resetPlaneOps()
 	finish := opsStart
-	for _, op := range ops {
+	for _, op := range d.readOps {
 		var rd int64
 		if op.slc {
 			rd = d.opCost(d.slcRead(d.cfg.Pools[op.pool].PageBytes), perPlane[op.plane])

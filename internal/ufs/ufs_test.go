@@ -186,15 +186,15 @@ func TestFlushDrainsBooster(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(d.booster.queue) == 0 {
+	if d.booster.pending() == 0 {
 		t.Fatalf("booster empty before flush")
 	}
 	if _, err := d.Flush(0); err != nil {
 		t.Fatal(err)
 	}
-	if len(d.booster.queue) != 0 || d.booster.usedBytes != 0 {
+	if d.booster.pending() != 0 || d.booster.usedBytes != 0 {
 		t.Fatalf("booster not drained by flush: %d chunks, %d bytes",
-			len(d.booster.queue), d.booster.usedBytes)
+			d.booster.pending(), d.booster.usedBytes)
 	}
 	if d.Metrics().DestageStallNs == 0 {
 		t.Fatalf("flush drain charged no stall time")
@@ -213,7 +213,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	replay(t, d, reqs[:120])
-	if len(d.booster.queue) == 0 {
+	if d.booster.pending() == 0 {
 		t.Fatalf("test needs booster content at the snapshot point")
 	}
 
@@ -229,7 +229,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(r.slots, d.slots) {
 		t.Fatalf("command slots not restored: %v vs %v", r.slots, d.slots)
 	}
-	if !reflect.DeepEqual(r.booster.queue, d.booster.queue) {
+	if !reflect.DeepEqual(r.booster.pendingChunks(), d.booster.pendingChunks()) {
 		t.Fatalf("booster queue not restored")
 	}
 	if !reflect.DeepEqual(r.booster.dirty, d.booster.dirty) {
