@@ -9,7 +9,7 @@ GO ?= go
 # regression between the two newest BENCH_*.json snapshots; it is a no-op
 # until a second snapshot exists).
 .PHONY: check
-check: vet build runner-race faults-race stream-race server-race coord-race device-race perf-race race overhead bench-gate
+check: vet build runner-race faults-race stream-race server-race coord-race device-race devstore-race perf-race race overhead bench-gate
 
 .PHONY: vet
 vet:
@@ -70,6 +70,16 @@ server-race:
 .PHONY: coord-race
 coord-race:
 	$(GO) test -race -count=2 ./internal/coord
+
+# The device snapshot store under the race detector: concurrent Put/Get/
+# evict on the content-addressed archive, seal/restore determinism, the
+# fork-vs-reage bit-identity contract, and the /v1/devices + from_device
+# server surface (the store is shared mutable state under every age job
+# and fork admission, so interleavings matter; -count=2 varies them).
+.PHONY: devstore-race
+devstore-race:
+	$(GO) test -race -count=2 ./internal/devstore
+	$(GO) test -race -run 'Seal|Fork|Aged|Device' ./internal/storage ./internal/experiments ./internal/server
 
 # The pooling layer under the race detector: the event engine's slot
 # recycling and the allocation-sensitive replay paths. Pools turn

@@ -37,11 +37,13 @@ import (
 // device submit paths, trace generation, the event-engine schedule/step
 // cycle (the pooled core every replay event passes through), the parallel
 // sweep runner (its serial twin is skipped to keep the gate fast; the
-// ratio belongs to BenchmarkSweepRunner's own output), and the distributed
-// sweep fabric end to end (shard → HTTP workers → merge).
-const defaultBench = "ReplayTelemetryOff|ReplayTelemetryOn|ReplayStream1k|ReplaySlice1k|ReplayUFS1k|DeviceWrite4K|DeviceRead64K|TraceGeneration|SimEngine|SweepRunner/parallel|CoordinatorSweep"
+// ratio belongs to BenchmarkSweepRunner's own output), the distributed
+// sweep fabric end to end (shard → HTTP workers → merge), and the
+// snapshot-fork-vs-reage pair that prices the device store's central
+// trade.
+const defaultBench = "ReplayTelemetryOff|ReplayTelemetryOn|ReplayStream1k|ReplaySlice1k|ReplayUFS1k|DeviceWrite4K|DeviceRead64K|TraceGeneration|SimEngine|SweepRunner/parallel|CoordinatorSweep|SnapshotFork"
 
-const defaultPkgs = ".,./internal/core,./internal/coord,./internal/sim"
+const defaultPkgs = ".,./internal/core,./internal/coord,./internal/experiments,./internal/sim"
 
 // Snapshot is the persisted form of one trajectory point.
 type Snapshot struct {

@@ -30,6 +30,7 @@ import (
 
 	"emmcio/internal/cliutil"
 	"emmcio/internal/coord"
+	"emmcio/internal/devstore"
 )
 
 func main() {
@@ -47,6 +48,7 @@ func main() {
 	noLocal := flag.Bool("no-local", false, "fail instead of degrading exhausted shards to local execution")
 	asJSON := flag.Bool("json", false, "emit the merged []SweepResult as JSON instead of aligned text")
 	metricsPath := flag.String("metrics", "", "write the coordinator's Prometheus text-format metrics here")
+	deviceStore := flag.String("device-store", "", "local snapshot store directory backing -from-device (pushed to workers on demand)")
 	logLevel := flag.String("log-level", "warn", "log verbosity: debug, info, warn, or error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
 	showVersion := cliutil.VersionFlag(flag.CommandLine)
@@ -59,6 +61,19 @@ func main() {
 	logger, err := newLogger(*logLevel, *logJSON)
 	if err != nil {
 		fatal(err)
+	}
+
+	// -from-device resolves against the local store; the coordinator pushes
+	// the sealed snapshot to each worker before routing shards there, so
+	// the fleet needs no shared filesystem.
+	if *deviceStore != "" {
+		store, err := devstore.Open(*deviceStore, devstore.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		spec.SetDeviceSource(store)
+	} else if spec.FromDevice != "" {
+		fatal(fmt.Errorf("-from-device %s requires -device-store (the local archive holding the snapshot)", spec.FromDevice))
 	}
 
 	// SIGINT/SIGTERM cancels the run context; the coordinator propagates

@@ -10,6 +10,11 @@
 //	curl -d '{"app":"Movie","format":"text"}' localhost:8080/v1/traces
 //	curl localhost:8080/metrics
 //
+// With -device-store, the /v1/devices surface archives pre-aged device
+// snapshots: POST a replay-shaped age spec (or upload sealed bytes) once,
+// then submit replays/sweeps with "from_device" to fork the worn device
+// instead of re-aging it. See docs/SNAPSHOTS.md.
+//
 // Replay and sweep submissions are asynchronous jobs on a bounded queue
 // (full queue = 429) executed by a fixed worker pool; results are
 // bit-identical to the equivalent emmcsim/experiments invocation. Every
@@ -34,6 +39,7 @@ import (
 	"time"
 
 	"emmcio/internal/cliutil"
+	"emmcio/internal/devstore"
 	"emmcio/internal/server"
 )
 
@@ -47,6 +53,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight jobs before they are canceled")
 	traceBuffer := flag.Int("trace-buffer", 0, "per-job span-tracer ring capacity in events (0 = 4096; negative disables per-job traces)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+	deviceStore := flag.String("device-store", "", "directory backing the /v1/devices snapshot store (empty = surface disabled)")
+	deviceStoreMaxMB := flag.Int64("device-store-max-mb", 0, "device store size cap in MB, LRU-evicted (0 = unlimited)")
+	deviceStoreMax := flag.Int("device-store-max", 0, "device store entry cap, LRU-evicted (0 = unlimited)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error (debug adds one line per HTTP request)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
 	showVersion := cliutil.VersionFlag(flag.CommandLine)
@@ -61,6 +70,19 @@ func main() {
 		fatal(err)
 	}
 
+	var store *devstore.Store
+	if *deviceStore != "" {
+		store, err = devstore.Open(*deviceStore, devstore.Options{
+			MaxBytes:   *deviceStoreMaxMB << 20,
+			MaxEntries: *deviceStoreMax,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		entries, bytes := store.Stats()
+		logger.Info("device store open", "dir", store.Dir(), "devices", entries, "bytes", bytes)
+	}
+
 	svc := server.New(server.Config{
 		QueueDepth:  *queue,
 		Workers:     *jobs,
@@ -69,6 +91,7 @@ func main() {
 		JobTimeout:  *jobTimeout,
 		JobTraceCap: *traceBuffer,
 		Logger:      logger,
+		DeviceStore: store,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

@@ -27,6 +27,7 @@ import (
 
 	"emmcio/internal/cliutil"
 	"emmcio/internal/core"
+	"emmcio/internal/devstore"
 	"emmcio/internal/report"
 	"emmcio/internal/runner"
 	"emmcio/internal/storage"
@@ -41,8 +42,9 @@ func main() {
 	obs.Bind(flag.CommandLine)
 	tracePath := flag.String("in", "", "trace file to replay (text or binary)")
 	profilePath := flag.String("profile", "", "JSON workload profile to generate and replay")
-	loadDev := flag.String("load", "", "restore the device from a snapshot file (single scheme only)")
-	saveDev := flag.String("save", "", "snapshot the device after the replay (single scheme only)")
+	loadDev := flag.String("load", "", "restore the device from a sealed snapshot file (single scheme only)")
+	saveDev := flag.String("save", "", "write the device's sealed snapshot after the replay (single scheme only; importable into a device store)")
+	deviceStore := flag.String("device-store", "", "snapshot store directory backing -from-device")
 	outTrace := flag.String("o", "", "write the replayed (timestamped) trace to this file (single scheme only; feed pairs to tracediff)")
 	asJSON := flag.Bool("json", false, "emit per-scheme metrics as JSON instead of a table")
 	showVersion := cliutil.VersionFlag(flag.CommandLine)
@@ -66,8 +68,21 @@ func main() {
 		fatal(err)
 	}
 
-	if (*loadDev != "" || *saveDev != "" || *outTrace != "" || obs.MetricsPath != "" || obs.TracePath != "") && len(schemes) != 1 {
-		fatal(fmt.Errorf("-load/-save/-o/-metrics/-trace require a single -scheme"))
+	if (*loadDev != "" || *saveDev != "" || *outTrace != "" || spec.FromDevice != "" || obs.MetricsPath != "" || obs.TracePath != "") && len(schemes) != 1 {
+		fatal(fmt.Errorf("-load/-save/-o/-from-device/-metrics/-trace require a single -scheme"))
+	}
+	if *loadDev != "" && spec.FromDevice != "" {
+		fatal(fmt.Errorf("-load and -from-device are mutually exclusive"))
+	}
+	var store *devstore.Store
+	if *deviceStore != "" {
+		store, err = devstore.Open(*deviceStore, devstore.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		spec.SetDeviceSource(store)
+	} else if spec.FromDevice != "" {
+		fatal(fmt.Errorf("-from-device %s requires -device-store (the archive holding the snapshot)", spec.FromDevice))
 	}
 
 	// Observability is off unless an export was requested.
@@ -87,23 +102,41 @@ func main() {
 			defer done()
 			st = spec.PrepareStream(st)
 			var dev storage.Device
-			if *loadDev != "" {
-				backend, err := spec.Backend()
+			switch {
+			case spec.FromDevice != "":
+				// Fork the archived snapshot: same restore + fault-regime +
+				// resume-shift sequence the server's from_device jobs run.
+				var err error
+				dev, _, err = cliutil.ForkDevice(store, spec.FromDevice)
 				if err != nil {
 					return core.Metrics{}, err
 				}
+				fc, err := spec.FaultConfig()
+				if err != nil {
+					return core.Metrics{}, err
+				}
+				if fc != nil {
+					if err := dev.SetFaultConfig(fc); err != nil {
+						return core.Metrics{}, err
+					}
+				}
+				st = trace.ShiftStream(st, dev.LastActivity()+1_000_000_000)
+			case *loadDev != "":
 				f, err := os.Open(*loadDev)
 				if err != nil {
 					return core.Metrics{}, err
 				}
-				dev, err = core.RestoreDevice(backend, f)
+				// The sealed envelope names its own backend and carries the
+				// payload digest, so a truncated or cross-backend snapshot is
+				// a one-line diagnostic instead of a gob panic.
+				dev, _, err = core.RestoreSealed(*loadDev, f)
 				f.Close()
 				if err != nil {
 					return core.Metrics{}, err
 				}
 				// Resume after the archived device's last activity.
 				st = trace.ShiftStream(st, dev.LastActivity()+1_000_000_000)
-			} else {
+			default:
 				var err error
 				dev, err = core.NewDevice(s, opt)
 				if err != nil {
@@ -143,17 +176,15 @@ func main() {
 				}
 			}
 			if *saveDev != "" {
-				f, err := os.Create(*saveDev)
+				sealed, info, err := storage.Seal(dev)
 				if err != nil {
 					return core.Metrics{}, err
 				}
-				if err := dev.Snapshot(f); err != nil {
+				if err := os.WriteFile(*saveDev, sealed, 0o644); err != nil {
 					return core.Metrics{}, err
 				}
-				if err := f.Close(); err != nil {
-					return core.Metrics{}, err
-				}
-				fmt.Fprintf(os.Stderr, "device snapshot written to %s\n", *saveDev)
+				fmt.Fprintf(os.Stderr, "sealed device snapshot written to %s (%s, device %s)\n",
+					*saveDev, info.Backend, devstore.IDFromDigest(info.Digest))
 			}
 			return m, nil
 		})

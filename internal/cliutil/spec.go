@@ -11,6 +11,7 @@ import (
 	"emmcio/internal/faults"
 	"emmcio/internal/ftl"
 	"emmcio/internal/runner"
+	"emmcio/internal/storage"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 	"emmcio/internal/workload"
@@ -46,13 +47,26 @@ type ReplaySpec struct {
 	// FaultSeed is the fault-injection decision seed (requires Faults > 0;
 	// 0 in JSON means unset).
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// FromDevice forks the archived device snapshot with this id instead of
+	// building a fresh device: the replay restores the aged state (backend,
+	// wear, injector position) and resumes on top of it. Requires a single
+	// concrete scheme — the one the device was aged under — and a device
+	// source (SetDeviceSource). Faults > 0 replaces the archived fault
+	// regime with a fresh injector; 0 keeps the archived one.
+	FromDevice string `json:"from_device,omitempty"`
 
 	// DeviceSpec selects the storage backend (-device / "device") and its
 	// UFS-only sizing knobs; its fields promote into the JSON body.
 	DeviceSpec
 
-	fs *flag.FlagSet
+	fs     *flag.FlagSet
+	source DeviceSource
 }
+
+// SetDeviceSource attaches the snapshot source FromDevice ids resolve
+// against. The source does not travel with the spec's JSON form — each
+// process that runs from_device jobs attaches its own store.
+func (s *ReplaySpec) SetDeviceSource(src DeviceSource) { s.source = src }
 
 // BindFlags registers every spec field as its CLI flag on fs. The flag
 // names and defaults are the public interface of cmd/emmcsim; the JSON
@@ -72,6 +86,7 @@ func (s *ReplaySpec) BindFlags(fs *flag.FlagSet) {
 	fs.IntVar(&s.Shrink, "shrink", 0, "divide per-plane block count (GC-pressure studies)")
 	fs.Float64Var(&s.Faults, "faults", 0, "fault-injection rate multiplier (0 = perfect hardware)")
 	fs.Uint64Var(&s.FaultSeed, "fault-seed", 1, "fault-injection decision seed (requires -faults > 0)")
+	fs.StringVar(&s.FromDevice, "from-device", "", "fork this archived device snapshot instead of building a fresh device")
 	s.DeviceSpec.BindFlags(fs)
 }
 
@@ -204,6 +219,16 @@ func (s *ReplaySpec) Validate(reg *workload.Registry) error {
 	if s.Shrink < 0 {
 		return fmt.Errorf("shrink must be >= 0, got %d", s.Shrink)
 	}
+	if s.FromDevice != "" {
+		if schemes, _ := s.Schemes(); len(schemes) != 1 {
+			return fmt.Errorf("from_device %q requires one concrete scheme (the one the device was aged under), got %q",
+				s.FromDevice, s.Scheme)
+		}
+		if s.Device != "" {
+			return fmt.Errorf("from_device and device are mutually exclusive: the backend is sealed inside snapshot %q",
+				s.FromDevice)
+		}
+	}
 	return nil
 }
 
@@ -220,23 +245,47 @@ func (s *ReplaySpec) PrepareStream(st trace.Stream) trace.Stream {
 	return trace.ClearStream(st)
 }
 
-// Replay runs the spec's workload on one scheme: fresh stream, fresh
-// device, streaming replay bounded by ctx. The spec must be normalized.
-// sink, when non-nil, observes every completed request.
+// Replay runs the spec's workload on one scheme: fresh stream, fresh (or
+// forked, with FromDevice) device, streaming replay bounded by ctx. The
+// spec must be normalized. sink, when non-nil, observes every completed
+// request.
 func (s *ReplaySpec) Replay(ctx context.Context, scheme core.Scheme, reg *telemetry.Registry, tracer *telemetry.Tracer, sink func(trace.Request) error) (core.Metrics, error) {
 	p, err := s.Profile(nil)
 	if err != nil {
 		return core.Metrics{}, err
 	}
-	opt, err := s.DeviceOptions()
-	if err != nil {
-		return core.Metrics{}, err
-	}
-	dev, err := core.NewDevice(scheme, opt)
-	if err != nil {
-		return core.Metrics{}, err
+	var dev storage.Device
+	if s.FromDevice != "" {
+		dev, _, err = ForkDevice(s.source, s.FromDevice)
+		if err != nil {
+			return core.Metrics{}, err
+		}
+		fc, err := s.FaultConfig()
+		if err != nil {
+			return core.Metrics{}, err
+		}
+		if fc != nil {
+			if err := dev.SetFaultConfig(fc); err != nil {
+				return core.Metrics{}, err
+			}
+		}
+	} else {
+		opt, err := s.DeviceOptions()
+		if err != nil {
+			return core.Metrics{}, err
+		}
+		dev, err = core.NewDevice(scheme, opt)
+		if err != nil {
+			return core.Metrics{}, err
+		}
 	}
 	st := s.PrepareStream(p.Stream(s.Seed))
+	if s.FromDevice != "" {
+		// Resume after the archived history: the fork's clock is already at
+		// its last activity, so the new session starts an idle gap later —
+		// the same shift emmcsim's -load path applies.
+		st = trace.ShiftStream(st, dev.LastActivity()+1_000_000_000)
+	}
 	return core.ReplayStreamSinkContext(ctx, dev, scheme, st, reg, tracer, sink)
 }
 

@@ -1,13 +1,16 @@
 package cliutil
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"strings"
 
+	"emmcio/internal/core"
 	"emmcio/internal/experiments"
 	"emmcio/internal/report"
+	"emmcio/internal/storage"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/workload"
 )
@@ -32,9 +35,31 @@ type SweepSpec struct {
 	// Traces, when non-empty, narrows per-trace sweeps to this roster
 	// (see experiments.RunSweepOn).
 	Traces []string `json:"traces,omitempty"`
+	// FromDevice runs the sweep's replays on forks of the archived device
+	// snapshot with this id instead of fresh devices — the aged-device fast
+	// path. Requires a device source (SetDeviceSource) in the process that
+	// runs the sweep; the coordinator pre-pushes the snapshot to workers.
+	FromDevice string `json:"from_device,omitempty"`
 	// DeviceSpec selects the storage backend every replay in the sweep runs
 	// against (-device / "device"); unknown names 400 before queueing.
 	DeviceSpec
+
+	source DeviceSource
+}
+
+// SetDeviceSource attaches the snapshot source FromDevice resolves
+// against. It does not travel with the spec's JSON form; struct copies
+// (the coordinator's shard fan-out) preserve it.
+func (s *SweepSpec) SetDeviceSource(src DeviceSource) { s.source = src }
+
+// DeviceSnapshot fetches the sealed snapshot bytes FromDevice names — what
+// the coordinator pre-pushes to its workers before submitting shards. It
+// fails fast when no source is configured or the id is unknown.
+func (s *SweepSpec) DeviceSnapshot() ([]byte, error) {
+	if s.source == nil {
+		return nil, fmt.Errorf("sweep from device %q: no device store configured", s.FromDevice)
+	}
+	return s.source.OpenDevice(s.FromDevice)
 }
 
 // BindFlags registers the spec's fields as CLI flags on fs — the
@@ -50,6 +75,7 @@ func (s *SweepSpec) BindFlags(fs *flag.FlagSet) {
 	fs.IntVar(&s.Workers, "j", 0, "per-sweep worker pool width (0 = GOMAXPROCS)")
 	fs.Float64Var(&s.Faults, "faults", 0, "fault-injection rate multiplier (0 = perfect hardware)")
 	fs.Uint64Var(&s.FaultSeed, "fault-seed", 0, "fault-injection decision seed (requires -faults > 0; 0 = unset)")
+	fs.StringVar(&s.FromDevice, "from-device", "", "run sweep replays on forks of this archived device snapshot")
 	s.DeviceSpec.BindFlags(fs)
 }
 
@@ -111,6 +137,10 @@ func (s *SweepSpec) Validate() error {
 	if _, err := s.Backend(); err != nil {
 		return err
 	}
+	if s.FromDevice != "" && s.Device != "" {
+		return fmt.Errorf("from_device and device are mutually exclusive: the backend is sealed inside snapshot %q",
+			s.FromDevice)
+	}
 	return nil
 }
 
@@ -130,6 +160,19 @@ func (s *SweepSpec) Env(ctx context.Context) (*experiments.Env, error) {
 	env.Faults = fc
 	if err := s.DeviceSpec.ApplyEnv(env); err != nil {
 		return nil, err
+	}
+	if s.FromDevice != "" {
+		// Fetch the sealed bytes once; every fork decodes its own copy, so
+		// concurrent sweep replays share nothing.
+		sealed, err := s.DeviceSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		id := s.FromDevice
+		env.Fork = func() (storage.Device, error) {
+			dev, _, err := core.RestoreSealed(id, bytes.NewReader(sealed))
+			return dev, err
+		}
 	}
 	env.Ctx = ctx
 	return env, nil

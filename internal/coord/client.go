@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -53,9 +54,12 @@ func (e *BackpressureError) Error() string {
 		e.Queued, e.QueueCapacity, e.After)
 }
 
-// StatusError is any other non-2xx worker response.
+// StatusError is any other non-2xx worker response. Kind carries the
+// server's machine-readable error_kind from the uniform error envelope
+// ("" when the body is not the envelope — a proxy's HTML error page, say).
 type StatusError struct {
 	Code int
+	Kind string
 	Body string
 }
 
@@ -63,10 +67,33 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("worker returned %d: %s", e.Code, strings.TrimSpace(e.Body))
 }
 
+// newStatusError builds a StatusError, classifying the body: every emmcd
+// non-2xx is the {"error","error_kind"} envelope, so the kind decodes
+// directly instead of being guessed from the status code.
+func newStatusError(code int, body string) *StatusError {
+	se := &StatusError{Code: code, Body: body}
+	var eb server.ErrorBody
+	if err := json.Unmarshal([]byte(body), &eb); err == nil {
+		se.Kind = eb.ErrorKind
+	}
+	return se
+}
+
 // Retryable reports whether the failure is a worker-side condition a
-// different (or later) worker could serve: 5xx and 503-draining are;
-// 4xx spec rejections are not — the same spec fails everywhere.
-func (e *StatusError) Retryable() bool { return e.Code >= 500 }
+// different (or later) worker could serve. The error kind decides when
+// present: validation, not_found and conflict are properties of the
+// request — the same request fails everywhere — while unavailable and
+// saturated are properties of this worker right now. Without a kind
+// (non-emmcd middleboxes), 5xx is the retryable line.
+func (e *StatusError) Retryable() bool {
+	switch e.Kind {
+	case server.ErrKindValidation, server.ErrKindNotFound, server.ErrKindConflict:
+		return false
+	case server.ErrKindUnavailable, server.ErrKindSaturated:
+		return true
+	}
+	return e.Code >= 500
+}
 
 // Health probes GET /healthz. A draining worker answers 503, which reads
 // as unhealthy here — exactly right for routing: it is finishing old work
@@ -82,7 +109,7 @@ func (c *Client) Health(ctx context.Context) error {
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return &StatusError{Code: resp.StatusCode, Body: readSnippet(resp.Body)}
+		return newStatusError(resp.StatusCode, readSnippet(resp.Body))
 	}
 	return nil
 }
@@ -117,7 +144,7 @@ func (c *Client) SubmitSweep(ctx context.Context, spec cliutil.SweepSpec) (strin
 		return "", be
 	}
 	if resp.StatusCode != http.StatusAccepted {
-		return "", &StatusError{Code: resp.StatusCode, Body: readSnippet(resp.Body)}
+		return "", newStatusError(resp.StatusCode, readSnippet(resp.Body))
 	}
 	var sub struct {
 		ID string `json:"id"`
@@ -129,6 +156,40 @@ func (c *Client) SubmitSweep(ctx context.Context, spec cliutil.SweepSpec) (strin
 		return "", errors.New("submit response carried no job id")
 	}
 	return sub.ID, nil
+}
+
+// ImportDevice uploads sealed snapshot bytes to the worker's device store
+// (POST /v1/devices, octet-stream) and returns the content-derived device
+// id the worker archived them under. The import is idempotent on the
+// worker side, so pushing an already-present snapshot is a cheap no-op.
+func (c *Client) ImportDevice(ctx context.Context, sealed []byte, label string) (string, error) {
+	u := c.base + "/v1/devices"
+	if label != "" {
+		u += "?label=" + url.QueryEscape(label)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(sealed))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return "", newStatusError(resp.StatusCode, readSnippet(resp.Body))
+	}
+	var dev struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dev); err != nil {
+		return "", fmt.Errorf("decoding import response: %w", err)
+	}
+	if dev.ID == "" {
+		return "", errors.New("import response carried no device id")
+	}
+	return dev.ID, nil
 }
 
 // JobStatus GETs /v1/jobs/{id}.
@@ -143,7 +204,7 @@ func (c *Client) JobStatus(ctx context.Context, id string) (server.JobStatus, er
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return server.JobStatus{}, &StatusError{Code: resp.StatusCode, Body: readSnippet(resp.Body)}
+		return server.JobStatus{}, newStatusError(resp.StatusCode, readSnippet(resp.Body))
 	}
 	var st server.JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
@@ -166,7 +227,7 @@ func (c *Client) CancelJob(ctx context.Context, id string) error {
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
-		return &StatusError{Code: resp.StatusCode, Body: readSnippet(resp.Body)}
+		return newStatusError(resp.StatusCode, readSnippet(resp.Body))
 	}
 	return nil
 }

@@ -105,6 +105,7 @@ type Coordinator struct {
 	localRuns       *telemetry.Counter
 	remoteCancels   *telemetry.Counter
 	probeFailures   *telemetry.Counter
+	devicePushes    *telemetry.Counter
 	workersHealthy  *telemetry.Gauge
 
 	rngMu    sync.Mutex
@@ -179,6 +180,7 @@ func New(cfg Config) *Coordinator {
 	c.localRuns = c.tel.Counter("coord_local_runs_total")
 	c.remoteCancels = c.tel.Counter("coord_remote_cancels_total")
 	c.probeFailures = c.tel.Counter("coord_health_probe_failures_total")
+	c.devicePushes = c.tel.Counter("coord_device_pushes_total")
 	c.workersHealthy = c.tel.Gauge("coord_workers_healthy")
 	return c
 }
@@ -198,6 +200,21 @@ func (c *Coordinator) Run(ctx context.Context, spec cliutil.SweepSpec) ([]cliuti
 		return nil, err
 	}
 	c.shardsPlanned.Add(int64(len(shards)))
+
+	// A from_device sweep forks an archived snapshot the workers may not
+	// hold. Materialize the sealed bytes once, up front — an unknown id or
+	// missing local store fails the whole run here, before any shard is
+	// dispatched — and lazily push them to each worker on its first shard.
+	var push *devicePush
+	if spec.FromDevice != "" {
+		sealed, err := spec.DeviceSnapshot()
+		if err != nil {
+			return nil, fmt.Errorf("coord: %w", err)
+		}
+		push = &devicePush{id: spec.FromDevice, sealed: sealed, pushed: map[string]bool{}}
+		c.log.Info("sweep forks archived device", "device", spec.FromDevice,
+			"snapshot_bytes", len(sealed))
+	}
 
 	// One synchronous probe round before dispatch, so the first picks see
 	// real health instead of the everyone-unhealthy boot state; then the
@@ -244,7 +261,7 @@ func (c *Coordinator) Run(ctx context.Context, spec cliutil.SweepSpec) ([]cliuti
 			case <-runCtx.Done():
 				return
 			}
-			res, err := c.runShard(runCtx, shards[i])
+			res, err := c.runShard(runCtx, shards[i], push)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -280,10 +297,51 @@ func (c *Coordinator) probeRound(ctx context.Context) {
 	c.workersHealthy.Set(int64(c.pool.healthyCount(time.Now())))
 }
 
+// devicePush is a run's snapshot pre-push state for a from_device sweep:
+// the sealed bytes fetched once at Run, and which workers already hold
+// them. Shards share it, so a fleet-wide sweep uploads the snapshot to
+// each worker exactly once no matter how many shards land there.
+type devicePush struct {
+	id     string
+	sealed []byte
+
+	mu     sync.Mutex
+	pushed map[string]bool
+}
+
+// ensureDevice makes sure w's store holds the forked snapshot before a
+// shard referencing it is submitted. The worker derives the id from the
+// uploaded content with the same hash the local store used, so a mismatch
+// means the bytes were mangled in transit — never retryable.
+func (c *Coordinator) ensureDevice(ctx context.Context, w *workerState, push *devicePush) error {
+	// The mutex spans the upload, not just the map: concurrent shards
+	// racing to the same fresh worker would otherwise both see it
+	// unpushed and both upload the snapshot. Serializing pushes across
+	// workers too is fine — each worker is pushed at most once, so total
+	// time under the lock is bounded by fleet size, not shard count.
+	push.mu.Lock()
+	defer push.mu.Unlock()
+	if push.pushed[w.name] {
+		return nil
+	}
+	id, err := w.cli.ImportDevice(ctx, push.sealed, "")
+	if err != nil {
+		return fmt.Errorf("pushing device %s to %s: %w", push.id, w.name, err)
+	}
+	if id != push.id {
+		return fmt.Errorf("worker %s archived pushed snapshot as %s, want %s", w.name, id, push.id)
+	}
+	push.pushed[w.name] = true
+	c.devicePushes.Inc()
+	c.log.Info("device pushed", "device", push.id, "worker", w.name,
+		"bytes", len(push.sealed))
+	return nil
+}
+
 // runShard executes one shard to completion: remote attempts with
 // retry/backoff/re-route under the attempt budget, then — unless disabled
 // — local degradation through the identical SweepSpec.Run path.
-func (c *Coordinator) runShard(ctx context.Context, sh cliutil.SweepShard) ([]cliutil.SweepResult, error) {
+func (c *Coordinator) runShard(ctx context.Context, sh cliutil.SweepShard, push *devicePush) ([]cliutil.SweepResult, error) {
 	var lastErr error
 	var lastWorker *workerState
 	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
@@ -305,7 +363,7 @@ func (c *Coordinator) runShard(ctx context.Context, sh cliutil.SweepShard) ([]cl
 		}
 		lastWorker = w
 		c.attempts.Inc()
-		res, retryable, err := c.attempt(ctx, w, sh)
+		res, retryable, err := c.attempt(ctx, w, sh, push)
 		if err == nil {
 			return res, nil
 		}
@@ -346,9 +404,26 @@ func (c *Coordinator) runShard(ctx context.Context, sh cliutil.SweepShard) ([]cl
 // retryable classifies the failure: true means a different worker (or a
 // later try) could succeed; false means the shard itself is defective
 // (spec rejection, runtime failure — deterministic either way).
-func (c *Coordinator) attempt(ctx context.Context, w *workerState, sh cliutil.SweepShard) (res []cliutil.SweepResult, retryable bool, err error) {
+func (c *Coordinator) attempt(ctx context.Context, w *workerState, sh cliutil.SweepShard, push *devicePush) (res []cliutil.SweepResult, retryable bool, err error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
 	defer cancel()
+
+	if push != nil {
+		if err := c.ensureDevice(actx, w, push); err != nil {
+			if ctx.Err() != nil {
+				return nil, false, ctx.Err()
+			}
+			var se *StatusError
+			if errors.As(err, &se) && !se.Retryable() {
+				return nil, false, err
+			}
+			// A worker without a device store (503 unavailable), a full
+			// store, or a network failure: another worker may do better,
+			// and local degradation always can (the spec carries its own
+			// snapshot source).
+			return nil, true, err
+		}
+	}
 
 	id, err := c.submit(actx, w, sh)
 	if err != nil {

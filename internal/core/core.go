@@ -6,6 +6,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -313,9 +314,11 @@ func NewDevice(s Scheme, opt Options) (storage.Device, error) {
 		opt.Backend, strings.Join(storage.Backends(), ", "))
 }
 
-// RestoreDevice rebuilds a device from a Snapshot stream. Snapshots are
-// backend-specific gob layouts, so the caller says which backend wrote it
-// ("" = eMMC; the sd flavour shares the eMMC layout).
+// RestoreDevice rebuilds a device from a bare Snapshot stream. Snapshots
+// are backend-specific gob layouts, so the caller says which backend wrote
+// it ("" = eMMC; the sd flavour shares the eMMC layout). The stream is
+// trusted: corrupt bytes surface as gob errors. Prefer RestoreSealed, which
+// verifies a digest and reads the backend from the envelope instead.
 func RestoreDevice(b storage.Backend, r io.Reader) (storage.Device, error) {
 	switch b {
 	case "", storage.BackendEMMC, storage.BackendSD:
@@ -325,6 +328,23 @@ func RestoreDevice(b storage.Backend, r io.Reader) (storage.Device, error) {
 	}
 	return nil, fmt.Errorf("core: unknown device backend %q (valid: %s)",
 		b, strings.Join(storage.Backends(), ", "))
+}
+
+// RestoreSealed rebuilds a device from a sealed snapshot (storage.Seal):
+// the envelope's digest is verified and its backend header drives the
+// dispatch, so a corrupt or truncated stream fails with a one-line
+// diagnostic naming id and the byte offset — never a gob error from deep
+// inside restore. id labels diagnostics only ("" reads as "snapshot").
+func RestoreSealed(id string, r io.Reader) (storage.Device, storage.SealInfo, error) {
+	info, payload, err := storage.ReadSeal(r, id)
+	if err != nil {
+		return nil, storage.SealInfo{}, err
+	}
+	dev, err := RestoreDevice(info.Backend, bytes.NewReader(payload))
+	if err != nil {
+		return nil, info, err
+	}
+	return dev, info, nil
 }
 
 // Metrics summarizes one replay.

@@ -1,0 +1,274 @@
+package devstore_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"emmcio/internal/core"
+	"emmcio/internal/devstore"
+	"emmcio/internal/faults"
+	"emmcio/internal/storage"
+	"emmcio/internal/trace"
+)
+
+// sealedDevice ages a small device (writes writes of 16 KB each, faults on)
+// and returns its sealed snapshot plus the device for reference checks.
+func sealedDevice(t *testing.T, writes int) ([]byte, storage.Device) {
+	t.Helper()
+	opt := core.CaseStudyOptions()
+	opt.Faults = &faults.Config{Seed: 11, Rate: 1}
+	dev, err := core.NewDevice(core.Scheme4PS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrival int64
+	for i := 0; i < writes; i++ {
+		req := trace.Request{Arrival: arrival, LBA: uint64(i * 64), Size: 16 << 10, Op: trace.Write}
+		res, err := dev.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrival = res.Finish
+	}
+	sealed, _, err := storage.Seal(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sealed, dev
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := devstore.Open(t.TempDir(), devstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, dev := sealedDevice(t, 32)
+
+	m, err := s.Put(sealed, devstore.Meta{Label: "aged-a", Scheme: "4ps", Origin: "aged"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(m.ID, "d") || len(m.ID) != 1+devstore.IDPrefixLen {
+		t.Errorf("id %q is not a content-derived name", m.ID)
+	}
+	if m.Backend != storage.BackendEMMC {
+		t.Errorf("backend %q, want emmc", m.Backend)
+	}
+	if m.SizeBytes != int64(len(sealed)) {
+		t.Errorf("size %d, want %d", m.SizeBytes, len(sealed))
+	}
+
+	got, err := s.Get(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "aged-a" || got.Scheme != "4ps" || got.Origin != "aged" {
+		t.Errorf("meta round trip lost fields: %+v", got)
+	}
+
+	// A fork restores to the original state.
+	raw, err := s.OpenDevice(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, _, err := core.RestoreSealed(m.ID, strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fork.Metrics() != dev.Metrics() {
+		t.Error("forked device metrics diverge from the aged original")
+	}
+	if fork.FaultDraws() != dev.FaultDraws() {
+		t.Errorf("forked injector at draw %d, want %d", fork.FaultDraws(), dev.FaultDraws())
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	s, err := devstore.Open(t.TempDir(), devstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, _ := sealedDevice(t, 32)
+	a, err := s.Put(sealed, devstore.Meta{Label: "first"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Put(sealed, devstore.Meta{Label: "second"})
+	if err != nil {
+		t.Fatalf("re-putting identical bytes: %v", err)
+	}
+	if a.ID != b.ID {
+		t.Errorf("same bytes named twice: %s vs %s", a.ID, b.ID)
+	}
+	if b.Label != "first" {
+		t.Errorf("idempotent put returned label %q, want the stored %q", b.Label, "first")
+	}
+	if n, _ := s.Stats(); n != 1 {
+		t.Errorf("store holds %d entries after duplicate put, want 1", n)
+	}
+}
+
+func TestLabelConflict(t *testing.T) {
+	s, err := devstore.Open(t.TempDir(), devstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sealedDevice(t, 16)
+	b, _ := sealedDevice(t, 48)
+	if _, err := s.Put(a, devstore.Meta{Label: "gold"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(b, devstore.Meta{Label: "gold"}); err == nil {
+		t.Fatal("two different snapshots accepted under one label")
+	} else if !strings.Contains(err.Error(), "gold") {
+		t.Errorf("conflict error %q does not name the label", err)
+	}
+	if m, ok := s.FindLabel("gold"); !ok || m.Digest == "" {
+		t.Errorf("FindLabel(gold) = %+v, %v", m, ok)
+	}
+}
+
+func TestRejectsCorruptUpload(t *testing.T) {
+	s, err := devstore.Open(t.TempDir(), devstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, _ := sealedDevice(t, 16)
+	bad := append([]byte(nil), sealed...)
+	bad[len(bad)/2] ^= 0xff
+	if _, err := s.Put(bad, devstore.Meta{}); err == nil {
+		t.Fatal("corrupt snapshot accepted into the store")
+	}
+	if n, _ := s.Stats(); n != 0 {
+		t.Errorf("store holds %d entries after rejected put", n)
+	}
+}
+
+func TestDeleteAndNotFound(t *testing.T) {
+	s, err := devstore.Open(t.TempDir(), devstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, _ := sealedDevice(t, 16)
+	m, err := s.Put(sealed, devstore.Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range []error{
+		func() error { _, e := s.Get(m.ID); return e }(),
+		func() error { _, e := s.OpenDevice(m.ID); return e }(),
+		s.Delete(m.ID),
+	} {
+		if !errors.Is(err, devstore.ErrNotFound) {
+			t.Errorf("after delete, error = %v, want ErrNotFound", err)
+		}
+	}
+}
+
+func TestLRUEvictionByCount(t *testing.T) {
+	dir := t.TempDir()
+	s, err := devstore.Open(dir, devstore.Options{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sealedDevice(t, 8)
+	b, _ := sealedDevice(t, 16)
+	c, _ := sealedDevice(t, 24)
+	ma, _ := s.Put(a, devstore.Meta{Label: "a"})
+	mb, _ := s.Put(b, devstore.Meta{Label: "b"})
+	// Touch a so b becomes the LRU victim.
+	if _, err := s.OpenDevice(ma.ID); err != nil {
+		t.Fatal(err)
+	}
+	mc, err := s.Put(c, devstore.Meta{Label: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(mb.ID); !errors.Is(err, devstore.ErrNotFound) {
+		t.Errorf("LRU entry survived eviction: %v", err)
+	}
+	for _, id := range []string{ma.ID, mc.ID} {
+		if _, err := s.Get(id); err != nil {
+			t.Errorf("recently used %s evicted: %v", id, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "objects", mb.ID)); !os.IsNotExist(err) {
+		t.Error("evicted object still on disk")
+	}
+}
+
+func TestEvictionBySize(t *testing.T) {
+	sealed, _ := sealedDevice(t, 8)
+	other, _ := sealedDevice(t, 40)
+	cap := int64(len(sealed))
+	if int64(len(other)) > cap {
+		cap = int64(len(other))
+	}
+	s, err := devstore.Open(t.TempDir(), devstore.Options{MaxBytes: cap + 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(sealed, devstore.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(other, devstore.Meta{}); err != nil {
+		t.Fatalf("size-capped put should evict, got %v", err)
+	}
+	if n, _ := s.Stats(); n != 1 {
+		t.Errorf("store holds %d entries, want 1 after size eviction", n)
+	}
+
+	// A snapshot bigger than the whole store is refused outright.
+	tiny, err := devstore.Open(t.TempDir(), devstore.Options{MaxBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tiny.Put(sealed, devstore.Meta{}); err == nil {
+		t.Error("snapshot larger than the store accepted")
+	}
+}
+
+func TestReopenRecoversIndexAndRecency(t *testing.T) {
+	dir := t.TempDir()
+	s, err := devstore.Open(dir, devstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sealedDevice(t, 8)
+	b, _ := sealedDevice(t, 16)
+	ma, _ := s.Put(a, devstore.Meta{Label: "a"})
+	mb, _ := s.Put(b, devstore.Meta{Label: "b"})
+
+	// Make a distinctly older than b on disk, then reopen capped at one
+	// entry: the next put must evict a, proving recency was rebuilt from
+	// mtimes rather than reset.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "objects", ma.ID), old, old); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := devstore.Open(dir, devstore.Options{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(ma.ID)
+	if err != nil || got.Label != "a" {
+		t.Fatalf("reopened store lost %s: %+v, %v", ma.ID, got, err)
+	}
+	c, _ := sealedDevice(t, 24)
+	if _, err := s2.Put(c, devstore.Meta{Label: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(ma.ID); !errors.Is(err, devstore.ErrNotFound) {
+		t.Error("oldest entry survived post-reopen eviction; mtime recency was lost")
+	}
+	if _, err := s2.Get(mb.ID); err != nil {
+		t.Errorf("newer entry evicted instead: %v", err)
+	}
+}

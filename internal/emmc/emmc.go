@@ -342,10 +342,32 @@ func (d *Device) Caps() storage.Caps {
 // injection is off).
 func (d *Device) FaultCounts() faults.Counts { return d.inj.Counts() }
 
+// FaultDraws reports the injector's decision-stream position (0 when
+// injection is off).
+func (d *Device) FaultDraws() int64 { return d.inj.Draws() }
+
+// SetFaultConfig replaces the device's fault injector with a fresh one
+// built from fc (nil = injection off). The new injector starts at draw 0,
+// as if fc had been in the construction config — the FTL shares it, so the
+// decision stream stays one deterministic sequence.
+func (d *Device) SetFaultConfig(fc *faults.Config) error {
+	inj, err := faults.New(fc)
+	if err != nil {
+		return err
+	}
+	d.cfg.Faults = fc
+	d.inj = inj
+	d.ftl.SetFaults(inj)
+	return nil
+}
+
 // AddArtificialWear pre-ages a pool (aging studies).
 func (d *Device) AddArtificialWear(pool int, erases int64) {
 	d.ftl.AddArtificialWear(pool, erases)
 }
+
+// Pools describes the device's flash pools; Wear indexes into this slice.
+func (d *Device) Pools() []flash.PoolSpec { return d.ftl.Pools() }
 
 // readRetryFactor returns the wear-dependent read latency multiplier for a
 // pool, memoized until the pool's wear level changes.

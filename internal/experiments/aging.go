@@ -38,15 +38,22 @@ func Aging(env *Env, name string, lifeFractions []float64) ([]AgingPoint, error)
 			Trace:  name,
 			Scheme: core.Scheme4PS,
 			Device: func() (storage.Device, error) {
-				opt := core.CaseStudyOptions()
-				opt.Reliability = model
-				dev, err := core.NewDevice(core.Scheme4PS, opt)
+				var dev storage.Device
+				var err error
+				if env.Fork != nil {
+					// Fork the archived aged snapshot as the base instead of
+					// rebuilding fresh flash per wear level.
+					dev, err = env.Fork()
+				} else {
+					opt := core.CaseStudyOptions()
+					opt.Reliability = model
+					dev, err = core.NewDevice(core.Scheme4PS, opt)
+				}
 				if err != nil {
 					return nil, err
 				}
 				// Pre-age pool 0: average PE = lifeFraction × endurance.
-				cfg := core.DeviceConfig(core.Scheme4PS, opt)
-				blocks := int64(cfg.Pools[0].BlocksPerPlane * cfg.Geometry.Planes())
+				blocks := int64(dev.Wear(0).Blocks)
 				dev.AddArtificialWear(0, int64(lf*model.Endurance*float64(blocks)))
 				return dev, nil
 			},

@@ -54,6 +54,16 @@ type Env struct {
 	UFSQueueDepth   int
 	UFSBoosterBytes int64
 
+	// Fork, when non-nil, builds each replay job's device by forking an
+	// archived aged snapshot instead of constructing fresh flash — the
+	// /v1/devices fast path. It must return an independent device on every
+	// call. It applies to plain FIFO replays without a custom Device
+	// builder; scheduled and collection jobs keep fresh devices. The job's
+	// request stream is shifted past the fork's archived history, exactly
+	// like emmcsim's -load resume, and a fault config (job's or env's) is
+	// re-armed on the fork via SetFaultConfig.
+	Fork func() (storage.Device, error)
+
 	// Ctx, when non-nil, bounds every sweep launched through this env:
 	// replay loops check it between events and the runner checks it between
 	// jobs, so cancellation and deadlines propagate into experiments whose

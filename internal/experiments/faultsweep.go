@@ -11,6 +11,7 @@ import (
 	"emmcio/internal/report"
 	"emmcio/internal/rng"
 	"emmcio/internal/runner"
+	"emmcio/internal/storage"
 	"emmcio/internal/trace"
 )
 
@@ -81,33 +82,51 @@ func FaultSweep(env *Env, name string, seed uint64, rates []float64) ([]FaultPoi
 	// 4 is the measurement, not a reason to lose the rest of the sweep.
 	return runner.MapContext(env.context(), env.Runner(), "faultsweep", plan, func(ctx context.Context, _ int, c cell) (FaultPoint, error) {
 		pt := FaultPoint{Rate: c.rate, Scheme: c.scheme}
-		opt := core.CaseStudyOptions()
-		opt.Reliability = model
-		// Shrink the device so GC pressure (and thus erase/program traffic)
-		// is realistic within one trace replay, matching the gcpressure
-		// sweep's regime.
-		opt.ScaleBlocks = gcPressureScaleBlocks
-		opt.ScalePages = gcPressureScalePages
+		var dev storage.Device
+		var err error
+		if env.Fork != nil {
+			// Fork the archived aged snapshot once per cell instead of
+			// rebuilding and re-aging fresh flash 15 times.
+			dev, err = env.Fork()
+		} else {
+			opt := core.CaseStudyOptions()
+			opt.Reliability = model
+			// Shrink the device so GC pressure (and thus erase/program
+			// traffic) is realistic within one trace replay, matching the
+			// gcpressure sweep's regime.
+			opt.ScaleBlocks = gcPressureScaleBlocks
+			opt.ScalePages = gcPressureScalePages
+			dev, err = core.NewDevice(c.scheme, opt)
+		}
+		if err != nil {
+			return pt, err // config bug: fail the sweep loudly
+		}
+		// Arm the cell's fault regime after construction. SetFaultConfig
+		// hands the device a fresh injector at draw 0 — exactly what a
+		// construction-time config would have produced — which is what lets
+		// one faultless aged device serve every (rate, seed) cell.
 		if c.rate > 0 {
-			opt.Faults = &faults.Config{
+			if err := dev.SetFaultConfig(&faults.Config{
 				Seed:          c.seed,
 				Rate:          c.rate,
 				EraseFailBase: 10 * faults.DefaultEraseFailBase,
 				Model:         model,
+			}); err != nil {
+				return pt, err
 			}
 		}
-		dev, err := core.NewDevice(c.scheme, opt)
-		if err != nil {
-			return pt, err // config bug: fail the sweep loudly
-		}
 		// Pre-age every pool to rated endurance: the steep region of the
-		// wear curves, where real devices grow bad blocks.
-		cfg := core.DeviceConfig(c.scheme, opt)
-		for pool, spec := range cfg.Pools {
-			blocks := int64(spec.BlocksPerPlane * cfg.Geometry.Planes())
+		// wear curves, where real devices grow bad blocks. Forks get the
+		// same top-up on top of their replayed wear.
+		planes := dev.Geometry().Planes()
+		for pool, spec := range dev.Pools() {
+			blocks := int64(spec.BlocksPerPlane * planes)
 			dev.AddArtificialWear(pool, int64(model.Endurance*float64(blocks)))
 		}
 		st := trace.Repeat(env.Stream(name), faultSweepSessions, 1_000_000_000)
+		if env.Fork != nil {
+			st = trace.ShiftStream(st, dev.LastActivity()+1_000_000_000)
+		}
 		m, err := core.ReplayStreamObservedContext(ctx, dev, c.scheme, st, env.Telemetry, env.Tracer)
 		if err != nil {
 			if ctx.Err() != nil {

@@ -159,13 +159,28 @@ func (e *Env) replay(ctx context.Context, j ReplayJob) (ReplayResult, error) {
 	}
 	var dev storage.Device
 	var err error
-	if j.Device != nil {
+	switch {
+	case j.Device != nil:
 		dev, err = j.Device()
-	} else {
+	case e.Fork != nil && !j.Collect:
+		// Fork the archived aged device instead of building fresh flash.
+		dev, err = e.Fork()
+		if err == nil {
+			if fc := j.Options.Faults; fc != nil {
+				err = dev.SetFaultConfig(fc)
+			}
+		}
+	default:
 		dev, err = core.NewDevice(j.Scheme, j.Options)
 	}
 	if err != nil {
 		return ReplayResult{}, err
+	}
+	if last := dev.LastActivity(); last > 0 {
+		// The device carries replayed history (an env.Fork or a custom
+		// builder handing out a fork): resume after it, the same idle-gap
+		// shift emmcsim's -load applies. Fresh devices are untouched.
+		st = trace.ShiftStream(st, last+1_000_000_000)
 	}
 	res.Device = dev
 	if j.Collect {

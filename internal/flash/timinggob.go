@@ -1,0 +1,87 @@
+package flash
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+)
+
+// Canonical gob encoding for Timing. PerPage is a map, and gob serializes
+// maps in random iteration order, so two encodings of the same Timing would
+// differ byte-for-byte. Device snapshots are content-addressed (the digest
+// of the gob payload names the snapshot), which requires equal state to
+// encode to equal bytes — so Timing encodes through a wire struct whose
+// per-page entries are sorted by page size.
+
+// pageTiming is one PerPage entry in the canonical wire form.
+type pageTiming struct {
+	Bytes int
+	Op    OpTiming
+}
+
+// timingWire mirrors Timing with the map flattened to a sorted slice.
+type timingWire struct {
+	PerPage           []pageTiming
+	EraseNs           int64
+	TransferNsPerByte float64
+	CmdOverheadNs     int64
+	RequestOverheadNs int64
+	PipelineFactor    float64
+	ChannelInterleave bool
+	MLCPairing        bool
+	PairingSpread     float64
+	SLCReadFactor     float64
+	SLCProgramFactor  float64
+}
+
+// GobEncode implements gob.GobEncoder with a deterministic byte form.
+func (t Timing) GobEncode() ([]byte, error) {
+	w := timingWire{
+		EraseNs:           t.EraseNs,
+		TransferNsPerByte: t.TransferNsPerByte,
+		CmdOverheadNs:     t.CmdOverheadNs,
+		RequestOverheadNs: t.RequestOverheadNs,
+		PipelineFactor:    t.PipelineFactor,
+		ChannelInterleave: t.ChannelInterleave,
+		MLCPairing:        t.MLCPairing,
+		PairingSpread:     t.PairingSpread,
+		SLCReadFactor:     t.SLCReadFactor,
+		SLCProgramFactor:  t.SLCProgramFactor,
+	}
+	for size, op := range t.PerPage {
+		w.PerPage = append(w.PerPage, pageTiming{Bytes: size, Op: op})
+	}
+	sort.Slice(w.PerPage, func(i, j int) bool { return w.PerPage[i].Bytes < w.PerPage[j].Bytes })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder for the canonical wire form.
+func (t *Timing) GobDecode(data []byte) error {
+	var w timingWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*t = Timing{
+		EraseNs:           w.EraseNs,
+		TransferNsPerByte: w.TransferNsPerByte,
+		CmdOverheadNs:     w.CmdOverheadNs,
+		RequestOverheadNs: w.RequestOverheadNs,
+		PipelineFactor:    w.PipelineFactor,
+		ChannelInterleave: w.ChannelInterleave,
+		MLCPairing:        w.MLCPairing,
+		PairingSpread:     w.PairingSpread,
+		SLCReadFactor:     w.SLCReadFactor,
+		SLCProgramFactor:  w.SLCProgramFactor,
+	}
+	if len(w.PerPage) > 0 {
+		t.PerPage = make(map[int]OpTiming, len(w.PerPage))
+		for _, p := range w.PerPage {
+			t.PerPage[p.Bytes] = p.Op
+		}
+	}
+	return nil
+}

@@ -1,9 +1,11 @@
 package ftl
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"emmcio/internal/flash"
 )
@@ -34,6 +36,80 @@ type SnapshotData struct {
 	Rev        map[uint64][]int64
 	Stats      Stats
 	PoolErases []int64
+}
+
+// Canonical gob encoding. The Fwd and Rev maps would otherwise serialize
+// in random iteration order, and device snapshots are content-addressed —
+// equal state must encode to equal bytes — so SnapshotData encodes through
+// a wire struct whose map entries are flattened to key-sorted slices. The
+// Rev value slices keep their FTL-maintained order (programming order on
+// the page), which is already deterministic.
+
+type fwdPair struct {
+	LPN int64
+	Loc Loc
+}
+
+type revPair struct {
+	Key  uint64
+	LPNs []int64
+}
+
+type snapshotWire struct {
+	Config     Config
+	Planes     []PlaneSnapshot
+	Fwd        []fwdPair
+	Rev        []revPair
+	Stats      Stats
+	PoolErases []int64
+}
+
+// GobEncode implements gob.GobEncoder with a deterministic byte form.
+func (s *SnapshotData) GobEncode() ([]byte, error) {
+	w := snapshotWire{
+		Config:     s.Config,
+		Planes:     s.Planes,
+		Stats:      s.Stats,
+		PoolErases: s.PoolErases,
+	}
+	w.Fwd = make([]fwdPair, 0, len(s.Fwd))
+	for lpn, loc := range s.Fwd {
+		w.Fwd = append(w.Fwd, fwdPair{LPN: lpn, Loc: loc})
+	}
+	sort.Slice(w.Fwd, func(i, j int) bool { return w.Fwd[i].LPN < w.Fwd[j].LPN })
+	w.Rev = make([]revPair, 0, len(s.Rev))
+	for key, lpns := range s.Rev {
+		w.Rev = append(w.Rev, revPair{Key: key, LPNs: lpns})
+	}
+	sort.Slice(w.Rev, func(i, j int) bool { return w.Rev[i].Key < w.Rev[j].Key })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder for the canonical wire form.
+func (s *SnapshotData) GobDecode(data []byte) error {
+	var w snapshotWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	*s = SnapshotData{
+		Config:     w.Config,
+		Planes:     w.Planes,
+		Stats:      w.Stats,
+		PoolErases: w.PoolErases,
+	}
+	s.Fwd = make(map[int64]Loc, len(w.Fwd))
+	for _, p := range w.Fwd {
+		s.Fwd[p.LPN] = p.Loc
+	}
+	s.Rev = make(map[uint64][]int64, len(w.Rev))
+	for _, p := range w.Rev {
+		s.Rev[p.Key] = p.LPNs
+	}
+	return nil
 }
 
 // SnapshotData exports the FTL state.

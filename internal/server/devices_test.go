@@ -1,0 +1,283 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"emmcio/internal/cliutil"
+	"emmcio/internal/core"
+	"emmcio/internal/devstore"
+	"emmcio/internal/faults"
+	"emmcio/internal/paper"
+	"emmcio/internal/storage"
+	"emmcio/internal/trace"
+)
+
+// storeServer builds a test server with a device store rooted in a temp dir.
+func storeServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	store, err := devstore.Open(t.TempDir(), devstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newTestServer(t, Config{DeviceStore: store})
+}
+
+// sealedBytes ages a tiny device in-process and seals it, for exercising
+// the import path without an age job.
+func sealedBytes(t *testing.T, writes int) []byte {
+	t.Helper()
+	opt := core.CaseStudyOptions()
+	opt.Faults = &faults.Config{Seed: 11, Rate: 1}
+	dev, err := core.NewDevice(core.Scheme4PS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrival int64
+	for i := 0; i < writes; i++ {
+		res, err := dev.Submit(trace.Request{Arrival: arrival, LBA: uint64(i * 64), Size: 16 << 10, Op: trace.Write})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrival = res.Finish
+	}
+	sealed, _, err := storage.Seal(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sealed
+}
+
+// postOctet uploads sealed snapshot bytes to /v1/devices.
+func postOctet(t *testing.T, ts *httptest.Server, path string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	return resp.StatusCode, buf.Bytes()
+}
+
+// errKindOf decodes the uniform error envelope.
+func errKindOf(t *testing.T, body []byte) string {
+	t.Helper()
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("response %q is not the error envelope: %v", body, err)
+	}
+	if eb.Error == "" {
+		t.Errorf("error envelope %q missing the human string", body)
+	}
+	return eb.ErrorKind
+}
+
+// TestAgeForkLifecycle walks the tentpole end to end over HTTP: an age job
+// archives a worn device, the listing and detail views describe it, a
+// replay forks it via from_device, and the forks view attributes that job
+// back to the snapshot.
+func TestAgeForkLifecycle(t *testing.T) {
+	_, ts := storeServer(t)
+
+	age := fmt.Sprintf(`{"app":%q,"scheme":"4PS","sessions":2,"faults":1,"fault_seed":3,"label":"aged-callin"}`, paper.CallIn)
+	code, b := postJSON(t, ts, "/v1/devices", age)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/devices = %d, want 202; body %s", code, b)
+	}
+	var sub submitted
+	if err := json.Unmarshal(b, &sub); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, ts, sub.ID, JobDone, 60*time.Second)
+
+	var dev DeviceStatus
+	if err := json.Unmarshal(st.Result, &dev); err != nil {
+		t.Fatalf("age result %s: %v", st.Result, err)
+	}
+	if dev.ID == "" || dev.Origin != "aged" || dev.Backend != "emmc" || dev.Scheme != "4PS" {
+		t.Errorf("age result %+v lacks identity fields", dev)
+	}
+	if dev.FaultDraws == 0 {
+		t.Error("aged device records no fault draws; injector position not archived")
+	}
+	if dev.SnapshotURL == "" || dev.ForksURL == "" {
+		t.Errorf("device %+v missing links", dev)
+	}
+
+	var list []DeviceStatus
+	if code := getJSON(t, ts, "/v1/devices", &list); code != http.StatusOK {
+		t.Fatalf("GET /v1/devices = %d", code)
+	}
+	if len(list) != 1 || list[0].ID != dev.ID || list[0].Label != "aged-callin" {
+		t.Errorf("listing = %+v, want the one aged device", list)
+	}
+	var got DeviceStatus
+	if code := getJSON(t, ts, "/v1/devices/"+dev.ID, &got); code != http.StatusOK || got.Digest != dev.Digest {
+		t.Errorf("GET device = %d %+v, want 200 with digest %s", code, got, dev.Digest)
+	}
+
+	fork := fmt.Sprintf(`{"app":%q,"scheme":"4PS","from_device":%q}`, paper.CallIn, dev.ID)
+	forkID := submitReplay(t, ts, fork)
+	fst := waitState(t, ts, forkID, JobDone, 60*time.Second)
+	if fst.FromDevice != dev.ID {
+		t.Errorf("fork job from_device = %q, want %q", fst.FromDevice, dev.ID)
+	}
+	if fst.Device != "emmc" {
+		t.Errorf("fork job device = %q, want backend resolved from snapshot", fst.Device)
+	}
+	var results []cliutil.SchemeResult
+	if err := json.Unmarshal(fst.Result, &results); err != nil || len(results) != 1 {
+		t.Fatalf("fork result %s: %v", fst.Result, err)
+	}
+	if results[0].Metrics.Served == 0 {
+		t.Error("forked replay served nothing")
+	}
+
+	var forks []JobStatus
+	if code := getJSON(t, ts, "/v1/devices/"+dev.ID+"/forks", &forks); code != http.StatusOK {
+		t.Fatalf("GET forks = %d", code)
+	}
+	if len(forks) != 1 || forks[0].ID != forkID {
+		t.Errorf("forks = %+v, want exactly job %s", forks, forkID)
+	}
+}
+
+// TestDeviceImportSnapshotDelete covers the synchronous half of the
+// surface: import, idempotent re-import, label conflict as a 409 envelope,
+// byte-exact snapshot download, and deletion semantics.
+func TestDeviceImportSnapshotDelete(t *testing.T) {
+	_, ts := storeServer(t)
+	sealed := sealedBytes(t, 32)
+
+	code, b := postOctet(t, ts, "/v1/devices?label=seed", sealed)
+	if code != http.StatusCreated {
+		t.Fatalf("import = %d, want 201; body %s", code, b)
+	}
+	var dev DeviceStatus
+	if err := json.Unmarshal(b, &dev); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Origin != "imported" || dev.Label != "seed" || dev.FaultDraws == 0 {
+		t.Errorf("imported device %+v", dev)
+	}
+
+	// Same bytes again: content addressing makes this a no-op naming the
+	// same device, even under a different label.
+	code, b = postOctet(t, ts, "/v1/devices?label=other", sealed)
+	var again DeviceStatus
+	if err := json.Unmarshal(b, &again); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusCreated || again.ID != dev.ID || again.Label != "seed" {
+		t.Errorf("re-import = %d %+v, want existing device %s with its original label", code, again, dev.ID)
+	}
+
+	// Different bytes under the taken label: 409 with the conflict kind.
+	code, b = postOctet(t, ts, "/v1/devices?label=seed", sealedBytes(t, 48))
+	if code != http.StatusConflict || errKindOf(t, b) != ErrKindConflict {
+		t.Errorf("label conflict = %d kind %q, want 409 %q", code, errKindOf(t, b), ErrKindConflict)
+	}
+
+	// Corrupt upload: rejected before it is named.
+	bad := append([]byte{}, sealed...)
+	bad[len(bad)-1] ^= 0xFF
+	code, b = postOctet(t, ts, "/v1/devices", bad)
+	if code != http.StatusBadRequest || errKindOf(t, b) != ErrKindValidation {
+		t.Errorf("corrupt import = %d kind %q, want 400 validation", code, errKindOf(t, b))
+	}
+
+	resp, err := http.Get(ts.URL + dev.SnapshotURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(buf.Bytes(), sealed) {
+		t.Errorf("snapshot download = %d, %d bytes; want the exact %d sealed bytes",
+			resp.StatusCode, buf.Len(), len(sealed))
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/devices/"+dev.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || errKindOf(t, buf.Bytes()) != ErrKindNotFound {
+		t.Errorf("second DELETE = %d kind %q, want 404 not_found", resp.StatusCode, errKindOf(t, buf.Bytes()))
+	}
+}
+
+// TestDeviceErrorSurface pins the failure envelopes: 503 unavailable when
+// no store is configured, 404 not_found for unknown ids, and 400
+// validation for contradictory from_device specs.
+func TestDeviceErrorSurface(t *testing.T) {
+	t.Run("no_store", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{})
+		resp, err := http.Get(ts.URL + "/v1/devices")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || errKindOf(t, buf.Bytes()) != ErrKindUnavailable {
+			t.Errorf("GET /v1/devices = %d %s, want 503 unavailable", resp.StatusCode, buf.Bytes())
+		}
+		spec := fmt.Sprintf(`{"app":%q,"scheme":"4PS","from_device":"d000000000000"}`, paper.CallIn)
+		code, b := postJSON(t, ts, "/v1/replays", spec)
+		if code != http.StatusServiceUnavailable || errKindOf(t, b) != ErrKindUnavailable {
+			t.Errorf("from_device without store = %d %s, want 503 unavailable", code, b)
+		}
+	})
+
+	t.Run("unknown_device", func(t *testing.T) {
+		_, ts := storeServer(t)
+		spec := fmt.Sprintf(`{"app":%q,"scheme":"4PS","from_device":"d000000000000"}`, paper.CallIn)
+		code, b := postJSON(t, ts, "/v1/replays", spec)
+		if code != http.StatusNotFound || errKindOf(t, b) != ErrKindNotFound {
+			t.Errorf("unknown from_device = %d %s, want 404 not_found", code, b)
+		}
+		code, b = postJSON(t, ts, "/v1/sweeps", `{"sweeps":["tables"],"from_device":"d000000000000"}`)
+		if code != http.StatusNotFound || errKindOf(t, b) != ErrKindNotFound {
+			t.Errorf("unknown sweep from_device = %d %s, want 404 not_found", code, b)
+		}
+	})
+
+	t.Run("validation", func(t *testing.T) {
+		_, ts := storeServer(t)
+		spec := fmt.Sprintf(`{"app":%q,"scheme":"all","from_device":"d000000000000"}`, paper.CallIn)
+		code, b := postJSON(t, ts, "/v1/replays", spec)
+		if code != http.StatusBadRequest || errKindOf(t, b) != ErrKindValidation {
+			t.Errorf("from_device with scheme=all = %d %s, want 400 validation", code, b)
+		}
+		age := fmt.Sprintf(`{"app":%q,"scheme":"all"}`, paper.CallIn)
+		code, b = postJSON(t, ts, "/v1/devices", age)
+		if code != http.StatusBadRequest || errKindOf(t, b) != ErrKindValidation {
+			t.Errorf("age with scheme=all = %d %s, want 400 validation", code, b)
+		}
+		age = fmt.Sprintf(`{"app":%q,"scheme":"4PS","from_device":"dabc"}`, paper.CallIn)
+		code, b = postJSON(t, ts, "/v1/devices", age)
+		if code != http.StatusBadRequest || errKindOf(t, b) != ErrKindValidation {
+			t.Errorf("age with from_device = %d %s, want 400 validation", code, b)
+		}
+	})
+}

@@ -58,7 +58,7 @@ func TestQueueFull429CarriesRetryAfter(t *testing.T) {
 // classification without a real replay.
 func enqueueFunc(t *testing.T, s *Server, fn func(ctx context.Context) error) *job {
 	t.Helper()
-	j, err := s.enqueue(context.Background(), "test", "", func(ctx context.Context, _ *telemetry.Registry, _ *telemetry.Tracer) (any, error) {
+	j, err := s.enqueue(context.Background(), "test", "", "", func(ctx context.Context, _ *telemetry.Registry, _ *telemetry.Tracer) (any, error) {
 		return nil, fn(ctx)
 	})
 	if err != nil {

@@ -29,10 +29,31 @@ const (
 //     retrying on a less loaded worker;
 //   - runtime: the job's own execution failed — deterministic, so a retry
 //     anywhere reproduces it.
+//
+// The same vocabulary classifies synchronous HTTP errors: every non-2xx
+// response carries {"error", "error_kind"} (see writeError), so clients
+// branch on the kind instead of status-code heuristics:
+//
+//   - validation: the request itself is malformed or names unknown things —
+//     retrying it anywhere reproduces the rejection;
+//   - not_found: the referenced resource does not exist here (it may exist
+//     on another worker, or may have been evicted);
+//   - conflict: the request contradicts existing state (a device label
+//     already naming a different snapshot);
+//   - saturated: the admission queue is full — retry after backoff;
+//   - unavailable: the server cannot take this work right now (draining, or
+//     a surface is not configured) — retry elsewhere;
+//   - internal: an unexpected server-side failure.
 const (
-	ErrKindCanceled = "canceled"
-	ErrKindDeadline = "deadline"
-	ErrKindRuntime  = "runtime"
+	ErrKindCanceled    = "canceled"
+	ErrKindDeadline    = "deadline"
+	ErrKindRuntime     = "runtime"
+	ErrKindValidation  = "validation"
+	ErrKindNotFound    = "not_found"
+	ErrKindConflict    = "conflict"
+	ErrKindSaturated   = "saturated"
+	ErrKindUnavailable = "unavailable"
+	ErrKindInternal    = "internal"
 )
 
 // jobFunc is a job's work function. It observes into the job's own child
@@ -55,7 +76,10 @@ type job struct {
 	// reqID is the HTTP request id that admitted the job, joining the
 	// job's lifecycle log lines back to the submission.
 	reqID string
-	run   jobFunc
+	// fromDevice is the archived snapshot id the job forks ("" for jobs on
+	// fresh devices); GET /v1/devices/{id}/forks filters on it.
+	fromDevice string
+	run        jobFunc
 
 	// tel is the job's child telemetry registry (scoped under the server
 	// registry; merged into it at completion) and tracer its span ring.
@@ -103,10 +127,11 @@ type JobStatus struct {
 	// runtime (see the ErrKind constants). The human Error string is
 	// unchanged; clients branch on this field instead of parsing it.
 	ErrorKind string `json:"error_kind,omitempty"`
-	// MetricsURL and TraceURL point at the job's own observability
-	// surfaces: Prometheus text and Chrome-trace JSON scoped to this job.
-	MetricsURL string `json:"metrics_url,omitempty"`
-	TraceURL   string `json:"trace_url,omitempty"`
+	// FromDevice is the archived snapshot the job forked, when it ran
+	// restore-then-run instead of building a fresh device.
+	FromDevice string `json:"from_device,omitempty"`
+	// resourceLinks carries the job's metrics/trace URLs (flattened).
+	resourceLinks
 	// Result is the job's JSON payload, present once state is done:
 	// []cliutil.SchemeResult for replays, []SweepOutput for sweeps.
 	Result json.RawMessage `json:"result,omitempty"`
@@ -117,18 +142,16 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:         j.id,
-		Kind:       j.kind,
-		Device:     j.device,
-		State:      j.state,
-		Created:    j.created.UTC().Format(time.RFC3339Nano),
-		Error:      j.err,
-		ErrorKind:  j.errKind,
-		MetricsURL: "/v1/jobs/" + j.id + "/metrics",
-		Result:     j.result,
-	}
-	if j.tracer != nil {
-		st.TraceURL = "/v1/jobs/" + j.id + "/trace"
+		ID:            j.id,
+		Kind:          j.kind,
+		Device:        j.device,
+		State:         j.state,
+		Created:       j.created.UTC().Format(time.RFC3339Nano),
+		Error:         j.err,
+		ErrorKind:     j.errKind,
+		FromDevice:    j.fromDevice,
+		resourceLinks: jobLinks(j.id, j.tracer != nil),
+		Result:        j.result,
 	}
 	if !j.started.IsZero() {
 		st.Started = j.started.UTC().Format(time.RFC3339Nano)

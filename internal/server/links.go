@@ -1,0 +1,35 @@
+package server
+
+// resourceLinks is the one place API resources get their companion URLs.
+// Jobs and devices both embed it (fields flatten into their JSON), so a
+// new surface — the device store's snapshot and fork listings — picks up
+// link rendering for free instead of hand-rolling paths in each status
+// snapshot, and a path change happens here once.
+type resourceLinks struct {
+	// MetricsURL and TraceURL point at a job's own observability surfaces:
+	// Prometheus text and Chrome-trace JSON scoped to that job.
+	MetricsURL string `json:"metrics_url,omitempty"`
+	TraceURL   string `json:"trace_url,omitempty"`
+	// SnapshotURL serves a device's sealed snapshot bytes; ForksURL lists
+	// the jobs forked from it.
+	SnapshotURL string `json:"snapshot_url,omitempty"`
+	ForksURL    string `json:"forks_url,omitempty"`
+}
+
+// jobLinks builds the link set for a job resource. traced reports whether
+// the job has a span tracer (the trace link is omitted otherwise).
+func jobLinks(id string, traced bool) resourceLinks {
+	l := resourceLinks{MetricsURL: "/v1/jobs/" + id + "/metrics"}
+	if traced {
+		l.TraceURL = "/v1/jobs/" + id + "/trace"
+	}
+	return l
+}
+
+// deviceLinks builds the link set for a device resource.
+func deviceLinks(id string) resourceLinks {
+	return resourceLinks{
+		SnapshotURL: "/v1/devices/" + id + "/snapshot",
+		ForksURL:    "/v1/devices/" + id + "/forks",
+	}
+}

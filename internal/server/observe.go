@@ -70,7 +70,7 @@ func (s *Server) withObservedRequests(next http.Handler) http.Handler {
 func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r)
 	if j == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, ErrKindNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -82,11 +82,11 @@ func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r)
 	if j == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, ErrKindNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	if j.tracer == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("job %q has no trace (per-job tracing disabled)", j.id))
+		writeError(w, http.StatusNotFound, ErrKindNotFound, fmt.Errorf("job %q has no trace (per-job tracing disabled)", j.id))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

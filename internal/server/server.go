@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"emmcio/internal/cliutil"
+	"emmcio/internal/devstore"
 	"emmcio/internal/telemetry"
 	"emmcio/internal/trace"
 	"emmcio/internal/workload"
@@ -62,6 +63,10 @@ type Config struct {
 	// Logger receives structured request and job-lifecycle logs (default:
 	// discard; cmd/emmcd wires stderr).
 	Logger *slog.Logger
+	// DeviceStore backs the /v1/devices surface: age jobs archive sealed
+	// snapshots into it and from_device jobs fork them. Nil disables the
+	// surface (those endpoints answer 503 unavailable).
+	DeviceStore *devstore.Store
 }
 
 // Server is the emmcd job service. Create with New, serve via Handler,
@@ -157,6 +162,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/devices", s.handleDeviceCreate)
+	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	s.mux.HandleFunc("GET /v1/devices/{id}", s.handleDevice)
+	s.mux.HandleFunc("GET /v1/devices/{id}/snapshot", s.handleDeviceSnapshot)
+	s.mux.HandleFunc("GET /v1/devices/{id}/forks", s.handleDeviceForks)
+	s.mux.HandleFunc("DELETE /v1/devices/{id}", s.handleDeviceDelete)
 
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -183,22 +194,23 @@ var (
 // run observes into those, never into the server-wide registry directly,
 // so concurrent jobs cannot contaminate each other's series and
 // /v1/jobs/{id}/metrics answers for exactly one job.
-func (s *Server) enqueue(ctx context.Context, kind, device string, run jobFunc) (*job, error) {
+func (s *Server) enqueue(ctx context.Context, kind, device, fromDevice string, run jobFunc) (*job, error) {
 	if s.draining.Load() {
 		return nil, errDraining
 	}
 	seq := s.nextID.Add(1)
 	j := &job{
-		id:      fmt.Sprintf("j%d", seq),
-		seq:     seq,
-		kind:    kind,
-		device:  device,
-		reqID:   requestID(ctx),
-		run:     run,
-		tel:     s.tel.Child(),
-		done:    make(chan struct{}),
-		state:   JobQueued,
-		created: time.Now(),
+		id:         fmt.Sprintf("j%d", seq),
+		seq:        seq,
+		kind:       kind,
+		device:     device,
+		fromDevice: fromDevice,
+		reqID:      requestID(ctx),
+		run:        run,
+		tel:        s.tel.Child(),
+		done:       make(chan struct{}),
+		state:      JobQueued,
+		created:    time.Now(),
 	}
 	if s.cfg.JobTraceCap >= 0 {
 		j.tracer = telemetry.NewTracer(s.cfg.JobTraceCap)
@@ -445,16 +457,26 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // headers are out; nothing left to report
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// ErrorBody is the uniform non-2xx envelope: every error response carries
+// the human string plus a machine-readable kind from the ErrKind
+// vocabulary, so clients (the coordinator above all) classify failures by
+// field instead of status-code heuristics or string matching.
+type ErrorBody struct {
+	Error     string `json:"error"`
+	ErrorKind string `json:"error_kind"`
 }
 
-// QueueFullError is the 429 response body: the human error string plus
+func writeError(w http.ResponseWriter, code int, kind string, err error) {
+	writeJSON(w, code, ErrorBody{Error: err.Error(), ErrorKind: kind})
+}
+
+// QueueFullError is the 429 response body: the uniform error envelope plus
 // the queue's depth and capacity at rejection time, so a client's backoff
 // can be informed rather than blind (the coordinator reads these to size
 // its retry delay and to prefer less-loaded workers).
 type QueueFullError struct {
 	Error         string `json:"error"`
+	ErrorKind     string `json:"error_kind"`
 	Queued        int    `json:"queued"`
 	QueueCapacity int    `json:"queue_capacity"`
 }
@@ -472,13 +494,14 @@ func (s *Server) submitError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeJSON(w, http.StatusTooManyRequests, QueueFullError{
 			Error:         err.Error(),
+			ErrorKind:     ErrKindSaturated,
 			Queued:        len(s.queue),
 			QueueCapacity: s.cfg.QueueDepth,
 		})
 	case errors.Is(err, errDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, http.StatusServiceUnavailable, ErrKindUnavailable, err)
 	default:
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, ErrKindInternal, err)
 	}
 }
 
@@ -503,19 +526,28 @@ type submitted struct {
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	var spec cliutil.ReplaySpec
 	if err := decodeStrict(r, &spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, ErrKindValidation, err)
 		return
 	}
 	if err := spec.Validate(s.cfg.Registry); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, ErrKindValidation, err)
 		return
 	}
 	backend, err := spec.Backend()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, ErrKindValidation, err)
 		return
 	}
-	j, err := s.enqueue(r.Context(), "replay", string(backend), func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error) {
+	device := string(backend)
+	if spec.FromDevice != "" {
+		meta, ok := s.resolveFromDevice(w, spec.FromDevice)
+		if !ok {
+			return
+		}
+		spec.SetDeviceSource(s.cfg.DeviceStore)
+		device = string(meta.Backend)
+	}
+	j, err := s.enqueue(r.Context(), "replay", device, spec.FromDevice, func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error) {
 		return spec.Run(ctx, s.cfg.JobWorkers, reg, tc)
 	})
 	if err != nil {
@@ -533,21 +565,30 @@ type SweepOutput = cliutil.SweepResult
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var spec cliutil.SweepSpec
 	if err := decodeStrict(r, &spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, ErrKindValidation, err)
 		return
 	}
 	if err := spec.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, ErrKindValidation, err)
 		return
 	}
 	backend, err := spec.Backend()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, ErrKindValidation, err)
 		return
+	}
+	device := string(backend)
+	if spec.FromDevice != "" {
+		meta, ok := s.resolveFromDevice(w, spec.FromDevice)
+		if !ok {
+			return
+		}
+		spec.SetDeviceSource(s.cfg.DeviceStore)
+		device = string(meta.Backend)
 	}
 	// The job body is the same SweepSpec.Run the coordinator's local
 	// fallback calls, so a shard's result is identical either way.
-	j, err := s.enqueue(r.Context(), "sweep", string(backend), func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error) {
+	j, err := s.enqueue(r.Context(), "sweep", device, spec.FromDevice, func(ctx context.Context, reg *telemetry.Registry, tc *telemetry.Tracer) (any, error) {
 		return spec.Run(ctx, s.cfg.JobWorkers, reg, tc)
 	})
 	if err != nil {
@@ -569,21 +610,21 @@ type TraceRequest struct {
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, errDraining)
+		writeError(w, http.StatusServiceUnavailable, ErrKindUnavailable, errDraining)
 		return
 	}
 	var req TraceRequest
 	if err := decodeStrict(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, ErrKindValidation, err)
 		return
 	}
 	if req.App == "" {
-		writeError(w, http.StatusBadRequest, errors.New("no application named; set app"))
+		writeError(w, http.StatusBadRequest, ErrKindValidation, errors.New("no application named; set app"))
 		return
 	}
 	p := s.cfg.Registry.Lookup(req.App)
 	if p == nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown application %q", req.App))
+		writeError(w, http.StatusBadRequest, ErrKindValidation, fmt.Errorf("unknown application %q", req.App))
 		return
 	}
 	seed := req.Seed
@@ -604,7 +645,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		trace.WriteCompressed(w, p.Generate(seed)) //nolint:errcheck
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (text, bio1, bioz)", req.Format))
+		writeError(w, http.StatusBadRequest, ErrKindValidation, fmt.Errorf("unknown format %q (text, bio1, bioz)", req.Format))
 	}
 }
 
@@ -633,7 +674,7 @@ func (s *Server) lookup(r *http.Request) *job {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r)
 	if j == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, ErrKindNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -646,7 +687,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r)
 	if j == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, ErrKindNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	j.mu.Lock()

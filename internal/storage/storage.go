@@ -203,8 +203,21 @@ type Device interface {
 	// FaultCounts exposes the fault injector's per-kind totals (all zero
 	// when injection is off).
 	FaultCounts() faults.Counts
+	// FaultDraws reports the fault injector's decision-stream position —
+	// how many random draws it has consumed (0 with injection off). Device
+	// snapshots archive it, and a restored device resumes from it, so the
+	// draw count is the fork-determinism witness callers assert on.
+	FaultDraws() int64
+	// SetFaultConfig replaces the device's fault injector with a fresh one
+	// built from fc (nil turns injection off). The new injector starts at
+	// draw 0, exactly as if fc had been part of the construction config —
+	// which is what lets one aged snapshot fork into many fault regimes.
+	SetFaultConfig(fc *faults.Config) error
 	// AddArtificialWear pre-ages a pool (aging studies).
 	AddArtificialWear(pool int, erases int64)
+	// Pools describes the device's flash pools (page size, block and page
+	// counts); Wear takes an index into this slice.
+	Pools() []flash.PoolSpec
 	// LastActivity returns the completion time of the most recent request.
 	LastActivity() int64
 

@@ -210,8 +210,29 @@ func (d *Device) PrefetchStats() (prefetched, hits int64) { return 0, 0 }
 // FaultCounts exposes the injector's per-kind fault totals.
 func (d *Device) FaultCounts() faults.Counts { return d.inj.Counts() }
 
+// FaultDraws reports the injector's decision-stream position (0 when
+// injection is off).
+func (d *Device) FaultDraws() int64 { return d.inj.Draws() }
+
+// SetFaultConfig replaces the device's fault injector with a fresh one
+// built from fc (nil = injection off), starting at draw 0 — as if fc had
+// been in the construction config. The FTL shares the new injector.
+func (d *Device) SetFaultConfig(fc *faults.Config) error {
+	inj, err := faults.New(fc)
+	if err != nil {
+		return err
+	}
+	d.cfg.Faults = fc
+	d.inj = inj
+	d.ftl.SetFaults(inj)
+	return nil
+}
+
 // AddArtificialWear pre-ages a pool (aging studies).
 func (d *Device) AddArtificialWear(pool int, erases int64) { d.ftl.AddArtificialWear(pool, erases) }
+
+// Pools describes the device's flash pools; Wear indexes into this slice.
+func (d *Device) Pools() []flash.PoolSpec { return d.ftl.Pools() }
 
 // LastActivity returns the completion time of the most recent request.
 func (d *Device) LastActivity() int64 { return d.lastEnd }
